@@ -1,0 +1,40 @@
+//! Criterion comparison of the DD-based synthesis against the dense
+//! recursive baseline (`mdq_core::baseline`): on structured states the
+//! diagram wins on operation count and time; on dense random states the two
+//! coincide (the diagram *is* the full tree there).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mdq_bench::{dims3, dims4, Family};
+use mdq_core::{baseline::synthesize_dense, prepare, PrepareOptions};
+use std::hint::black_box;
+
+fn bench_dd_vs_dense(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dd_vs_dense");
+    for family in [Family::Ghz, Family::W, Family::Random] {
+        for dims in [dims3(), dims4()] {
+            let state = family.state(&dims, 0);
+            group.bench_with_input(
+                BenchmarkId::new(format!("dd/{}", family.name()), dims.to_string()),
+                &state,
+                |b, state| {
+                    b.iter(|| prepare(&dims, black_box(state), PrepareOptions::exact()).unwrap());
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("dense/{}", family.name()), dims.to_string()),
+                &state,
+                |b, state| {
+                    b.iter(|| synthesize_dense(&dims, black_box(state)));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_dd_vs_dense
+}
+criterion_main!(benches);

@@ -1,0 +1,112 @@
+//! Criterion micro-benchmarks for every stage of the preparation pipeline:
+//! diagram construction, approximation, synthesis, end-to-end preparation,
+//! and simulation. One group per stage; the `synthesize` group carries the
+//! paper's linearity claim (time per run scales with the node counts
+//! printed by `--bin scaling`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mdq_bench::{dims3, dims4, dims5, Family};
+use mdq_core::{prepare, synthesize, PrepareOptions, SynthesisOptions};
+use mdq_dd::{BuildOptions, StateDd};
+use mdq_sim::StateVector;
+use std::hint::black_box;
+
+fn bench_dd_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dd_build");
+    for family in [Family::Ghz, Family::Random] {
+        for dims in [dims3(), dims4(), dims5()] {
+            let state = family.state(&dims, 0);
+            let id = BenchmarkId::new(family.name(), dims.to_string());
+            group.bench_with_input(id, &state, |b, state| {
+                b.iter(|| {
+                    StateDd::from_amplitudes(&dims, black_box(state), BuildOptions::default())
+                        .expect("diagram builds")
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_approximate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("approximate");
+    for dims in [dims4(), dims5()] {
+        let state = Family::Random.state(&dims, 0);
+        let dd = StateDd::from_amplitudes(&dims, &state, BuildOptions::default())
+            .expect("diagram builds");
+        let id = BenchmarkId::new("random_98", dims.to_string());
+        group.bench_with_input(id, &dd, |b, dd| {
+            b.iter(|| dd.approximate(black_box(0.02)).expect("approximation"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_synthesize(c: &mut Criterion) {
+    let mut group = c.benchmark_group("synthesize");
+    for family in [Family::Ghz, Family::W, Family::Random] {
+        for dims in [dims3(), dims4(), dims5()] {
+            let state = family.state(&dims, 0);
+            let dd = StateDd::from_amplitudes(&dims, &state, BuildOptions::default())
+                .expect("diagram builds");
+            let id = BenchmarkId::new(family.name(), format!("{}/n={}", dims, dd.node_count()));
+            group.bench_with_input(id, &dd, |b, dd| {
+                b.iter(|| synthesize(black_box(dd), SynthesisOptions::paper()));
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_prepare_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("prepare_e2e");
+    for family in [Family::Ghz, Family::Random] {
+        let dims = dims4();
+        let state = family.state(&dims, 0);
+        group.bench_with_input(
+            BenchmarkId::new("exact", family.name()),
+            &state,
+            |b, state| {
+                b.iter(|| prepare(&dims, black_box(state), PrepareOptions::exact()).unwrap());
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("approx98", family.name()),
+            &state,
+            |b, state| {
+                b.iter(|| {
+                    prepare(&dims, black_box(state), PrepareOptions::approximated(0.98)).unwrap()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_simulate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate");
+    for family in [Family::Ghz, Family::Random] {
+        let dims = dims4();
+        let state = family.state(&dims, 0);
+        let circuit = prepare(&dims, &state, PrepareOptions::exact())
+            .expect("preparation succeeds")
+            .circuit;
+        let id = BenchmarkId::new(family.name(), dims.to_string());
+        group.bench_with_input(id, &circuit, |b, circuit| {
+            b.iter(|| {
+                let mut sv = StateVector::ground(dims.clone());
+                sv.apply_circuit(black_box(circuit));
+                sv
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_dd_build, bench_approximate, bench_synthesize,
+              bench_prepare_end_to_end, bench_simulate
+}
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Regenerates the §4.3 / §5 approximation claim: "approximation decreases
+//! the number of operations (and controls) by about 5 % while losing only
+//! 1 % fidelity" — generalized to a full threshold sweep.
+//!
+//! Run with: `cargo run -p mdq-bench --release --bin approx_sweep`
+
+use mdq_bench::{dims5, dims6b, Mean};
+use mdq_core::{prepare, PrepareOptions};
+use mdq_num::radix::Dims;
+use mdq_states::{random_state, RandomKind};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let runs = 10u64;
+    for dims in [dims5(), dims6b()] {
+        sweep(&dims, runs);
+        println!();
+    }
+}
+
+fn sweep(dims: &Dims, runs: u64) {
+    println!(
+        "random states over {dims} ({} amplitudes, {runs} runs per threshold)",
+        dims.space_size()
+    );
+    println!(
+        "{:>10} {:>10} {:>10} {:>11} {:>10} {:>9} {:>9}",
+        "threshold", "nodes", "ops", "ctrl(med)", "fidelity", "Δops[%]", "Δnodes[%]"
+    );
+
+    let mut exact_ops = Mean::default();
+    let mut exact_nodes = Mean::default();
+    for run in 0..runs {
+        let mut rng = StdRng::seed_from_u64(run);
+        let state = random_state(dims, RandomKind::ReImUniform, &mut rng);
+        let r = prepare(dims, &state, PrepareOptions::exact()).expect("exact run");
+        exact_ops.add(r.report.operations as f64);
+        exact_nodes.add(r.report.nodes_initial as f64);
+    }
+    println!(
+        "{:>10} {:>10.1} {:>10.1} {:>11} {:>10} {:>9} {:>9}",
+        "exact", exact_nodes.value(), exact_ops.value(), "-", "1.0000", "-", "-"
+    );
+
+    for threshold in [0.999, 0.99, 0.98, 0.95, 0.9] {
+        let mut nodes = Mean::default();
+        let mut ops = Mean::default();
+        let mut ctrl = Mean::default();
+        let mut fid = Mean::default();
+        for run in 0..runs {
+            let mut rng = StdRng::seed_from_u64(run);
+            let state = random_state(dims, RandomKind::ReImUniform, &mut rng);
+            let r = prepare(dims, &state, PrepareOptions::approximated(threshold))
+                .expect("approximated run");
+            nodes.add(r.report.nodes_final as f64);
+            ops.add(r.report.operations as f64);
+            ctrl.add(r.report.controls_median);
+            fid.add(r.report.fidelity_bound);
+        }
+        println!(
+            "{:>10.3} {:>10.1} {:>10.1} {:>11.2} {:>10.4} {:>8.1}% {:>8.1}%",
+            threshold,
+            nodes.value(),
+            ops.value(),
+            ctrl.value(),
+            fid.value(),
+            100.0 * (1.0 - ops.value() / exact_ops.value()),
+            100.0 * (1.0 - nodes.value() / exact_nodes.value()),
+        );
+    }
+}

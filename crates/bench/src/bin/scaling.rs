@@ -1,0 +1,76 @@
+//! Regenerates the §5 scaling claim: "the synthesis routine has time
+//! complexity linear in the number of nodes of the DD" and "performance
+//! directly linked to the size of the decision diagram".
+//!
+//! Run with: `cargo run -p mdq-bench --release --bin scaling`
+//!
+//! Two series over growing qutrit chains:
+//! * dense random states — the DD is the full tree, nodes grow as 3ⁿ;
+//! * GHZ states — the DD stays linear in n even as the space grows as 3ⁿ.
+//!
+//! For both, the reported ns/node ratio stays roughly constant, which is
+//! the linearity; GHZ additionally shows the DD size (not the Hilbert-space
+//! size) driving the cost.
+
+use std::time::Instant;
+
+use mdq_core::{synthesize, SynthesisOptions};
+use mdq_dd::{BuildOptions, StateDd};
+use mdq_num::radix::Dims;
+use mdq_states::{ghz, random_state, RandomKind};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    println!("Synthesis-time scaling on qutrit chains (release mode recommended)\n");
+
+    println!("-- dense random states (full-tree DDs) --");
+    println!(
+        "{:>3} {:>9} {:>9} {:>6} {:>12} {:>10}",
+        "n", "space", "nodes", "ops/node", "synth", "ns/node"
+    );
+    let mut rng = StdRng::seed_from_u64(7);
+    for n in 2..=9 {
+        let dims = Dims::uniform(n, 3).expect("valid register");
+        let state = random_state(&dims, RandomKind::ReImUniform, &mut rng);
+        let dd = StateDd::from_amplitudes(&dims, &state, BuildOptions::default())
+            .expect("diagram builds");
+        report(&dims, &dd);
+    }
+
+    println!("\n-- GHZ states (DD linear in n, space exponential) --");
+    println!(
+        "{:>3} {:>9} {:>9} {:>6} {:>12} {:>10}",
+        "n", "space", "nodes", "ops/node", "synth", "ns/node"
+    );
+    for n in 2..=12 {
+        let dims = Dims::uniform(n, 3).expect("valid register");
+        let state = ghz(&dims);
+        let dd = StateDd::from_amplitudes(&dims, &state, BuildOptions::default())
+            .expect("diagram builds");
+        report(&dims, &dd);
+    }
+}
+
+fn report(dims: &Dims, dd: &StateDd) {
+    // Time the synthesis alone (the paper's linearity claim is about the
+    // traversal, not the O(space) vector read of the construction).
+    let reps = if dd.node_count() < 1000 { 100 } else { 5 };
+    let t = Instant::now();
+    let mut ops = 0;
+    for _ in 0..reps {
+        let circuit = synthesize(dd, SynthesisOptions::paper());
+        ops = circuit.len();
+    }
+    let per_run = t.elapsed() / reps;
+    let nodes = dd.node_count();
+    println!(
+        "{:>3} {:>9} {:>9} {:>6.1} {:>12?} {:>10.1}",
+        dims.len(),
+        dims.space_size(),
+        nodes,
+        ops as f64 / nodes as f64,
+        per_run,
+        per_run.as_nanos() as f64 / nodes as f64,
+    );
+}

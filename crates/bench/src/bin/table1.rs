@@ -1,0 +1,156 @@
+//! Regenerates **Table 1** of the paper: every benchmark family × register,
+//! averaged over 40 runs, for exact synthesis and approximated synthesis at
+//! a 98 % fidelity target.
+//!
+//! Run with: `cargo run -p mdq-bench --release --bin table1`
+//!
+//! Flags:
+//! * `--runs N`   — number of averaged runs (default 40, as in the paper);
+//! * `--verify`   — additionally simulate one circuit per row and print the
+//!   measured fidelity (the fidelity column itself is the exact
+//!   `1 − pruned mass` bound, which simulation confirms);
+//! * `--csv PATH` — also write the rows as CSV.
+
+use std::fmt::Write as _;
+
+use mdq_bench::{table1_rows, Config, Mean};
+use mdq_core::{prepare, verify::prepared_fidelity, PrepareOptions};
+
+#[derive(Default, Clone)]
+struct RowStats {
+    nodes: Mean,
+    distinct: Mean,
+    operations: Mean,
+    controls: Mean,
+    time_s: Mean,
+    fidelity: Mean,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let runs = flag_value(&args, "--runs")
+        .map(|v| v.parse().expect("--runs takes an integer"))
+        .unwrap_or(40u64);
+    let verify = args.iter().any(|a| a == "--verify");
+    let csv_path = flag_value(&args, "--csv");
+
+    println!("Regenerating Table 1 ({runs} runs per row, approximation target 0.98)\n");
+    println!(
+        "{:<13} {:>2} {:<18} | {:>8} {:>9} {:>6} {:>5} {:>8} | {:>8} {:>9} {:>6} {:>5} {:>8} {:>5}",
+        "Benchmark", "n", "Qudits",
+        "Nodes", "DistinctC", "Ops", "Ctrl", "Time[s]",
+        "Nodes", "DistinctC", "Ops", "Ctrl", "Time[s]", "Fid"
+    );
+    println!("{}", "-".repeat(132));
+
+    let mut csv = String::from(
+        "benchmark,qudits,dims,exact_nodes,exact_distinct,exact_ops,exact_controls,exact_time_s,\
+         approx_nodes,approx_distinct,approx_ops,approx_controls,approx_time_s,approx_fidelity\n",
+    );
+
+    for config in table1_rows() {
+        let (exact, approx) = run_row(&config, runs, verify);
+        println!(
+            "{:<13} {:>2} {:<18} | {:>8.1} {:>9.1} {:>6.1} {:>5.1} {:>8.4} | {:>8.1} {:>9.1} {:>6.1} {:>5.2} {:>8.4} {:>5.2}",
+            config.family.name(),
+            config.dims.len(),
+            config.label,
+            exact.nodes.value(),
+            exact.distinct.value(),
+            exact.operations.value(),
+            exact.controls.value(),
+            exact.time_s.value(),
+            approx.nodes.value(),
+            approx.distinct.value(),
+            approx.operations.value(),
+            approx.controls.value(),
+            approx.time_s.value(),
+            approx.fidelity.value(),
+        );
+        let _ = writeln!(
+            csv,
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            config.family.name(),
+            config.dims.len(),
+            config.label,
+            exact.nodes.value(),
+            exact.distinct.value(),
+            exact.operations.value(),
+            exact.controls.value(),
+            exact.time_s.value(),
+            approx.nodes.value(),
+            approx.distinct.value(),
+            approx.operations.value(),
+            approx.controls.value(),
+            approx.time_s.value(),
+            approx.fidelity.value(),
+        );
+    }
+
+    if let Some(path) = csv_path {
+        std::fs::write(path, csv).expect("writing CSV");
+        println!("\nCSV written to {path}");
+    }
+}
+
+fn run_row(config: &Config, runs: u64, verify: bool) -> (RowStats, RowStats) {
+    let mut exact = RowStats::default();
+    let mut approx = RowStats::default();
+
+    // Deterministic families produce the same state every run; still loop
+    // to average the timing noise, as the paper does.
+    for run in 0..runs {
+        let target = config.family.state(&config.dims, run);
+
+        let e = prepare(&config.dims, &target, PrepareOptions::exact())
+            .expect("exact preparation succeeds");
+        exact.nodes.add(e.report.nodes_initial as f64);
+        exact.distinct.add(e.report.distinct_c_initial as f64);
+        exact.operations.add(e.report.operations as f64);
+        exact.controls.add(e.report.controls_median);
+        exact.time_s.add(e.report.time.as_secs_f64());
+        exact.fidelity.add(1.0);
+
+        let a = prepare(&config.dims, &target, PrepareOptions::approximated(0.98))
+            .expect("approximated preparation succeeds");
+        approx.nodes.add(a.report.nodes_final as f64);
+        approx.distinct.add(a.report.distinct_c_final as f64);
+        approx.operations.add(a.report.operations as f64);
+        approx.controls.add(a.report.controls_median);
+        approx.time_s.add(a.report.time.as_secs_f64());
+        approx.fidelity.add(a.report.fidelity_bound);
+
+        if verify && run == 0 {
+            let norm = mdq_num::norm(&target);
+            let normalized: Vec<_> = target.iter().map(|x| *x / norm).collect();
+            let f_exact = prepared_fidelity(&e.circuit, &normalized);
+            let f_approx = prepared_fidelity(&a.circuit, &normalized);
+            assert!(
+                (f_exact - 1.0).abs() < 1e-9,
+                "{} {}: exact fidelity {f_exact}",
+                config.family.name(),
+                config.label
+            );
+            assert!(
+                (f_approx - a.report.fidelity_bound).abs() < 1e-9,
+                "{} {}: measured {f_approx} vs bound {}",
+                config.family.name(),
+                config.label,
+                a.report.fidelity_bound
+            );
+            eprintln!(
+                "verified {} {}: exact fidelity {f_exact:.9}, approximated {f_approx:.9}",
+                config.family.name(),
+                config.label
+            );
+        }
+    }
+    (exact, approx)
+}
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}

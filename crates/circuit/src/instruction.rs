@@ -1,0 +1,143 @@
+//! Controlled gate applications.
+
+use std::fmt;
+
+use crate::gate::Gate;
+
+/// A control condition: the instruction fires only when `qudit` is in basis
+/// state `level`.
+///
+/// This matches the paper's circuit notation, where the integer drawn inside
+/// a control circle is the level that activates the controlled operation
+/// (Figure 1: "+1" controlled on level 1, "+2" controlled on level 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Control {
+    /// Index of the controlling qudit.
+    pub qudit: usize,
+    /// Activation level of the controlling qudit.
+    pub level: usize,
+}
+
+impl Control {
+    /// Creates a control condition.
+    #[must_use]
+    pub fn new(qudit: usize, level: usize) -> Self {
+        Control { qudit, level }
+    }
+}
+
+impl fmt::Display for Control {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "q{}@{}", self.qudit, self.level)
+    }
+}
+
+/// One gate application: a target qudit, a gate, and zero or more controls.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Instruction {
+    /// Target qudit index.
+    pub qudit: usize,
+    /// The gate applied to the target.
+    pub gate: Gate,
+    /// Control conditions; all must hold for the gate to fire.
+    pub controls: Vec<Control>,
+}
+
+impl Instruction {
+    /// An uncontrolled (local) gate.
+    #[must_use]
+    pub fn local(qudit: usize, gate: Gate) -> Self {
+        Instruction {
+            qudit,
+            gate,
+            controls: Vec::new(),
+        }
+    }
+
+    /// A controlled gate.
+    #[must_use]
+    pub fn controlled(qudit: usize, gate: Gate, controls: Vec<Control>) -> Self {
+        Instruction {
+            qudit,
+            gate,
+            controls,
+        }
+    }
+
+    /// Number of control conditions — the per-operation value behind the
+    /// "#Controls" column of Table 1.
+    #[must_use]
+    pub fn control_count(&self) -> usize {
+        self.controls.len()
+    }
+
+    /// The adjoint instruction (same controls, inverse gate).
+    #[must_use]
+    pub fn adjoint(&self) -> Instruction {
+        Instruction {
+            qudit: self.qudit,
+            gate: self.gate.adjoint(),
+            controls: self.controls.clone(),
+        }
+    }
+
+    /// All qudits the instruction occupies (target plus controls), used for
+    /// depth scheduling.
+    pub fn qudits(&self) -> impl Iterator<Item = usize> + '_ {
+        std::iter::once(self.qudit).chain(self.controls.iter().map(|c| c.qudit))
+    }
+}
+
+impl fmt::Display for Instruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} on q{}", self.gate, self.qudit)?;
+        if !self.controls.is_empty() {
+            write!(f, " ctrl[")?;
+            for (i, c) in self.controls.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{c}")?;
+            }
+            write!(f, "]")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_instruction_has_no_controls() {
+        let i = Instruction::local(1, Gate::fourier());
+        assert_eq!(i.control_count(), 0);
+        assert_eq!(i.qudits().collect::<Vec<_>>(), vec![1]);
+    }
+
+    #[test]
+    fn controlled_instruction_lists_all_qudits() {
+        let i = Instruction::controlled(
+            2,
+            Gate::shift(1),
+            vec![Control::new(0, 1), Control::new(1, 3)],
+        );
+        assert_eq!(i.control_count(), 2);
+        assert_eq!(i.qudits().collect::<Vec<_>>(), vec![2, 0, 1]);
+    }
+
+    #[test]
+    fn adjoint_keeps_controls_and_inverts_gate() {
+        let i = Instruction::controlled(0, Gate::shift(1), vec![Control::new(1, 2)]);
+        let a = i.adjoint();
+        assert_eq!(a.controls, i.controls);
+        assert_eq!(a.gate, Gate::shift(-1));
+    }
+
+    #[test]
+    fn display_mentions_controls() {
+        let i = Instruction::controlled(1, Gate::shift(1), vec![Control::new(0, 2)]);
+        assert_eq!(i.to_string(), "X(+1) on q1 ctrl[q0@2]");
+    }
+}

@@ -1,0 +1,319 @@
+//! Circuit rewriting passes.
+
+use std::f64::consts::FRAC_PI_2;
+
+use crate::circuit::Circuit;
+use crate::gate::Gate;
+use crate::instruction::Instruction;
+
+/// Rewrites every two-level Z rotation using the paper's identity
+/// `Z(θ) = R(−π/2, 0) · R(θ, π/2) · R(π/2, 0)` into three Givens rotations
+/// on the same two levels (controls are preserved on each factor).
+///
+/// The identity is exact (all factors have determinant 1), so the circuit
+/// implements the same unitary. Returns the rewritten circuit and the number
+/// of Z rotations expanded.
+///
+/// Note the paper *counts* the phase rotation as a single operation in
+/// Table 1 but points out this decomposition for hardware that only offers
+/// two-level rotations; running this pass therefore triples the phase-gate
+/// contribution to the operation count.
+///
+/// # Examples
+///
+/// ```
+/// use mdq_circuit::{passes, Circuit, Gate, Instruction};
+/// use mdq_num::radix::Dims;
+///
+/// let mut c = Circuit::new(Dims::new(vec![3])?);
+/// c.push(Instruction::local(0, Gate::z_rotation(0, 1, 1.0)))?;
+/// let (rewritten, expanded) = passes::decompose_phases(&c);
+/// assert_eq!(expanded, 1);
+/// assert_eq!(rewritten.len(), 3);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[must_use]
+pub fn decompose_phases(circuit: &Circuit) -> (Circuit, usize) {
+    let mut out = Circuit::new(circuit.dims().clone());
+    let mut expanded = 0;
+    for instr in circuit.iter() {
+        match instr.gate {
+            Gate::ZRotation { lo, hi, theta } => {
+                expanded += 1;
+                // Application order is right-to-left in the identity:
+                // first R(π/2, 0), then R(θ, π/2), then R(−π/2, 0).
+                for gate in [
+                    Gate::givens(lo, hi, FRAC_PI_2, 0.0),
+                    Gate::givens(lo, hi, theta, FRAC_PI_2),
+                    Gate::givens(lo, hi, -FRAC_PI_2, 0.0),
+                ] {
+                    out.push(Instruction::controlled(
+                        instr.qudit,
+                        gate,
+                        instr.controls.clone(),
+                    ))
+                    .expect("rewritten instruction stays valid");
+                }
+            }
+            _ => out
+                .push(instr.clone())
+                .expect("original instruction stays valid"),
+        }
+    }
+    (out, expanded)
+}
+
+/// Merges adjacent rotations that act on the same qudit, the same two
+/// levels, and under the same controls:
+///
+/// * `R(θ₁, φ)` followed by `R(θ₂, φ)` becomes `R(θ₁+θ₂, φ)`;
+/// * `Z(θ₁)` followed by `Z(θ₂)` on the same levels becomes `Z(θ₁+θ₂)`;
+/// * rotations that become the identity (and pre-existing identity
+///   rotations) are dropped.
+///
+/// The pass runs to a fixpoint and returns the rewritten circuit with the
+/// number of instructions removed. It only merges *adjacent* instructions,
+/// so it never reorders anything and trivially preserves the unitary.
+///
+/// This is useful after concatenating synthesized fragments, and quantifies
+/// the redundancy the paper's exact operation counts carry on sparse states
+/// (identity rotations on empty levels).
+///
+/// # Examples
+///
+/// ```
+/// use mdq_circuit::{passes, Circuit, Gate, Instruction};
+/// use mdq_num::radix::Dims;
+///
+/// let mut c = Circuit::new(Dims::new(vec![2])?);
+/// c.push(Instruction::local(0, Gate::givens(0, 1, 0.5, 0.1)))?;
+/// c.push(Instruction::local(0, Gate::givens(0, 1, -0.5, 0.1)))?;
+/// let (merged, removed) = passes::merge_rotations(&c, 1e-12);
+/// assert_eq!(merged.len(), 0); // the pair cancels entirely
+/// assert_eq!(removed, 2);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[must_use]
+pub fn merge_rotations(circuit: &Circuit, tol: f64) -> (Circuit, usize) {
+    let mut instructions: Vec<Instruction> = circuit.iter().cloned().collect();
+    loop {
+        let before = instructions.len();
+        instructions = merge_once(instructions, tol);
+        if instructions.len() == before {
+            break;
+        }
+    }
+    let removed = circuit.len() - instructions.len();
+    let mut out = Circuit::new(circuit.dims().clone());
+    for instr in instructions {
+        out.push(instr).expect("merged instruction stays valid");
+    }
+    (out, removed)
+}
+
+fn merge_once(instructions: Vec<Instruction>, tol: f64) -> Vec<Instruction> {
+    let mut out: Vec<Instruction> = Vec::with_capacity(instructions.len());
+    for instr in instructions {
+        if instr.gate.is_identity(tol) {
+            continue;
+        }
+        if let Some(prev) = out.last() {
+            if prev.qudit == instr.qudit && prev.controls == instr.controls {
+                if let Some(merged) = merge_gates(&prev.gate, &instr.gate) {
+                    let prev = out.pop().expect("checked non-empty");
+                    if !merged.is_identity(tol) {
+                        out.push(Instruction::controlled(prev.qudit, merged, prev.controls));
+                    }
+                    continue;
+                }
+            }
+        }
+        out.push(instr);
+    }
+    out
+}
+
+fn merge_gates(a: &Gate, b: &Gate) -> Option<Gate> {
+    match (a, b) {
+        (
+            Gate::Givens { lo: l1, hi: h1, theta: t1, phi: p1 },
+            Gate::Givens { lo: l2, hi: h2, theta: t2, phi: p2 },
+        ) if l1 == l2 && h1 == h2 && (p1 - p2).abs() < 1e-15 => Some(Gate::Givens {
+            lo: *l1,
+            hi: *h1,
+            theta: t1 + t2,
+            phi: *p1,
+        }),
+        (
+            Gate::ZRotation { lo: l1, hi: h1, theta: t1 },
+            Gate::ZRotation { lo: l2, hi: h2, theta: t2 },
+        ) if l1 == l2 && h1 == h2 => Some(Gate::ZRotation {
+            lo: *l1,
+            hi: *h1,
+            theta: t1 + t2,
+        }),
+        (
+            Gate::PhaseLevel { level: v1, angle: a1 },
+            Gate::PhaseLevel { level: v2, angle: a2 },
+        ) if v1 == v2 => Some(Gate::PhaseLevel {
+            level: *v1,
+            angle: a1 + a2,
+        }),
+        (Gate::Shift { amount: a1 }, Gate::Shift { amount: a2 }) => {
+            Some(Gate::Shift { amount: a1 + a2 })
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instruction::Control;
+    use mdq_num::matrix::CMatrix;
+    use mdq_num::radix::Dims;
+
+    #[test]
+    fn z_identity_matches_matrix_product() {
+        // Verify Z(θ) = R(−π/2,0)·R(θ,π/2)·R(π/2,0) numerically for a
+        // range of angles and embeddings.
+        for &theta in &[0.0, 0.3, 1.0, -2.2, std::f64::consts::PI] {
+            for (lo, hi, d) in [(0, 1, 2), (0, 1, 3), (1, 3, 4)] {
+                let z = Gate::z_rotation(lo, hi, theta).matrix(d);
+                let product = &(&Gate::givens(lo, hi, -FRAC_PI_2, 0.0).matrix(d)
+                    * &Gate::givens(lo, hi, theta, FRAC_PI_2).matrix(d))
+                    * &Gate::givens(lo, hi, FRAC_PI_2, 0.0).matrix(d);
+                assert!(
+                    product.approx_eq(&z, 1e-10),
+                    "θ={theta} lo={lo} hi={hi} d={d}:\n{product}\nvs\n{z}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pass_preserves_other_gates() {
+        let mut c = Circuit::new(Dims::new(vec![3, 2]).unwrap());
+        c.push(Instruction::local(0, Gate::fourier())).unwrap();
+        c.push(Instruction::local(0, Gate::z_rotation(0, 1, 0.7)))
+            .unwrap();
+        c.push(Instruction::local(1, Gate::shift(1))).unwrap();
+        let (out, expanded) = decompose_phases(&c);
+        assert_eq!(expanded, 1);
+        assert_eq!(out.len(), 5);
+        assert_eq!(out.instructions()[0].gate, Gate::fourier());
+        assert_eq!(out.instructions()[4].gate, Gate::shift(1));
+    }
+
+    #[test]
+    fn pass_preserves_controls() {
+        let mut c = Circuit::new(Dims::new(vec![2, 3]).unwrap());
+        c.push(Instruction::controlled(
+            1,
+            Gate::z_rotation(0, 2, -0.4),
+            vec![Control::new(0, 1)],
+        ))
+        .unwrap();
+        let (out, _) = decompose_phases(&c);
+        assert_eq!(out.len(), 3);
+        for instr in out.iter() {
+            assert_eq!(instr.controls, vec![Control::new(0, 1)]);
+        }
+    }
+
+    #[test]
+    fn decomposed_circuit_multiplies_to_original_unitary() {
+        // Single qutrit: compare full 3×3 unitaries.
+        let d = 3;
+        let theta = 0.9;
+        let mut c = Circuit::new(Dims::new(vec![d]).unwrap());
+        c.push(Instruction::local(0, Gate::z_rotation(1, 2, theta)))
+            .unwrap();
+        let (out, _) = decompose_phases(&c);
+        let mut m = CMatrix::identity(d);
+        for instr in out.iter() {
+            m = &instr.gate.matrix(d) * &m;
+        }
+        assert!(m.approx_eq(&Gate::z_rotation(1, 2, theta).matrix(d), 1e-10));
+    }
+
+    #[test]
+    fn merge_combines_same_axis_givens() {
+        let mut c = Circuit::new(Dims::new(vec![3]).unwrap());
+        c.push(Instruction::local(0, Gate::givens(0, 1, 0.4, 0.2)))
+            .unwrap();
+        c.push(Instruction::local(0, Gate::givens(0, 1, 0.5, 0.2)))
+            .unwrap();
+        let (merged, removed) = merge_rotations(&c, 1e-12);
+        assert_eq!(removed, 1);
+        assert_eq!(merged.len(), 1);
+        assert_eq!(merged.instructions()[0].gate, Gate::givens(0, 1, 0.9, 0.2));
+    }
+
+    #[test]
+    fn merge_respects_controls_and_levels() {
+        let mut c = Circuit::new(Dims::new(vec![3, 2]).unwrap());
+        // Different controls: no merge.
+        c.push(Instruction::controlled(
+            0,
+            Gate::givens(0, 1, 0.4, 0.0),
+            vec![Control::new(1, 0)],
+        ))
+        .unwrap();
+        c.push(Instruction::controlled(
+            0,
+            Gate::givens(0, 1, 0.4, 0.0),
+            vec![Control::new(1, 1)],
+        ))
+        .unwrap();
+        // Different level pair: no merge.
+        c.push(Instruction::local(0, Gate::givens(0, 1, 0.4, 0.0)))
+            .unwrap();
+        c.push(Instruction::local(0, Gate::givens(1, 2, 0.4, 0.0)))
+            .unwrap();
+        let (merged, removed) = merge_rotations(&c, 1e-12);
+        assert_eq!(removed, 0);
+        assert_eq!(merged.len(), 4);
+    }
+
+    #[test]
+    fn merge_cascades_to_fixpoint() {
+        // Three gates that only fully cancel after two merge rounds.
+        let mut c = Circuit::new(Dims::new(vec![2]).unwrap());
+        c.push(Instruction::local(0, Gate::givens(0, 1, 0.3, 0.0)))
+            .unwrap();
+        c.push(Instruction::local(0, Gate::givens(0, 1, 0.3, 0.0)))
+            .unwrap();
+        c.push(Instruction::local(0, Gate::givens(0, 1, -0.6, 0.0)))
+            .unwrap();
+        let (merged, removed) = merge_rotations(&c, 1e-12);
+        assert_eq!(merged.len(), 0);
+        assert_eq!(removed, 3);
+    }
+
+    #[test]
+    fn merge_combines_shifts_and_phases() {
+        let mut c = Circuit::new(Dims::new(vec![4]).unwrap());
+        c.push(Instruction::local(0, Gate::shift(1))).unwrap();
+        c.push(Instruction::local(0, Gate::shift(3))).unwrap();
+        c.push(Instruction::local(0, Gate::phase(2, 0.5))).unwrap();
+        c.push(Instruction::local(0, Gate::phase(2, -0.5))).unwrap();
+        let (merged, _) = merge_rotations(&c, 1e-12);
+        // shift(4) on d=4 is identity… but the pass only knows amounts, and
+        // Gate::is_identity for Shift tests amount == 0, so shift(4)
+        // remains. The phase pair cancels.
+        assert_eq!(merged.len(), 1);
+        assert_eq!(merged.instructions()[0].gate, Gate::shift(4));
+    }
+
+    #[test]
+    fn merge_drops_preexisting_identities() {
+        let mut c = Circuit::new(Dims::new(vec![2, 2]).unwrap());
+        c.push(Instruction::local(0, Gate::givens(0, 1, 0.0, 0.7)))
+            .unwrap();
+        c.push(Instruction::local(1, Gate::shift(0))).unwrap();
+        let (merged, removed) = merge_rotations(&c, 1e-12);
+        assert_eq!(merged.len(), 0);
+        assert_eq!(removed, 2);
+    }
+}

@@ -1,0 +1,378 @@
+//! Fidelity-driven approximation of decision diagrams.
+//!
+//! This generalizes the qubit approximation of Hillmich, Zulehner, Kueng,
+//! Markov, Wille (*"Approximating decision diagrams for quantum circuit
+//! simulation"*, ACM TQC 2022) to mixed-dimensional diagrams, as described
+//! in the paper's §4.3: every node's *contribution* is the total squared
+//! magnitude of the amplitudes whose paths cross it; nodes are removed in
+//! ascending order of contribution until the removed mass would exceed the
+//! chosen infidelity budget, and the diagram is renormalized.
+
+use std::fmt;
+
+use mdq_num::Complex;
+
+use crate::node::{Edge, Node, NodeId, NodeRef};
+use crate::StateDd;
+
+/// Errors produced by [`StateDd::approximate`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ApproxError {
+    /// The infidelity budget was not inside `[0, 1)`.
+    InvalidBudget {
+        /// The offending budget.
+        budget: f64,
+    },
+}
+
+impl fmt::Display for ApproxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ApproxError::InvalidBudget { budget } => {
+                write!(f, "infidelity budget must be in [0, 1), got {budget}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ApproxError {}
+
+/// Result of an approximation run.
+#[derive(Debug, Clone)]
+pub struct Approximation {
+    /// The approximated (renormalized) diagram.
+    pub dd: StateDd,
+    /// Number of nodes removed.
+    pub removed_nodes: usize,
+    /// Total squared-magnitude mass removed from the state.
+    pub pruned_mass: f64,
+    /// Lower bound on the fidelity between the original and the
+    /// approximated state: `1 − pruned_mass`.
+    pub fidelity_lower_bound: f64,
+}
+
+impl StateDd {
+    /// Approximates the diagram within an infidelity `budget`, removing the
+    /// lowest-contribution nodes first (paper §4.3).
+    ///
+    /// Returns the renormalized diagram together with the removed node count
+    /// and the exact pruned probability mass. The fidelity between the
+    /// original and the result is exactly `1 − pruned_mass` (the
+    /// approximated state is the original with some branches zeroed, then
+    /// renormalized), so it never drops below `1 − budget`.
+    ///
+    /// A `budget` of 0 returns an unchanged (but re-built) diagram. The root
+    /// node is never removed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ApproxError::InvalidBudget`] if `budget` is not in `[0, 1)`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mdq_dd::{BuildOptions, StateDd};
+    /// use mdq_num::{radix::Dims, Complex};
+    ///
+    /// // 0.5|00⟩ + 0.4|10⟩ + 0.1|11⟩ amplitude masses (paper Fig. 2 style):
+    /// let dims = Dims::new(vec![2, 2])?;
+    /// let amps = [
+    ///     Complex::real(0.5f64.sqrt()),
+    ///     Complex::ZERO,
+    ///     Complex::real(0.4f64.sqrt()),
+    ///     Complex::real(0.1f64.sqrt()),
+    /// ];
+    /// let dd = StateDd::from_amplitudes(&dims, &amps, BuildOptions::default())?;
+    /// let approx = dd.approximate(0.02)?; // 98 % target fidelity
+    /// assert!(approx.fidelity_lower_bound >= 0.98);
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    pub fn approximate(&self, budget: f64) -> Result<Approximation, ApproxError> {
+        if !(0.0..1.0).contains(&budget) || budget.is_nan() {
+            return Err(ApproxError::InvalidBudget { budget });
+        }
+
+        let contributions = self.contributions();
+        let root_id = self.root.id();
+
+        // Candidates in ascending contribution order; the root never goes.
+        let mut order: Vec<usize> = (0..self.nodes.len())
+            .filter(|&i| Some(NodeId::new(i)) != root_id)
+            .collect();
+        order.sort_by(|&a, &b| {
+            contributions[a]
+                .partial_cmp(&contributions[b])
+                .expect("contributions are finite")
+        });
+
+        let mut removed = vec![false; self.nodes.len()];
+        let mut remaining = budget;
+        let mut removed_nodes = 0;
+        for idx in order {
+            let c = contributions[idx];
+            if c > remaining {
+                // Contributions are sorted ascending, but ancestors of
+                // already-removed nodes keep their full mass; simply stop at
+                // the first candidate that does not fit.
+                break;
+            }
+            if self.has_removed_ancestor_mass(idx, &removed) {
+                // Mass already accounted for by a removed ancestor: removing
+                // this node is free but also pointless — it is unreachable.
+                removed[idx] = true;
+                continue;
+            }
+            removed[idx] = true;
+            removed_nodes += 1;
+            remaining -= c;
+        }
+
+        let (dd, survived_mass) = self.rebuild_without(&removed);
+        // The greedy budget accounting above is conservative (a removed
+        // descendant's mass may be re-counted by a removed ancestor); the
+        // rebuilt norm gives the exact surviving mass.
+        let pruned_mass = (1.0 - survived_mass).max(0.0);
+        Ok(Approximation {
+            dd,
+            removed_nodes,
+            pruned_mass,
+            fidelity_lower_bound: 1.0 - pruned_mass,
+        })
+    }
+
+    /// Whether every path to `idx` passes through a removed node. In a tree
+    /// a single parent check suffices; for shared diagrams we
+    /// conservatively report `false` (the node's contribution then double
+    /// counts at worst, keeping the fidelity bound valid).
+    fn has_removed_ancestor_mass(&self, idx: usize, removed: &[bool]) -> bool {
+        // Parents are created after children, so scan the tail of the arena.
+        let target = NodeRef::Node(NodeId::new(idx));
+        let mut parents = self
+            .nodes
+            .iter()
+            .enumerate()
+            .skip(idx + 1)
+            .filter(|(_, n)| n.edges().iter().any(|e| e.target == target));
+        let all_removed = parents.clone().all(|(p, _)| removed[p]);
+        parents.next().is_some() && all_removed
+    }
+
+    /// Rebuilds the diagram with the flagged nodes replaced by zero edges,
+    /// renormalizing every surviving node bottom-up. Returns the rebuilt
+    /// diagram and the surviving squared-magnitude mass.
+    fn rebuild_without(&self, removed: &[bool]) -> (StateDd, f64) {
+        let tol = self.tolerance.value();
+        let mut nodes: Vec<Node> = Vec::new();
+        // memo: old index -> Some((scale, new ref)) once rebuilt.
+        let mut memo: Vec<Option<(Complex, NodeRef)>> = vec![None; self.nodes.len()];
+
+        for (idx, node) in self.nodes.iter().enumerate() {
+            if removed[idx] {
+                memo[idx] = Some((Complex::ZERO, NodeRef::Terminal));
+                continue;
+            }
+            let mut edges: Vec<Edge> = node
+                .edges()
+                .iter()
+                .map(|e| {
+                    if e.is_zero(tol) {
+                        return Edge::ZERO;
+                    }
+                    match e.target {
+                        NodeRef::Terminal => *e,
+                        NodeRef::Node(id) => {
+                            let (scale, target) =
+                                memo[id.index()].expect("child built before parent");
+                            let w = e.weight * scale;
+                            if w.is_zero(tol) {
+                                Edge::ZERO
+                            } else {
+                                Edge::new(w, target)
+                            }
+                        }
+                    }
+                })
+                .collect();
+            let norm_sqr: f64 = edges.iter().map(|e| e.weight.norm_sqr()).sum();
+            let norm = norm_sqr.sqrt();
+            if norm <= tol {
+                memo[idx] = Some((Complex::ZERO, NodeRef::Terminal));
+                continue;
+            }
+            for e in &mut edges {
+                e.weight = e.weight / norm;
+            }
+            let id = NodeId::new(nodes.len());
+            nodes.push(Node::new(node.level(), edges));
+            // Children were unit-normalized before, so the rescale factor
+            // for parents is exactly the surviving norm.
+            memo[idx] = Some((Complex::real(norm), NodeRef::Node(id)));
+        }
+
+        let (root_scale, root) = match self.root {
+            NodeRef::Terminal => (Complex::ONE, NodeRef::Terminal),
+            NodeRef::Node(id) => memo[id.index()].expect("root visited"),
+        };
+        // Renormalize the state: keep only the phase of the root weight.
+        let root_weight = if root_scale.is_zero(tol) {
+            Complex::ZERO
+        } else {
+            Complex::cis((self.root_weight * root_scale).arg())
+        };
+        let dd = StateDd {
+            dims: self.dims.clone(),
+            tolerance: self.tolerance,
+            nodes,
+            root,
+            root_weight,
+        };
+        (dd, root_scale.norm_sqr())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BuildOptions;
+    use mdq_num::radix::Dims;
+
+    fn dims(v: &[usize]) -> Dims {
+        Dims::new(v.to_vec()).unwrap()
+    }
+
+    fn build(d: &Dims, amps: &[Complex]) -> StateDd {
+        StateDd::from_amplitudes(d, amps, BuildOptions::default()).unwrap()
+    }
+
+    fn skewed_state() -> (Dims, Vec<Complex>) {
+        // Masses 0.5, 0.4, 0.1 over three branches of a [3,2] register.
+        let d = dims(&[3, 2]);
+        let mut amps = vec![Complex::ZERO; 6];
+        amps[d.index_of(&[0, 0])] = Complex::real(0.5f64.sqrt());
+        amps[d.index_of(&[1, 0])] = Complex::real(0.4f64.sqrt());
+        amps[d.index_of(&[2, 0])] = Complex::real(0.1f64.sqrt());
+        (d, amps)
+    }
+
+    #[test]
+    fn invalid_budget_is_rejected() {
+        let (d, amps) = skewed_state();
+        let dd = build(&d, &amps);
+        assert!(matches!(
+            dd.approximate(1.0),
+            Err(ApproxError::InvalidBudget { .. })
+        ));
+        assert!(matches!(
+            dd.approximate(-0.1),
+            Err(ApproxError::InvalidBudget { .. })
+        ));
+        assert!(matches!(
+            dd.approximate(f64::NAN),
+            Err(ApproxError::InvalidBudget { .. })
+        ));
+    }
+
+    #[test]
+    fn zero_budget_removes_nothing() {
+        let (d, amps) = skewed_state();
+        let dd = build(&d, &amps);
+        let approx = dd.approximate(0.0).unwrap();
+        assert_eq!(approx.removed_nodes, 0);
+        assert_eq!(approx.pruned_mass, 0.0);
+        assert!((dd.fidelity(&approx.dd) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prunes_smallest_branch_within_budget() {
+        let (d, amps) = skewed_state();
+        let dd = build(&d, &amps);
+        // Budget 0.15 allows removing the 0.1 branch but not the 0.4 one.
+        let approx = dd.approximate(0.15).unwrap();
+        assert!(approx.pruned_mass > 0.09 && approx.pruned_mass < 0.15);
+        let f = dd.fidelity(&approx.dd);
+        assert!((f - (1.0 - approx.pruned_mass)).abs() < 1e-9);
+        assert!(approx.dd.amplitude(&[2, 0]).is_zero(1e-12));
+        // Remaining amplitudes renormalized upward.
+        assert!(approx.dd.amplitude(&[0, 0]).norm_sqr() > 0.5);
+    }
+
+    #[test]
+    fn fidelity_equals_one_minus_pruned_mass() {
+        let (d, amps) = skewed_state();
+        let dd = build(&d, &amps);
+        for budget in [0.05, 0.12, 0.3, 0.6] {
+            let approx = dd.approximate(budget).unwrap();
+            let f = dd.fidelity(&approx.dd);
+            assert!(
+                (f - approx.fidelity_lower_bound).abs() < 1e-9,
+                "budget {budget}: fidelity {f} vs bound {}",
+                approx.fidelity_lower_bound
+            );
+        }
+    }
+
+    #[test]
+    fn structured_states_resist_98_percent_budget() {
+        // GHZ branches each carry ≥ 1/k ≥ budget mass, so nothing is pruned —
+        // matching Table 1 where approximation leaves GHZ/W rows unchanged.
+        let d = dims(&[3, 6, 2]);
+        let mut amps = vec![Complex::ZERO; d.space_size()];
+        let a = Complex::real(1.0 / 2.0_f64.sqrt());
+        amps[d.index_of(&[0, 0, 0])] = a;
+        amps[d.index_of(&[1, 1, 1])] = a;
+        let dd = build(&d, &amps);
+        let approx = dd.approximate(0.02).unwrap();
+        assert_eq!(approx.removed_nodes, 0);
+        assert_eq!(approx.dd.edge_count(), dd.edge_count());
+    }
+
+    #[test]
+    fn large_budget_reduces_diagram_size() {
+        let (d, amps) = skewed_state();
+        let dd = build(&d, &amps);
+        let approx = dd.approximate(0.55).unwrap();
+        assert!(approx.removed_nodes >= 2);
+        assert!(approx.dd.edge_count() < dd.edge_count());
+        // The dominant branch survives.
+        assert!(approx.dd.amplitude(&[0, 0]).norm_sqr() > 0.9);
+    }
+
+    #[test]
+    fn approximated_diagram_stays_normalized() {
+        let (d, amps) = skewed_state();
+        let dd = build(&d, &amps);
+        let approx = dd.approximate(0.15).unwrap();
+        let total: f64 = approx
+            .dd
+            .to_amplitudes()
+            .iter()
+            .map(|a| a.norm_sqr())
+            .sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        for node in approx.dd.nodes() {
+            let s: f64 = node.edges().iter().map(|e| e.weight.norm_sqr()).sum();
+            assert!((s - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn approximate_on_full_tree_prunes_zero_subtrees_for_free() {
+        // Zero-contribution nodes of the unreduced tree are removed first at
+        // no fidelity cost: the 58-edge GHZ tree shrinks to 20 edges.
+        let d = dims(&[3, 6, 2]);
+        let mut amps = vec![Complex::ZERO; d.space_size()];
+        let a = Complex::real(1.0 / 2.0_f64.sqrt());
+        amps[d.index_of(&[0, 0, 0])] = a;
+        amps[d.index_of(&[1, 1, 1])] = a;
+        let full = StateDd::from_amplitudes(
+            &d,
+            &amps,
+            BuildOptions::default().keep_zero_subtrees(true),
+        )
+        .unwrap();
+        assert_eq!(full.edge_count(), 58);
+        let approx = full.approximate(0.02).unwrap();
+        assert_eq!(approx.dd.edge_count(), 20);
+        assert!((approx.fidelity_lower_bound - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,713 @@
+//! Construction of decision diagrams from dense amplitude vectors.
+//!
+//! The recursive splitting procedure of the paper's §4.1: the vector is cut
+//! into `d` equal parts at the most significant qudit, each part becomes a
+//! successor, and normalization factors propagate from the terminal edges
+//! upwards so that every node's out-edge weights have squared magnitudes
+//! summing to one.
+
+use std::fmt;
+
+use mdq_num::radix::Dims;
+use mdq_num::{Complex, Tolerance};
+
+use crate::node::{Edge, Node, NodeId, NodeRef};
+use crate::StateDd;
+
+/// Errors produced by [`StateDd::from_amplitudes`] and
+/// [`StateDd::from_sparse`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum BuildError {
+    /// The amplitude vector length does not match the register size.
+    WrongLength {
+        /// Expected `dims.space_size()`.
+        expected: usize,
+        /// Actual length supplied.
+        got: usize,
+    },
+    /// The amplitude vector has (numerically) zero norm.
+    ZeroNorm,
+    /// An amplitude was not finite.
+    NotFinite {
+        /// Index of the offending amplitude.
+        index: usize,
+    },
+    /// A sparse entry had the wrong number of digits.
+    WrongDigitCount {
+        /// Expected `dims.len()`.
+        expected: usize,
+        /// Actual digit count supplied.
+        got: usize,
+    },
+    /// A sparse entry had a digit exceeding its qudit's dimension.
+    DigitOutOfRange {
+        /// Qudit position of the offending digit.
+        position: usize,
+        /// The digit value.
+        digit: usize,
+        /// The qudit's dimension.
+        dim: usize,
+    },
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::WrongLength { expected, got } => {
+                write!(f, "amplitude vector has length {got}, expected {expected}")
+            }
+            BuildError::ZeroNorm => write!(f, "amplitude vector has zero norm"),
+            BuildError::NotFinite { index } => {
+                write!(f, "amplitude at index {index} is not finite")
+            }
+            BuildError::WrongDigitCount { expected, got } => {
+                write!(f, "sparse entry has {got} digits, expected {expected}")
+            }
+            BuildError::DigitOutOfRange {
+                position,
+                digit,
+                dim,
+            } => write!(
+                f,
+                "sparse entry digit {digit} at position {position} exceeds dimension {dim}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// Options controlling diagram construction.
+///
+/// # Examples
+///
+/// ```
+/// use mdq_dd::BuildOptions;
+/// let opts = BuildOptions::default().keep_zero_subtrees(true);
+/// assert!(opts.keeps_zero_subtrees());
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct BuildOptions {
+    keep_zero_subtrees: bool,
+    tolerance: Tolerance,
+}
+
+impl BuildOptions {
+    /// Default options: zero subtrees pruned, default tolerance.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            keep_zero_subtrees: false,
+            tolerance: Tolerance::default(),
+        }
+    }
+
+    /// Whether all-zero branches materialize full subtrees of zero-weight
+    /// edges instead of a single zero edge to the terminal.
+    ///
+    /// Keeping them reproduces the paper's unreduced tree, whose edge count
+    /// is the "Nodes" column for exact synthesis in Table 1 (e.g. 58 for the
+    /// `[3,6,2]` register regardless of the state).
+    #[must_use]
+    pub fn keep_zero_subtrees(mut self, keep: bool) -> Self {
+        self.keep_zero_subtrees = keep;
+        self
+    }
+
+    /// Returns whether zero subtrees are kept.
+    #[must_use]
+    pub fn keeps_zero_subtrees(&self) -> bool {
+        self.keep_zero_subtrees
+    }
+
+    /// Sets the tolerance used for zero tests during construction.
+    #[must_use]
+    pub fn tolerance(mut self, tolerance: Tolerance) -> Self {
+        self.tolerance = tolerance;
+        self
+    }
+
+    /// Returns the configured tolerance.
+    #[must_use]
+    pub fn tolerance_value(&self) -> Tolerance {
+        self.tolerance
+    }
+}
+
+impl Default for BuildOptions {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+struct Builder<'a> {
+    dims: &'a Dims,
+    opts: BuildOptions,
+    nodes: Vec<Node>,
+}
+
+impl<'a> Builder<'a> {
+    fn alloc(&mut self, node: Node) -> NodeId {
+        let id = NodeId::new(self.nodes.len());
+        self.nodes.push(node);
+        id
+    }
+
+    /// Normalizes and allocates a node from raw successor edges, returning
+    /// the upward edge (norm and pulled-up phase on the weight).
+    fn finish_node(&mut self, level: usize, mut edges: Vec<Edge>) -> Edge {
+        let tol = self.opts.tolerance.value();
+        let norm_sqr: f64 = edges.iter().map(|e| e.weight.norm_sqr()).sum();
+        let norm = norm_sqr.sqrt();
+        if norm <= tol {
+            // All-zero subvector.
+            if self.opts.keep_zero_subtrees {
+                // Materialize the zero node (and, below the last level, its
+                // recursively built zero children are already in `edges`).
+                let zeroed = edges
+                    .into_iter()
+                    .map(|e| Edge::new(Complex::ZERO, e.target))
+                    .collect();
+                let id = self.alloc(Node::new(level, zeroed));
+                return Edge::new(Complex::ZERO, NodeRef::Node(id));
+            }
+            return Edge::ZERO;
+        }
+
+        // Normalize: divide by the real norm, then pull the phase of the
+        // first nonzero weight out of the node so that structurally equal
+        // subtrees (up to a global factor) become identical nodes.
+        for e in &mut edges {
+            e.weight = e.weight / norm;
+        }
+        let phase = edges
+            .iter()
+            .find(|e| !e.is_zero(tol))
+            .map_or(0.0, |e| e.weight.arg());
+        let unphase = Complex::cis(-phase);
+        for e in &mut edges {
+            e.weight *= unphase;
+            if e.is_zero(tol) {
+                e.weight = Complex::ZERO;
+            }
+        }
+        let id = self.alloc(Node::new(level, edges));
+        Edge::new(Complex::from_polar(norm, phase), NodeRef::Node(id))
+    }
+
+    /// Builds the subtree for `slice` rooted at `level`, returning the
+    /// upward edge (normalization weight and target).
+    fn build(&mut self, level: usize, slice: &[Complex]) -> Edge {
+        let d = self.dims.dim(level);
+        let chunk = slice.len() / d;
+        let last_level = level + 1 == self.dims.len();
+
+        let mut edges = Vec::with_capacity(d);
+        for k in 0..d {
+            let part = &slice[k * chunk..(k + 1) * chunk];
+            let edge = if last_level {
+                Edge::new(part[0], NodeRef::Terminal)
+            } else {
+                self.build(level + 1, part)
+            };
+            edges.push(edge);
+        }
+        self.finish_node(level, edges)
+    }
+
+    /// Builds the subtree for a sorted, deduplicated slice of
+    /// `(flat index, amplitude)` entries, all inside the sub-space starting
+    /// at `offset` with the given `strides`. Branches without entries become
+    /// zero edges, which is what makes the construction linear in the
+    /// support size instead of the space size.
+    fn build_sparse(
+        &mut self,
+        level: usize,
+        offset: usize,
+        entries: &[(usize, Complex)],
+        strides: &[usize],
+    ) -> Edge {
+        let d = self.dims.dim(level);
+        let stride = strides[level];
+        let last_level = level + 1 == self.dims.len();
+
+        let mut edges = Vec::with_capacity(d);
+        let mut rest = entries;
+        for k in 0..d {
+            let upper = offset + (k + 1) * stride;
+            let split = rest.partition_point(|&(idx, _)| idx < upper);
+            let (part, tail) = rest.split_at(split);
+            rest = tail;
+            let edge = if part.is_empty() {
+                Edge::ZERO
+            } else if last_level {
+                Edge::new(part[0].1, NodeRef::Terminal)
+            } else {
+                self.build_sparse(level + 1, offset + k * stride, part, strides)
+            };
+            edges.push(edge);
+        }
+        self.finish_node(level, edges)
+    }
+}
+
+impl StateDd {
+    /// Builds a decision diagram from a dense amplitude vector.
+    ///
+    /// The vector is indexed in mixed-radix order with the *first* dimension
+    /// of `dims` most significant (see [`Dims::index_of`]). The input does
+    /// not have to be normalized; the resulting diagram always represents
+    /// the normalized state (the overall scale is discarded, the global
+    /// phase is kept on the root edge).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError`] if the length does not match
+    /// `dims.space_size()`, an amplitude is not finite, or the norm is zero.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mdq_dd::{BuildOptions, StateDd};
+    /// use mdq_num::{radix::Dims, Complex};
+    ///
+    /// let dims = Dims::new(vec![2, 2])?;
+    /// let h = Complex::real(0.5);
+    /// let dd = StateDd::from_amplitudes(&dims, &[h, h, h, h], BuildOptions::default())?;
+    /// assert!(dd.amplitude(&[1, 0]).approx_eq(h, 1e-12));
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    pub fn from_amplitudes(
+        dims: &Dims,
+        amplitudes: &[Complex],
+        opts: BuildOptions,
+    ) -> Result<Self, BuildError> {
+        if amplitudes.len() != dims.space_size() {
+            return Err(BuildError::WrongLength {
+                expected: dims.space_size(),
+                got: amplitudes.len(),
+            });
+        }
+        if let Some(index) = amplitudes.iter().position(|a| !a.is_finite()) {
+            return Err(BuildError::NotFinite { index });
+        }
+        let norm = mdq_num::norm(amplitudes);
+        if norm <= opts.tolerance.value() {
+            return Err(BuildError::ZeroNorm);
+        }
+
+        let mut builder = Builder {
+            dims,
+            opts,
+            nodes: Vec::new(),
+        };
+        let root_edge = builder.build(0, amplitudes);
+        debug_assert!(!root_edge.is_zero(opts.tolerance.value()));
+        // The up-weight magnitude is the input norm; keep only the phase so
+        // the diagram represents the normalized state.
+        let root_weight = Complex::cis(root_edge.weight.arg());
+        Ok(StateDd {
+            dims: dims.clone(),
+            tolerance: opts.tolerance,
+            nodes: builder.nodes,
+            root: root_edge.target,
+            root_weight,
+        })
+    }
+
+    /// Builds a decision diagram from a *sparse* list of
+    /// `(digits, amplitude)` entries, in time and memory linear in the
+    /// support size — independent of the Hilbert-space size.
+    ///
+    /// This makes structured states practical far beyond what a dense
+    /// vector permits: a GHZ state over 20 qudits (a space of billions of
+    /// amplitudes) builds in microseconds because its diagram has one node
+    /// per level. Amplitudes of repeated basis states are summed; entries
+    /// that cancel to zero are dropped. The state is normalized as in
+    /// [`StateDd::from_amplitudes`]. Zero branches are always pruned
+    /// (`keep_zero_subtrees` is ignored — the unreduced tree is
+    /// exponentially large by definition).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError`] if an entry has the wrong digit count, a digit
+    /// out of range, a non-finite amplitude, or the total norm is zero.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mdq_dd::{BuildOptions, StateDd};
+    /// use mdq_num::{radix::Dims, Complex};
+    ///
+    /// // GHZ over ten qutrits: 59049 amplitudes, but only 3 entries.
+    /// let dims = Dims::uniform(10, 3)?;
+    /// let a = Complex::real(1.0 / 3.0_f64.sqrt());
+    /// let entries: Vec<(Vec<usize>, Complex)> =
+    ///     (0..3).map(|l| (vec![l; 10], a)).collect();
+    /// let dd = StateDd::from_sparse(&dims, &entries, BuildOptions::default())?;
+    /// assert_eq!(dd.node_count(), 10 + 2 * 9); // 3 branches sharing nothing below the root
+    /// assert!(dd.amplitude(&vec![2; 10]).approx_eq(a, 1e-12));
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    pub fn from_sparse(
+        dims: &Dims,
+        entries: &[(Vec<usize>, Complex)],
+        opts: BuildOptions,
+    ) -> Result<Self, BuildError> {
+        let mut flat: Vec<(usize, Complex)> = Vec::with_capacity(entries.len());
+        for (i, (digits, amp)) in entries.iter().enumerate() {
+            if digits.len() != dims.len() {
+                return Err(BuildError::WrongDigitCount {
+                    expected: dims.len(),
+                    got: digits.len(),
+                });
+            }
+            for (position, (&digit, &dim)) in
+                digits.iter().zip(dims.as_slice()).enumerate()
+            {
+                if digit >= dim {
+                    return Err(BuildError::DigitOutOfRange {
+                        position,
+                        digit,
+                        dim,
+                    });
+                }
+            }
+            if !amp.is_finite() {
+                return Err(BuildError::NotFinite { index: i });
+            }
+            flat.push((dims.index_of(digits), *amp));
+        }
+        flat.sort_by_key(|&(idx, _)| idx);
+        // Sum duplicates, drop zeros.
+        let tol = opts.tolerance.value();
+        let mut dedup: Vec<(usize, Complex)> = Vec::with_capacity(flat.len());
+        for (idx, amp) in flat {
+            match dedup.last_mut() {
+                Some((last, acc)) if *last == idx => *acc += amp,
+                _ => dedup.push((idx, amp)),
+            }
+        }
+        dedup.retain(|(_, a)| !a.is_zero(tol));
+        let norm_sqr: f64 = dedup.iter().map(|(_, a)| a.norm_sqr()).sum();
+        if norm_sqr.sqrt() <= tol {
+            return Err(BuildError::ZeroNorm);
+        }
+
+        let mut builder = Builder {
+            dims,
+            opts: opts.keep_zero_subtrees(false),
+            nodes: Vec::new(),
+        };
+        let strides = dims.strides();
+        let root_edge = builder.build_sparse(0, 0, &dedup, &strides);
+        let root_weight = Complex::cis(root_edge.weight.arg());
+        Ok(StateDd {
+            dims: dims.clone(),
+            tolerance: opts.tolerance_value(),
+            nodes: builder.nodes,
+            root: root_edge.target,
+            root_weight,
+        })
+    }
+
+    /// Rebuilds the diagram with all-zero branches collapsed to single zero
+    /// edges pointing at the terminal.
+    ///
+    /// On a diagram built with
+    /// [`keep_zero_subtrees`](BuildOptions::keep_zero_subtrees) this realizes
+    /// the transition from the paper's structural tree to the pruned tree the
+    /// synthesizer actually traverses.
+    #[must_use]
+    pub fn prune_zero_subtrees(&self) -> StateDd {
+        let tol = self.tolerance.value();
+        let mut nodes = Vec::new();
+        let mut memo: Vec<Option<NodeRef>> = vec![None; self.nodes.len()];
+
+        // Bottom-up order: children precede parents in the arena.
+        for (idx, node) in self.nodes.iter().enumerate() {
+            let edges: Vec<Edge> = node
+                .edges()
+                .iter()
+                .map(|e| {
+                    if e.is_zero(tol) {
+                        Edge::ZERO
+                    } else {
+                        let target = match e.target {
+                            NodeRef::Terminal => NodeRef::Terminal,
+                            NodeRef::Node(id) => {
+                                memo[id.index()].expect("child built before parent")
+                            }
+                        };
+                        Edge::new(e.weight, target)
+                    }
+                })
+                .collect();
+            if edges.iter().all(|e| e.is_zero(tol)) {
+                // Zero node disappears entirely.
+                memo[idx] = Some(NodeRef::Terminal);
+            } else {
+                let id = NodeId::new(nodes.len());
+                nodes.push(Node::new(node.level(), edges));
+                memo[idx] = Some(NodeRef::Node(id));
+            }
+        }
+
+        let root = match self.root {
+            NodeRef::Terminal => NodeRef::Terminal,
+            NodeRef::Node(id) => memo[id.index()].expect("root visited"),
+        };
+        StateDd {
+            dims: self.dims.clone(),
+            tolerance: self.tolerance,
+            nodes,
+            root,
+            root_weight: self.root_weight,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dims(v: &[usize]) -> Dims {
+        Dims::new(v.to_vec()).unwrap()
+    }
+
+    fn ghz_362() -> (Dims, Vec<Complex>) {
+        // (|000⟩ + |111⟩)/√2 on dims [3,6,2] (min dim 2 ⇒ two components).
+        let d = dims(&[3, 6, 2]);
+        let mut amps = vec![Complex::ZERO; d.space_size()];
+        let a = Complex::real(1.0 / 2.0_f64.sqrt());
+        amps[d.index_of(&[0, 0, 0])] = a;
+        amps[d.index_of(&[1, 1, 1])] = a;
+        (d, amps)
+    }
+
+    #[test]
+    fn rejects_wrong_length() {
+        let d = dims(&[2, 2]);
+        let err = StateDd::from_amplitudes(&d, &[Complex::ONE], BuildOptions::default());
+        assert_eq!(
+            err.unwrap_err(),
+            BuildError::WrongLength {
+                expected: 4,
+                got: 1
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_zero_norm() {
+        let d = dims(&[2]);
+        let err = StateDd::from_amplitudes(&d, &[Complex::ZERO; 2], BuildOptions::default());
+        assert_eq!(err.unwrap_err(), BuildError::ZeroNorm);
+    }
+
+    #[test]
+    fn rejects_non_finite() {
+        let d = dims(&[2]);
+        let amps = [Complex::new(f64::NAN, 0.0), Complex::ONE];
+        let err = StateDd::from_amplitudes(&d, &amps, BuildOptions::default());
+        assert_eq!(err.unwrap_err(), BuildError::NotFinite { index: 0 });
+    }
+
+    #[test]
+    fn unnormalized_input_is_normalized() {
+        let d = dims(&[2]);
+        let amps = [Complex::real(3.0), Complex::real(4.0)];
+        let dd = StateDd::from_amplitudes(&d, &amps, BuildOptions::default()).unwrap();
+        assert!(dd.amplitude(&[0]).approx_eq(Complex::real(0.6), 1e-12));
+        assert!(dd.amplitude(&[1]).approx_eq(Complex::real(0.8), 1e-12));
+    }
+
+    #[test]
+    fn keep_zero_subtrees_builds_full_tree() {
+        let (d, amps) = ghz_362();
+        let opts = BuildOptions::default().keep_zero_subtrees(true);
+        let dd = StateDd::from_amplitudes(&d, &amps, opts).unwrap();
+        // Table 1: the unreduced tree for [3,6,2] has 58 edges.
+        assert_eq!(dd.edge_count(), 58);
+        assert_eq!(dd.node_count(), d.full_tree_node_count());
+    }
+
+    #[test]
+    fn pruned_build_skips_zero_branches() {
+        let (d, amps) = ghz_362();
+        let dd = StateDd::from_amplitudes(&d, &amps, BuildOptions::default()).unwrap();
+        // Table 1: the approximated GHZ diagram for [3,6,2] has 20 edges.
+        assert_eq!(dd.edge_count(), 20);
+        // root + two level-1 nodes + two level-2 nodes
+        assert_eq!(dd.node_count(), 5);
+    }
+
+    #[test]
+    fn prune_zero_subtrees_matches_direct_pruned_build() {
+        let (d, amps) = ghz_362();
+        let full = StateDd::from_amplitudes(
+            &d,
+            &amps,
+            BuildOptions::default().keep_zero_subtrees(true),
+        )
+        .unwrap();
+        let pruned = full.prune_zero_subtrees();
+        assert_eq!(pruned.edge_count(), 20);
+        assert_eq!(pruned.node_count(), 5);
+        for (a, b) in full.to_amplitudes().iter().zip(pruned.to_amplitudes()) {
+            assert!(a.approx_eq(b, 1e-12));
+        }
+    }
+
+    #[test]
+    fn node_weights_are_normalized() {
+        let (d, amps) = ghz_362();
+        let dd = StateDd::from_amplitudes(&d, &amps, BuildOptions::default()).unwrap();
+        for node in dd.nodes() {
+            let s: f64 = node.edges().iter().map(|e| e.weight.norm_sqr()).sum();
+            assert!((s - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn phase_canonicalization_pulls_phase_to_parent() {
+        // (|0⟩ ⊗ |+⟩ + |1⟩ ⊗ e^{iφ}|+⟩)/√2: both children equal up to phase.
+        let d = dims(&[2, 2]);
+        let phi = 1.234;
+        let p = Complex::cis(phi);
+        let h = Complex::real(0.5);
+        let amps = [h, h, h * p, h * p];
+        let dd = StateDd::from_amplitudes(&d, &amps, BuildOptions::default()).unwrap();
+        // After canonicalization the two level-1 nodes are structurally equal…
+        let root = dd.node(dd.root().1.id().unwrap());
+        let c0 = dd.node(root.edges()[0].target.id().unwrap());
+        let c1 = dd.node(root.edges()[1].target.id().unwrap());
+        assert_eq!(c0, c1);
+        // …and the reduced diagram shares them.
+        let reduced = dd.reduce();
+        assert_eq!(reduced.node_count(), 2);
+    }
+
+    #[test]
+    fn global_phase_is_kept_on_root_edge() {
+        let d = dims(&[2]);
+        let g = Complex::cis(0.7);
+        let inv = 1.0 / 2.0_f64.sqrt();
+        let amps = [g * Complex::real(inv), g * Complex::real(inv)];
+        let dd = StateDd::from_amplitudes(&d, &amps, BuildOptions::default()).unwrap();
+        assert!(dd.root().0.approx_eq(g, 1e-12));
+        for (a, b) in amps.iter().zip(dd.to_amplitudes()) {
+            assert!(a.approx_eq(b, 1e-12));
+        }
+    }
+
+    #[test]
+    fn sparse_build_matches_dense_build() {
+        let d = dims(&[3, 6, 2]);
+        // W-like sparse state with mixed phases.
+        let entries: Vec<(Vec<usize>, Complex)> = vec![
+            (vec![0, 0, 1], Complex::real(0.5)),
+            (vec![0, 3, 0], Complex::new(0.0, -0.5)),
+            (vec![2, 0, 0], Complex::from_polar(0.5, 1.0)),
+            (vec![1, 5, 1], Complex::real(-0.5)),
+        ];
+        let sparse = StateDd::from_sparse(&d, &entries, BuildOptions::default()).unwrap();
+        let mut dense = vec![Complex::ZERO; d.space_size()];
+        for (digits, amp) in &entries {
+            dense[d.index_of(digits)] = *amp;
+        }
+        let dense = StateDd::from_amplitudes(&d, &dense, BuildOptions::default()).unwrap();
+        assert_eq!(sparse.node_count(), dense.node_count());
+        assert_eq!(sparse.edge_count(), dense.edge_count());
+        assert!((sparse.fidelity(&dense) - 1.0).abs() < 1e-12);
+        for (a, b) in sparse.to_amplitudes().iter().zip(dense.to_amplitudes()) {
+            assert!(a.approx_eq(b, 1e-12));
+        }
+    }
+
+    #[test]
+    fn sparse_build_sums_duplicates_and_drops_cancellations() {
+        let d = dims(&[2, 2]);
+        let entries = vec![
+            (vec![0, 0], Complex::real(0.5)),
+            (vec![0, 0], Complex::real(0.5)),
+            (vec![1, 1], Complex::real(0.7)),
+            (vec![1, 1], Complex::real(-0.7)),
+            (vec![0, 1], Complex::real(1.0)),
+        ];
+        let dd = StateDd::from_sparse(&d, &entries, BuildOptions::default()).unwrap();
+        // |00⟩ amplitude 1.0, |01⟩ amplitude 1.0, |11⟩ cancelled.
+        assert!(dd.amplitude(&[1, 1]).is_zero(1e-12));
+        let a = dd.amplitude(&[0, 0]);
+        let b = dd.amplitude(&[0, 1]);
+        assert!(a.approx_eq(b, 1e-12));
+        assert!((a.norm_sqr() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sparse_build_validates_entries() {
+        let d = dims(&[2, 2]);
+        assert_eq!(
+            StateDd::from_sparse(&d, &[(vec![0], Complex::ONE)], BuildOptions::default())
+                .unwrap_err(),
+            BuildError::WrongDigitCount {
+                expected: 2,
+                got: 1
+            }
+        );
+        assert_eq!(
+            StateDd::from_sparse(&d, &[(vec![0, 2], Complex::ONE)], BuildOptions::default())
+                .unwrap_err(),
+            BuildError::DigitOutOfRange {
+                position: 1,
+                digit: 2,
+                dim: 2
+            }
+        );
+        assert_eq!(
+            StateDd::from_sparse(&d, &[], BuildOptions::default()).unwrap_err(),
+            BuildError::ZeroNorm
+        );
+        assert_eq!(
+            StateDd::from_sparse(
+                &d,
+                &[(vec![0, 0], Complex::new(f64::INFINITY, 0.0))],
+                BuildOptions::default()
+            )
+            .unwrap_err(),
+            BuildError::NotFinite { index: 0 }
+        );
+    }
+
+    #[test]
+    fn sparse_build_scales_past_dense_limits() {
+        // 20 mixed-dimensional qudits: the space has ~3.6e9 amplitudes, far
+        // beyond a dense vector, but the GHZ diagram has 2 nodes per level
+        // beyond the root.
+        let pattern = [3usize, 4, 2, 5, 3, 2, 4, 3, 2, 3, 4, 2, 5, 3, 2, 3, 4, 2, 3, 5];
+        let d = dims(&pattern);
+        let a = Complex::real(1.0 / 2.0_f64.sqrt());
+        let entries = vec![(vec![0; 20], a), (vec![1; 20], a)];
+        let dd = StateDd::from_sparse(&d, &entries, BuildOptions::default()).unwrap();
+        assert_eq!(dd.node_count(), 1 + 2 * 19);
+        assert!(dd.amplitude(&[1; 20]).approx_eq(a, 1e-12));
+        assert!(dd.amplitude(&{
+            let mut v = vec![0; 20];
+            v[7] = 1;
+            v
+        })
+        .is_zero(1e-12));
+    }
+
+    #[test]
+    fn single_qudit_diagram() {
+        let d = dims(&[5]);
+        let mut amps = vec![Complex::ZERO; 5];
+        amps[3] = Complex::ONE;
+        let dd = StateDd::from_amplitudes(&d, &amps, BuildOptions::default()).unwrap();
+        assert_eq!(dd.node_count(), 1);
+        assert_eq!(dd.edge_count(), 6);
+        assert!(dd.amplitude(&[3]).approx_eq(Complex::ONE, 1e-12));
+        assert!(dd.amplitude(&[0]).is_zero(1e-12));
+    }
+}

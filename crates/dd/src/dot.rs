@@ -1,0 +1,159 @@
+//! Human-readable and Graphviz renderings of decision diagrams.
+
+use std::fmt::Write as _;
+
+use crate::node::NodeRef;
+use crate::StateDd;
+
+impl StateDd {
+    /// Renders the diagram in Graphviz DOT format.
+    ///
+    /// Zero-weight edges are omitted; edge labels show the successor index
+    /// and the weight. Render with e.g. `dot -Tpdf`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mdq_dd::{BuildOptions, StateDd};
+    /// use mdq_num::{radix::Dims, Complex};
+    ///
+    /// let dims = Dims::new(vec![2])?;
+    /// let a = Complex::real(1.0 / 2.0_f64.sqrt());
+    /// let dd = StateDd::from_amplitudes(&dims, &[a, a], BuildOptions::default())?;
+    /// assert!(dd.to_dot().contains("digraph"));
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    #[must_use]
+    pub fn to_dot(&self) -> String {
+        let tol = self.tolerance().value();
+        let mut out = String::new();
+        out.push_str("digraph statedd {\n  rankdir=TB;\n");
+        out.push_str("  entry [shape=point];\n  terminal [shape=box,label=\"1\"];\n");
+        for (idx, node) in self.nodes().iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "  n{idx} [shape=circle,label=\"q{}\"];",
+                self.dims().len() - 1 - node.level()
+            );
+        }
+        let (w, root) = self.root();
+        if let NodeRef::Node(id) = root {
+            let _ = writeln!(out, "  entry -> n{} [label=\"{w}\"];", id.index());
+        }
+        for (idx, node) in self.nodes().iter().enumerate() {
+            for (k, edge) in node.edges().iter().enumerate() {
+                if edge.is_zero(tol) {
+                    continue;
+                }
+                let target = match edge.target {
+                    NodeRef::Terminal => "terminal".to_owned(),
+                    NodeRef::Node(id) => format!("n{}", id.index()),
+                };
+                let _ = writeln!(
+                    out,
+                    "  n{idx} -> {target} [label=\"{k}: {}\"];",
+                    edge.weight
+                );
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// Renders the diagram as an indented text tree, one line per edge,
+    /// suitable for terminal output (used by the Figure 3 example).
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        let (w, root) = self.root();
+        let _ = writeln!(out, "root ── {w} ──▶ {root}");
+        if let NodeRef::Node(id) = root {
+            self.text_rec(id, 1, &mut out);
+        }
+        out
+    }
+
+    fn text_rec(&self, id: crate::NodeId, depth: usize, out: &mut String) {
+        let tol = self.tolerance().value();
+        let node = self.node(id);
+        for (k, edge) in node.edges().iter().enumerate() {
+            let indent = "  ".repeat(depth);
+            if edge.is_zero(tol) {
+                let _ = writeln!(out, "{indent}[{k}] ── 0");
+                continue;
+            }
+            let _ = writeln!(out, "{indent}[{k}] ── {} ──▶ {}", edge.weight, edge.target);
+            if let NodeRef::Node(child) = edge.target {
+                self.text_rec(child, depth + 1, out);
+            }
+        }
+    }
+}
+
+/// Renders a short one-line summary of a diagram ("nodes=…, edges=…,
+/// distinct=…"), convenient for examples and logs.
+#[must_use]
+pub fn render_summary(dd: &StateDd) -> String {
+    let m = dd.metrics();
+    format!(
+        "dims={} nodes={} edges={} distinctC={}",
+        dd.dims(),
+        m.node_count,
+        m.edge_count,
+        m.distinct_complex
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BuildOptions, StateDd};
+    use mdq_num::radix::Dims;
+    use mdq_num::Complex;
+
+    fn fig3() -> StateDd {
+        let d = Dims::new(vec![3, 2]).unwrap();
+        let a = 1.0 / 3.0_f64.sqrt();
+        let mut amps = vec![Complex::ZERO; 6];
+        amps[0] = Complex::real(a);
+        amps[3] = Complex::real(-a);
+        amps[5] = Complex::real(a);
+        StateDd::from_amplitudes(&d, &amps, BuildOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn dot_output_is_well_formed() {
+        let dot = fig3().to_dot();
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.ends_with("}\n"));
+        assert!(dot.contains("entry ->"));
+        assert!(dot.contains("terminal"));
+    }
+
+    #[test]
+    fn dot_omits_zero_edges() {
+        let dot = fig3().to_dot();
+        // The root's level-0 branch has a zero |1⟩ edge that must not appear.
+        let edge_lines = dot.lines().filter(|l| l.contains("->")).count();
+        // entry edge + 3 root edges + 2×(nonzero leaf edges: 1 each… the
+        // three leaf nodes have 4 nonzero edges total across 3 nodes).
+        assert!(edge_lines >= 6);
+        assert!(!dot.contains("label=\"1: 0\""));
+    }
+
+    #[test]
+    fn text_rendering_walks_all_branches() {
+        let text = fig3().to_text();
+        assert!(text.contains("root"));
+        assert!(text.contains("[0]"));
+        assert!(text.contains("[2]"));
+    }
+
+    #[test]
+    fn summary_contains_metrics() {
+        let dd = fig3();
+        let s = render_summary(&dd);
+        assert!(s.contains("dims=[3,2]"));
+        assert!(s.contains("edges="));
+    }
+}

@@ -1,0 +1,179 @@
+//! The evaluation metrics of the paper's Table 1: node count, edge count,
+//! and distinct complex values ("DistinctC").
+
+use mdq_num::{ComplexTable, Tolerance};
+
+use crate::StateDd;
+
+/// Structural size figures of a diagram, as reported in the paper's
+/// evaluation (Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DdMetrics {
+    /// Number of internal nodes (terminal excluded).
+    pub node_count: usize,
+    /// Number of edges including the incoming root edge. This is the
+    /// "Nodes" column of Table 1 (58 for the unreduced `[3,6,2]` tree).
+    pub edge_count: usize,
+    /// Number of distinct complex edge weights under the diagram tolerance,
+    /// including the root weight — the "DistinctC" column.
+    pub distinct_complex: usize,
+}
+
+impl StateDd {
+    /// Number of internal nodes (the terminal is not counted).
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.nodes().len()
+    }
+
+    /// Number of edges including the incoming root edge.
+    ///
+    /// On a diagram built with
+    /// [`keep_zero_subtrees`](crate::BuildOptions::keep_zero_subtrees) this
+    /// equals [`Dims::full_tree_edge_count`](mdq_num::radix::Dims::full_tree_edge_count)
+    /// and reproduces the "Nodes" column for exact synthesis in Table 1.
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        1 + self.nodes().iter().map(|n| n.edges().len()).sum::<usize>()
+    }
+
+    /// Number of distinct complex edge weights (including the root weight)
+    /// under the diagram tolerance — the paper's "DistinctC" metric.
+    ///
+    /// For a GHZ state this is 3 ({0, 1, 1/√k}); for a fully random state it
+    /// approaches the edge count because every weight differs.
+    #[must_use]
+    pub fn distinct_complex_count(&self) -> usize {
+        let mut table = ComplexTable::new(self.tolerance());
+        table.insert(self.root().0);
+        for node in self.nodes() {
+            for edge in node.edges() {
+                table.insert(edge.weight);
+            }
+        }
+        table.len()
+    }
+
+    /// All three size metrics in one pass.
+    #[must_use]
+    pub fn metrics(&self) -> DdMetrics {
+        DdMetrics {
+            node_count: self.node_count(),
+            edge_count: self.edge_count(),
+            distinct_complex: self.distinct_complex_count(),
+        }
+    }
+
+    /// Approximate heap footprint of the diagram in bytes (nodes and edges).
+    ///
+    /// Useful for the paper's memory-reduction claims; exact allocator
+    /// overhead is not modeled.
+    #[must_use]
+    pub fn memory_bytes(&self) -> usize {
+        
+        std::mem::size_of_val(self.nodes())
+            + self
+                .nodes()
+                .iter()
+                .map(|n| std::mem::size_of_val(n.edges()))
+                .sum::<usize>()
+    }
+
+    /// Number of distinct complex values at a caller-chosen tolerance
+    /// (coarser tolerances merge more weights).
+    #[must_use]
+    pub fn distinct_complex_count_at(&self, tolerance: Tolerance) -> usize {
+        let mut table = ComplexTable::new(tolerance);
+        table.insert(self.root().0);
+        for node in self.nodes() {
+            for edge in node.edges() {
+                table.insert(edge.weight);
+            }
+        }
+        table.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{BuildOptions, StateDd};
+    use mdq_num::radix::Dims;
+    use mdq_num::Complex;
+
+    fn ghz(dims: &Dims) -> Vec<Complex> {
+        let k = dims.as_slice().iter().copied().min().unwrap();
+        let a = Complex::real(1.0 / (k as f64).sqrt());
+        let mut amps = vec![Complex::ZERO; dims.space_size()];
+        for level in 0..k {
+            let digits = vec![level; dims.len()];
+            amps[dims.index_of(&digits)] = a;
+        }
+        amps
+    }
+
+    #[test]
+    fn ghz_full_tree_metrics_match_table_one() {
+        let dims = Dims::new(vec![3, 6, 2]).unwrap();
+        let dd = StateDd::from_amplitudes(
+            &dims,
+            &ghz(&dims),
+            BuildOptions::default().keep_zero_subtrees(true),
+        )
+        .unwrap();
+        let m = dd.metrics();
+        assert_eq!(m.edge_count, 58); // Table 1, GHZ row, Exact "Nodes"
+        assert_eq!(m.distinct_complex, 3); // Table 1, GHZ row, "DistinctC"
+    }
+
+    #[test]
+    fn ghz_pruned_metrics_match_table_one_approximated() {
+        let dims = Dims::new(vec![3, 6, 2]).unwrap();
+        let dd =
+            StateDd::from_amplitudes(&dims, &ghz(&dims), BuildOptions::default()).unwrap();
+        assert_eq!(dd.edge_count(), 20); // Table 1, GHZ row, Approximated "Nodes"
+        assert_eq!(dd.distinct_complex_count(), 3);
+    }
+
+    #[test]
+    fn ghz_metrics_on_larger_registers() {
+        for (dims, full_edges) in [
+            (vec![9, 5, 6, 3], 1135usize),
+            (vec![4, 7, 4, 4, 3, 5], 8657),
+        ] {
+            let dims = Dims::new(dims).unwrap();
+            let dd = StateDd::from_amplitudes(
+                &dims,
+                &ghz(&dims),
+                BuildOptions::default().keep_zero_subtrees(true),
+            )
+            .unwrap();
+            assert_eq!(dd.edge_count(), full_edges);
+            assert_eq!(dd.distinct_complex_count(), 3);
+        }
+    }
+
+    #[test]
+    fn coarser_tolerance_merges_weights() {
+        let dims = Dims::new(vec![2]).unwrap();
+        let amps = [Complex::real(0.6), Complex::real(0.8)];
+        let dd = StateDd::from_amplitudes(&dims, &amps, BuildOptions::default()).unwrap();
+        assert_eq!(dd.distinct_complex_count(), 3); // {1, 0.6, 0.8}
+        assert_eq!(
+            dd.distinct_complex_count_at(mdq_num::Tolerance::new(0.5)),
+            1
+        );
+    }
+
+    #[test]
+    fn memory_tracks_node_and_edge_counts() {
+        let dims = Dims::new(vec![3, 6, 2]).unwrap();
+        let full = StateDd::from_amplitudes(
+            &dims,
+            &ghz(&dims),
+            BuildOptions::default().keep_zero_subtrees(true),
+        )
+        .unwrap();
+        let pruned = full.prune_zero_subtrees();
+        assert!(pruned.memory_bytes() < full.memory_bytes());
+    }
+}

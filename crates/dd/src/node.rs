@@ -1,0 +1,246 @@
+//! Node and edge representation of the decision diagram.
+
+use std::fmt;
+
+use mdq_num::Complex;
+
+/// Index of an internal node inside a [`StateDd`](crate::StateDd) arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    pub(crate) fn new(index: usize) -> Self {
+        NodeId(u32::try_from(index).expect("decision diagram arena overflow"))
+    }
+
+    /// The raw arena index.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Target of an edge: either the shared terminal or an internal node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NodeRef {
+    /// The unique terminal node (no successors).
+    Terminal,
+    /// An internal node.
+    Node(NodeId),
+}
+
+impl NodeRef {
+    /// The node id if this reference points to an internal node.
+    #[must_use]
+    pub fn id(self) -> Option<NodeId> {
+        match self {
+            NodeRef::Terminal => None,
+            NodeRef::Node(id) => Some(id),
+        }
+    }
+
+    /// Whether this reference is the terminal.
+    #[must_use]
+    pub fn is_terminal(self) -> bool {
+        matches!(self, NodeRef::Terminal)
+    }
+}
+
+impl fmt::Display for NodeRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NodeRef::Terminal => write!(f, "T"),
+            NodeRef::Node(id) => write!(f, "{id}"),
+        }
+    }
+}
+
+/// A weighted successor edge.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Edge {
+    /// Complex weight multiplied along the path.
+    pub weight: Complex,
+    /// Successor of the edge.
+    pub target: NodeRef,
+}
+
+impl Edge {
+    /// An explicit zero edge (weight 0, pointing at the terminal).
+    pub const ZERO: Edge = Edge {
+        weight: Complex::ZERO,
+        target: NodeRef::Terminal,
+    };
+
+    /// Creates an edge.
+    #[must_use]
+    pub fn new(weight: Complex, target: NodeRef) -> Self {
+        Edge { weight, target }
+    }
+
+    /// Whether the edge weight is within `tol` of zero.
+    #[must_use]
+    pub fn is_zero(&self, tol: f64) -> bool {
+        self.weight.is_zero(tol)
+    }
+}
+
+/// An internal decision-diagram node: one level (qudit) and one successor
+/// edge per basis level of that qudit.
+///
+/// The number of successors equals the local dimension of the node's qudit,
+/// which is what makes the diagram *mixed-dimensional*: nodes at different
+/// levels may have different numbers of edges.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Node {
+    level: usize,
+    edges: Vec<Edge>,
+}
+
+impl Node {
+    pub(crate) fn new(level: usize, edges: Vec<Edge>) -> Self {
+        Node { level, edges }
+    }
+
+    /// The diagram level (0 = root level = most significant qudit).
+    #[must_use]
+    pub fn level(&self) -> usize {
+        self.level
+    }
+
+    /// The successor edges; the length equals the qudit's local dimension.
+    #[must_use]
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// The local dimension of the node's qudit.
+    #[must_use]
+    pub fn dimension(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Indices of the successor edges whose weight is not within `tol` of 0.
+    pub fn nonzero_edges(&self, tol: f64) -> impl Iterator<Item = (usize, &Edge)> + '_ {
+        self.edges
+            .iter()
+            .enumerate()
+            .filter(move |(_, e)| !e.is_zero(tol))
+    }
+
+    /// If every nonzero edge points to the same *internal* node, returns that
+    /// node together with the count of nonzero edges.
+    ///
+    /// When the count is at least 2 the node encodes a tensor product
+    /// `(Σ w_k |k⟩) ⊗ ψ_child` — the paper's §4.3 reduction pattern that
+    /// allows the synthesizer to drop this qudit from the control set.
+    #[must_use]
+    pub fn common_child(&self, tol: f64) -> Option<(NodeId, usize)> {
+        let mut common: Option<NodeId> = None;
+        let mut count = 0;
+        for (_, edge) in self.nonzero_edges(tol) {
+            let id = edge.target.id()?;
+            match common {
+                None => common = Some(id),
+                Some(c) if c == id => {}
+                Some(_) => return None,
+            }
+            count += 1;
+        }
+        common.map(|c| (c, count))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(re: f64) -> Complex {
+        Complex::real(re)
+    }
+
+    #[test]
+    fn node_reports_dimension() {
+        let node = Node::new(1, vec![Edge::ZERO; 5]);
+        assert_eq!(node.dimension(), 5);
+        assert_eq!(node.level(), 1);
+    }
+
+    #[test]
+    fn nonzero_edges_filters_by_tolerance() {
+        let node = Node::new(
+            0,
+            vec![
+                Edge::new(c(0.9), NodeRef::Terminal),
+                Edge::new(c(1e-12), NodeRef::Terminal),
+                Edge::new(c(0.1), NodeRef::Terminal),
+            ],
+        );
+        let nz: Vec<usize> = node.nonzero_edges(1e-9).map(|(i, _)| i).collect();
+        assert_eq!(nz, vec![0, 2]);
+    }
+
+    #[test]
+    fn common_child_detects_tensor_pattern() {
+        let child = NodeRef::Node(NodeId::new(7));
+        let node = Node::new(
+            0,
+            vec![
+                Edge::new(c(0.6), child),
+                Edge::new(c(0.8), child),
+                Edge::ZERO,
+            ],
+        );
+        assert_eq!(node.common_child(1e-9), Some((NodeId::new(7), 2)));
+    }
+
+    #[test]
+    fn common_child_rejects_mixed_targets() {
+        let node = Node::new(
+            0,
+            vec![
+                Edge::new(c(0.6), NodeRef::Node(NodeId::new(1))),
+                Edge::new(c(0.8), NodeRef::Node(NodeId::new(2))),
+            ],
+        );
+        assert_eq!(node.common_child(1e-9), None);
+    }
+
+    #[test]
+    fn common_child_rejects_terminal_targets() {
+        let node = Node::new(
+            0,
+            vec![
+                Edge::new(c(0.6), NodeRef::Terminal),
+                Edge::new(c(0.8), NodeRef::Terminal),
+            ],
+        );
+        assert_eq!(node.common_child(1e-9), None);
+    }
+
+    #[test]
+    fn common_child_of_all_zero_node_is_none() {
+        let node = Node::new(0, vec![Edge::ZERO, Edge::ZERO]);
+        assert_eq!(node.common_child(1e-9), None);
+    }
+
+    #[test]
+    fn single_nonzero_edge_counts_as_one() {
+        let node = Node::new(
+            0,
+            vec![Edge::new(c(1.0), NodeRef::Node(NodeId::new(3))), Edge::ZERO],
+        );
+        assert_eq!(node.common_child(1e-9), Some((NodeId::new(3), 1)));
+    }
+
+    #[test]
+    fn node_ref_display() {
+        assert_eq!(NodeRef::Terminal.to_string(), "T");
+        assert_eq!(NodeRef::Node(NodeId::new(4)).to_string(), "n4");
+    }
+}

@@ -1,0 +1,258 @@
+//! Reduction: hash-consing structurally identical subtrees into shared
+//! nodes, and detection of tensor-product ("product") nodes.
+//!
+//! The paper's §4.3 introduces reduction as "the capability of two edges
+//! pointing to the same node whenever it represents two identical sub-trees"
+//! and observes that when *all* nonzero edges of a node point to the same
+//! child, the node encodes a tensor product between its qudit and the
+//! remaining levels, so the synthesizer does not need to control on it.
+
+use std::collections::HashMap;
+
+use mdq_num::ComplexTable;
+
+use crate::node::{Edge, Node, NodeId, NodeRef};
+use crate::StateDd;
+
+/// Canonical signature of a node used as the hash-consing key: the level and
+/// the canonical id of every (weight, target) pair.
+type NodeKey = (usize, Vec<(u32, NodeRef)>);
+
+impl StateDd {
+    /// Returns an equivalent diagram in which structurally identical
+    /// subtrees are shared (represented by a single node).
+    ///
+    /// Weights are canonicalized through a tolerance-bucketed
+    /// [`ComplexTable`], so subtrees equal up to the diagram tolerance merge
+    /// as well. The represented state is unchanged; the node count can only
+    /// shrink. Reduction is idempotent.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mdq_dd::{BuildOptions, StateDd};
+    /// use mdq_num::{radix::Dims, Complex};
+    ///
+    /// // (|00⟩ − |11⟩ + |21⟩)/√3 (Fig. 3): the |1⟩-successors of the two
+    /// // upper branches are identical and get shared.
+    /// let dims = Dims::new(vec![3, 2])?;
+    /// let a = 1.0 / 3.0_f64.sqrt();
+    /// let mut amps = vec![Complex::ZERO; 6];
+    /// amps[0] = Complex::real(a);
+    /// amps[3] = Complex::real(-a);
+    /// amps[5] = Complex::real(a);
+    /// let dd = StateDd::from_amplitudes(&dims, &amps, BuildOptions::default())?;
+    /// assert_eq!(dd.reduce().node_count(), dd.node_count() - 1);
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    #[must_use]
+    pub fn reduce(&self) -> StateDd {
+        let tol = self.tolerance.value();
+        let mut table = ComplexTable::new(self.tolerance);
+        let mut unique: HashMap<NodeKey, NodeId> = HashMap::new();
+        let mut memo: Vec<Option<NodeRef>> = vec![None; self.nodes.len()];
+        let mut nodes: Vec<Node> = Vec::new();
+
+        // Bottom-up (children precede parents in the arena).
+        for (idx, node) in self.nodes.iter().enumerate() {
+            let mut edges = Vec::with_capacity(node.dimension());
+            let mut key_parts = Vec::with_capacity(node.dimension());
+            let mut all_zero = true;
+            for e in node.edges() {
+                let (weight, target) = if e.is_zero(tol) {
+                    (mdq_num::Complex::ZERO, NodeRef::Terminal)
+                } else {
+                    all_zero = false;
+                    let target = match e.target {
+                        NodeRef::Terminal => NodeRef::Terminal,
+                        NodeRef::Node(id) => memo[id.index()].expect("child before parent"),
+                    };
+                    (table.canonicalize(e.weight), target)
+                };
+                let canon_id = table.insert(weight);
+                key_parts.push((canon_id.index() as u32, target));
+                edges.push(Edge::new(weight, target));
+            }
+            if all_zero {
+                memo[idx] = Some(NodeRef::Terminal);
+                continue;
+            }
+            let key: NodeKey = (node.level(), key_parts);
+            let id = *unique.entry(key).or_insert_with(|| {
+                let id = NodeId::new(nodes.len());
+                nodes.push(Node::new(node.level(), edges));
+                id
+            });
+            memo[idx] = Some(NodeRef::Node(id));
+        }
+
+        let root = match self.root {
+            NodeRef::Terminal => NodeRef::Terminal,
+            NodeRef::Node(id) => memo[id.index()].expect("root visited"),
+        };
+        StateDd {
+            dims: self.dims.clone(),
+            tolerance: self.tolerance,
+            nodes,
+            root,
+            root_weight: self.root_weight,
+        }
+    }
+
+    /// Ids of nodes whose nonzero edges all point to one shared internal
+    /// child, with at least `min_edges` nonzero edges.
+    ///
+    /// With `min_edges = 2` this is exactly the paper's tensor-product
+    /// pattern: the node's qudit factorizes from the rest of the state, so
+    /// operations synthesized inside the shared child do not need this qudit
+    /// as a control. (`min_edges = 1` additionally elides controls below
+    /// single-successor nodes — correct, but not done by the paper; see the
+    /// ablation benchmark.)
+    ///
+    /// Meaningful on reduced diagrams ([`StateDd::reduce`]); on trees every
+    /// child is a distinct node and only `min_edges = 1` patterns appear.
+    #[must_use]
+    pub fn product_nodes(&self, min_edges: usize) -> Vec<NodeId> {
+        let tol = self.tolerance.value();
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter_map(|(idx, node)| {
+                node.common_child(tol).and_then(|(_, count)| {
+                    (count >= min_edges).then(|| NodeId::new(idx))
+                })
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{BuildOptions, StateDd};
+    use mdq_num::radix::Dims;
+    use mdq_num::Complex;
+
+    fn dims(v: &[usize]) -> Dims {
+        Dims::new(v.to_vec()).unwrap()
+    }
+
+    fn build(d: &Dims, amps: &[Complex]) -> StateDd {
+        StateDd::from_amplitudes(d, amps, BuildOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn reduce_shares_identical_subtrees() {
+        // Fig. 3 state: two identical |1⟩-successor nodes merge.
+        let d = dims(&[3, 2]);
+        let a = 1.0 / 3.0_f64.sqrt();
+        let mut amps = vec![Complex::ZERO; 6];
+        amps[d.index_of(&[0, 0])] = Complex::real(a);
+        amps[d.index_of(&[1, 1])] = Complex::real(-a);
+        amps[d.index_of(&[2, 1])] = Complex::real(a);
+        let dd = build(&d, &amps);
+        assert_eq!(dd.node_count(), 4);
+        let reduced = dd.reduce();
+        assert_eq!(reduced.node_count(), 3);
+        for (x, y) in dd.to_amplitudes().iter().zip(reduced.to_amplitudes()) {
+            assert!(x.approx_eq(y, 1e-12));
+        }
+    }
+
+    #[test]
+    fn reduce_is_idempotent() {
+        let d = dims(&[2, 3, 2]);
+        let n = d.space_size();
+        let amps: Vec<Complex> = (0..n)
+            .map(|i| Complex::real(((i % 3) + 1) as f64))
+            .collect();
+        let once = build(&d, &amps).reduce();
+        let twice = once.reduce();
+        assert_eq!(once.node_count(), twice.node_count());
+        assert_eq!(once.edge_count(), twice.edge_count());
+    }
+
+    #[test]
+    fn reduce_collapses_uniform_state_to_one_node_per_level() {
+        let d = dims(&[3, 4, 2]);
+        let n = d.space_size();
+        let a = Complex::real(1.0 / (n as f64).sqrt());
+        let reduced = build(&d, &vec![a; n]).reduce();
+        // A uniform product state has exactly one node per level.
+        assert_eq!(reduced.node_count(), d.len());
+    }
+
+    #[test]
+    fn reduce_on_full_tree_drops_zero_subtrees() {
+        let d = dims(&[3, 6, 2]);
+        let mut amps = vec![Complex::ZERO; d.space_size()];
+        let a = Complex::real(1.0 / 2.0_f64.sqrt());
+        amps[d.index_of(&[0, 0, 0])] = a;
+        amps[d.index_of(&[1, 1, 1])] = a;
+        let full = StateDd::from_amplitudes(
+            &d,
+            &amps,
+            BuildOptions::default().keep_zero_subtrees(true),
+        )
+        .unwrap();
+        let reduced = full.reduce();
+        assert_eq!(reduced.node_count(), 5);
+        assert!((reduced.fidelity(&full) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn product_nodes_detected_on_uniform_state() {
+        let d = dims(&[3, 4, 2]);
+        let n = d.space_size();
+        let a = Complex::real(1.0 / (n as f64).sqrt());
+        let reduced = build(&d, &vec![a; n]).reduce();
+        // Levels 0 and 1 are product nodes (all edges to the shared child);
+        // level 2 points at the terminal and is excluded.
+        let products = reduced.product_nodes(2);
+        assert_eq!(products.len(), 2);
+        let levels: Vec<usize> = products
+            .iter()
+            .map(|id| reduced.node(*id).level())
+            .collect();
+        assert!(levels.contains(&0) && levels.contains(&1));
+    }
+
+    #[test]
+    fn ghz_has_no_product_nodes() {
+        let d = dims(&[3, 3]);
+        let a = Complex::real(1.0 / 3.0_f64.sqrt());
+        let mut amps = vec![Complex::ZERO; 9];
+        for k in 0..3 {
+            amps[d.index_of(&[k, k])] = a;
+        }
+        let reduced = build(&d, &amps).reduce();
+        assert!(reduced.product_nodes(2).is_empty());
+    }
+
+    #[test]
+    fn single_successor_products_found_with_min_edges_one() {
+        // |1⟩|+⟩ on [3,2]: the root has a single nonzero edge.
+        let d = dims(&[3, 2]);
+        let a = Complex::real(1.0 / 2.0_f64.sqrt());
+        let mut amps = vec![Complex::ZERO; 6];
+        amps[d.index_of(&[1, 0])] = a;
+        amps[d.index_of(&[1, 1])] = a;
+        let dd = build(&d, &amps);
+        assert_eq!(dd.product_nodes(2).len(), 0);
+        assert_eq!(dd.product_nodes(1).len(), 1);
+    }
+
+    #[test]
+    fn reduce_merges_subtrees_within_tolerance() {
+        let d = dims(&[2, 2]);
+        let h = 0.5;
+        // Two branches whose children differ by 1e-12 — inside tolerance.
+        let amps = [
+            Complex::real(h),
+            Complex::real(h),
+            Complex::real(h),
+            Complex::real(h + 1e-12),
+        ];
+        let reduced = build(&d, &amps).reduce();
+        assert_eq!(reduced.node_count(), 2);
+    }
+}

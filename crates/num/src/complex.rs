@@ -1,0 +1,381 @@
+//! A minimal complex-number type tailored to quantum amplitudes.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number with `f64` components.
+///
+/// The type is deliberately small and `Copy`; it implements the arithmetic
+/// operators, polar-form helpers, and tolerance-based comparison needed by
+/// the decision-diagram package and the simulator.
+///
+/// # Examples
+///
+/// ```
+/// use mdq_num::Complex;
+///
+/// let h = Complex::from_polar(1.0, std::f64::consts::FRAC_PI_2);
+/// assert!(h.approx_eq(Complex::new(0.0, 1.0), 1e-12));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// The additive identity `0 + 0i`.
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+    /// The multiplicative identity `1 + 0i`.
+    pub const ONE: Complex = Complex { re: 1.0, im: 0.0 };
+    /// The imaginary unit `0 + 1i`.
+    pub const I: Complex = Complex { re: 0.0, im: 1.0 };
+
+    /// Creates a complex number from real and imaginary parts.
+    #[must_use]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+
+    /// Creates a purely real complex number.
+    #[must_use]
+    pub const fn real(re: f64) -> Self {
+        Self { re, im: 0.0 }
+    }
+
+    /// Creates a complex number from polar coordinates `r·e^{iθ}`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mdq_num::Complex;
+    /// let c = Complex::from_polar(2.0, std::f64::consts::PI);
+    /// assert!(c.approx_eq(Complex::new(-2.0, 0.0), 1e-12));
+    /// ```
+    #[must_use]
+    pub fn from_polar(r: f64, theta: f64) -> Self {
+        Self {
+            re: r * theta.cos(),
+            im: r * theta.sin(),
+        }
+    }
+
+    /// Magnitude `|z|`.
+    #[must_use]
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Squared magnitude `|z|²`; cheaper than [`Complex::abs`] and the
+    /// quantity that defines measurement probabilities.
+    #[must_use]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Argument (phase) in `(-π, π]`.
+    #[must_use]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Polar decomposition `(r, θ)` with `z = r·e^{iθ}`.
+    #[must_use]
+    pub fn to_polar(self) -> (f64, f64) {
+        (self.abs(), self.arg())
+    }
+
+    /// Complex conjugate.
+    #[must_use]
+    pub fn conj(self) -> Self {
+        Self {
+            re: self.re,
+            im: -self.im,
+        }
+    }
+
+    /// Multiplicative inverse `1/z`.
+    ///
+    /// Returns `Complex::ZERO` components as `inf`/`nan` if `z` is zero, like
+    /// plain floating-point division; callers guard with [`Complex::is_zero`].
+    #[must_use]
+    pub fn recip(self) -> Self {
+        let d = self.norm_sqr();
+        Self {
+            re: self.re / d,
+            im: -self.im / d,
+        }
+    }
+
+    /// Scales by a real factor.
+    #[must_use]
+    pub fn scale(self, k: f64) -> Self {
+        Self {
+            re: self.re * k,
+            im: self.im * k,
+        }
+    }
+
+    /// Whether both components are within `tol` of zero in magnitude.
+    #[must_use]
+    pub fn is_zero(self, tol: f64) -> bool {
+        self.abs() <= tol
+    }
+
+    /// Tolerance-based equality: `|self − other| ≤ tol`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mdq_num::Complex;
+    /// assert!(Complex::new(1.0, 0.0).approx_eq(Complex::new(1.0 + 1e-12, 0.0), 1e-9));
+    /// ```
+    #[must_use]
+    pub fn approx_eq(self, other: Self, tol: f64) -> bool {
+        (self - other).abs() <= tol
+    }
+
+    /// Whether both components are finite.
+    #[must_use]
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+
+    /// `e^{iθ}`, a unit phase.
+    #[must_use]
+    pub fn cis(theta: f64) -> Self {
+        Self::from_polar(1.0, theta)
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    fn add(self, rhs: Complex) -> Complex {
+        Complex::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl AddAssign for Complex {
+    fn add_assign(&mut self, rhs: Complex) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl SubAssign for Complex {
+    fn sub_assign(&mut self, rhs: Complex) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl MulAssign for Complex {
+    fn mul_assign(&mut self, rhs: Complex) {
+        *self = *self * rhs;
+    }
+}
+
+impl Mul<f64> for Complex {
+    type Output = Complex;
+    fn mul(self, rhs: f64) -> Complex {
+        self.scale(rhs)
+    }
+}
+
+impl Mul<Complex> for f64 {
+    type Output = Complex;
+    fn mul(self, rhs: Complex) -> Complex {
+        rhs.scale(self)
+    }
+}
+
+impl Div for Complex {
+    type Output = Complex;
+    // Complex division *is* multiplication by the reciprocal.
+    #[allow(clippy::suspicious_arithmetic_impl)]
+    fn div(self, rhs: Complex) -> Complex {
+        self * rhs.recip()
+    }
+}
+
+impl DivAssign for Complex {
+    fn div_assign(&mut self, rhs: Complex) {
+        *self = *self / rhs;
+    }
+}
+
+impl Div<f64> for Complex {
+    type Output = Complex;
+    fn div(self, rhs: f64) -> Complex {
+        Complex::new(self.re / rhs, self.im / rhs)
+    }
+}
+
+impl Neg for Complex {
+    type Output = Complex;
+    fn neg(self) -> Complex {
+        Complex::new(-self.re, -self.im)
+    }
+}
+
+impl Sum for Complex {
+    fn sum<I: Iterator<Item = Complex>>(iter: I) -> Complex {
+        iter.fold(Complex::ZERO, Add::add)
+    }
+}
+
+impl From<f64> for Complex {
+    fn from(re: f64) -> Self {
+        Complex::real(re)
+    }
+}
+
+impl fmt::Display for Complex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im == 0.0 {
+            write!(f, "{}", self.re)
+        } else if self.im < 0.0 {
+            write!(f, "{}-{}i", self.re, -self.im)
+        } else {
+            write!(f, "{}+{}i", self.re, self.im)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    const TOL: f64 = 1e-12;
+
+    #[test]
+    fn constants_are_correct() {
+        assert_eq!(Complex::ZERO, Complex::new(0.0, 0.0));
+        assert_eq!(Complex::ONE, Complex::new(1.0, 0.0));
+        assert_eq!(Complex::I, Complex::new(0.0, 1.0));
+    }
+
+    #[test]
+    fn i_squared_is_minus_one() {
+        assert!((Complex::I * Complex::I).approx_eq(-Complex::ONE, TOL));
+    }
+
+    #[test]
+    fn polar_round_trip() {
+        let z = Complex::new(-0.3, 0.7);
+        let (r, t) = z.to_polar();
+        assert!(Complex::from_polar(r, t).approx_eq(z, TOL));
+    }
+
+    #[test]
+    fn division_by_self_is_one() {
+        let z = Complex::new(2.5, -1.5);
+        assert!((z / z).approx_eq(Complex::ONE, TOL));
+    }
+
+    #[test]
+    fn recip_matches_division() {
+        let z = Complex::new(0.2, 0.9);
+        assert!(z.recip().approx_eq(Complex::ONE / z, TOL));
+    }
+
+    #[test]
+    fn conj_negates_imaginary_part() {
+        assert_eq!(Complex::new(1.0, 2.0).conj(), Complex::new(1.0, -2.0));
+    }
+
+    #[test]
+    fn norm_sqr_matches_abs_squared() {
+        let z = Complex::new(3.0, 4.0);
+        assert!((z.norm_sqr() - 25.0).abs() < TOL);
+        assert!((z.abs() - 5.0).abs() < TOL);
+    }
+
+    #[test]
+    fn display_formats_signs() {
+        assert_eq!(Complex::new(1.0, 2.0).to_string(), "1+2i");
+        assert_eq!(Complex::new(1.0, -2.0).to_string(), "1-2i");
+        assert_eq!(Complex::new(1.5, 0.0).to_string(), "1.5");
+    }
+
+    #[test]
+    fn sum_accumulates() {
+        let s: Complex = [Complex::ONE, Complex::I, Complex::ONE].into_iter().sum();
+        assert!(s.approx_eq(Complex::new(2.0, 1.0), TOL));
+    }
+
+    #[test]
+    fn cis_is_unit_phase() {
+        let c = Complex::cis(1.234);
+        assert!((c.abs() - 1.0).abs() < TOL);
+        assert!((c.arg() - 1.234).abs() < TOL);
+    }
+
+    #[test]
+    fn is_zero_respects_tolerance() {
+        assert!(Complex::new(1e-12, -1e-12).is_zero(1e-9));
+        assert!(!Complex::new(1e-6, 0.0).is_zero(1e-9));
+    }
+
+    fn arb_complex() -> impl Strategy<Value = Complex> {
+        (-10.0..10.0f64, -10.0..10.0f64).prop_map(|(re, im)| Complex::new(re, im))
+    }
+
+    proptest! {
+        #[test]
+        fn prop_addition_commutes(a in arb_complex(), b in arb_complex()) {
+            prop_assert!((a + b).approx_eq(b + a, TOL));
+        }
+
+        #[test]
+        fn prop_multiplication_commutes(a in arb_complex(), b in arb_complex()) {
+            prop_assert!((a * b).approx_eq(b * a, 1e-9));
+        }
+
+        #[test]
+        fn prop_distributivity(a in arb_complex(), b in arb_complex(), c in arb_complex()) {
+            prop_assert!((a * (b + c)).approx_eq(a * b + a * c, 1e-8));
+        }
+
+        #[test]
+        fn prop_conj_is_involution(a in arb_complex()) {
+            prop_assert_eq!(a.conj().conj(), a);
+        }
+
+        #[test]
+        fn prop_abs_is_multiplicative(a in arb_complex(), b in arb_complex()) {
+            prop_assert!(((a * b).abs() - a.abs() * b.abs()).abs() < 1e-8);
+        }
+
+        #[test]
+        fn prop_polar_round_trip(a in arb_complex()) {
+            let (r, t) = a.to_polar();
+            prop_assert!(Complex::from_polar(r, t).approx_eq(a, 1e-9));
+        }
+
+        #[test]
+        fn prop_division_inverts_multiplication(a in arb_complex(), b in arb_complex()) {
+            prop_assume!(b.abs() > 1e-6);
+            prop_assert!(((a * b) / b).approx_eq(a, 1e-7));
+        }
+    }
+}

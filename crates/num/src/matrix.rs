@@ -1,0 +1,275 @@
+//! Small dense complex matrices for gate construction and verification.
+//!
+//! The circuit IR builds `d×d` unitaries for mixed-dimensional gates and the
+//! test suites check unitarity and adjoint identities; a tiny dense matrix
+//! type is all that is needed (qudit dimensions are single digits).
+
+use std::fmt;
+use std::ops::Mul;
+
+use crate::Complex;
+
+/// A square complex matrix in row-major storage.
+///
+/// # Examples
+///
+/// ```
+/// use mdq_num::{matrix::CMatrix, Complex};
+///
+/// let x = CMatrix::from_rows(&[
+///     &[Complex::ZERO, Complex::ONE],
+///     &[Complex::ONE, Complex::ZERO],
+/// ]);
+/// assert!(x.is_unitary(1e-12));
+/// assert!((&x * &x).approx_eq(&CMatrix::identity(2), 1e-12));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CMatrix {
+    n: usize,
+    data: Vec<Complex>,
+}
+
+impl CMatrix {
+    /// The `n×n` zero matrix.
+    #[must_use]
+    pub fn zero(n: usize) -> Self {
+        CMatrix {
+            n,
+            data: vec![Complex::ZERO; n * n],
+        }
+    }
+
+    /// The `n×n` identity matrix.
+    #[must_use]
+    pub fn identity(n: usize) -> Self {
+        let mut m = CMatrix::zero(n);
+        for i in 0..n {
+            m.set(i, i, Complex::ONE);
+        }
+        m
+    }
+
+    /// Builds a matrix from row slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows are not all of length `rows.len()`.
+    #[must_use]
+    pub fn from_rows(rows: &[&[Complex]]) -> Self {
+        let n = rows.len();
+        let mut m = CMatrix::zero(n);
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(row.len(), n, "row {i} has wrong length");
+            for (j, &v) in row.iter().enumerate() {
+                m.set(i, j, v);
+            }
+        }
+        m
+    }
+
+    /// The dimension `n` of the matrix.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// The entry at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[must_use]
+    pub fn get(&self, row: usize, col: usize) -> Complex {
+        assert!(row < self.n && col < self.n, "index out of bounds");
+        self.data[row * self.n + col]
+    }
+
+    /// Sets the entry at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn set(&mut self, row: usize, col: usize, value: Complex) {
+        assert!(row < self.n && col < self.n, "index out of bounds");
+        self.data[row * self.n + col] = value;
+    }
+
+    /// The conjugate transpose `M†`.
+    #[must_use]
+    pub fn adjoint(&self) -> CMatrix {
+        let mut m = CMatrix::zero(self.n);
+        for i in 0..self.n {
+            for j in 0..self.n {
+                m.set(j, i, self.get(i, j).conj());
+            }
+        }
+        m
+    }
+
+    /// Matrix–vector product `M·v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != dim()`.
+    #[must_use]
+    pub fn mul_vec(&self, v: &[Complex]) -> Vec<Complex> {
+        assert_eq!(v.len(), self.n, "vector length mismatch");
+        (0..self.n)
+            .map(|i| {
+                (0..self.n)
+                    .map(|j| self.get(i, j) * v[j])
+                    .sum::<Complex>()
+            })
+            .collect()
+    }
+
+    /// Entry-wise comparison within `tol`.
+    #[must_use]
+    pub fn approx_eq(&self, other: &CMatrix, tol: f64) -> bool {
+        self.n == other.n
+            && self
+                .data
+                .iter()
+                .zip(other.data.iter())
+                .all(|(a, b)| a.approx_eq(*b, tol))
+    }
+
+    /// Whether `M†M = I` within `tol`.
+    #[must_use]
+    pub fn is_unitary(&self, tol: f64) -> bool {
+        (&self.adjoint() * self).approx_eq(&CMatrix::identity(self.n), tol)
+    }
+
+    /// Kronecker product `self ⊗ other`.
+    #[must_use]
+    pub fn kron(&self, other: &CMatrix) -> CMatrix {
+        let n = self.n * other.n;
+        let mut m = CMatrix::zero(n);
+        for i1 in 0..self.n {
+            for j1 in 0..self.n {
+                let a = self.get(i1, j1);
+                for i2 in 0..other.n {
+                    for j2 in 0..other.n {
+                        m.set(
+                            i1 * other.n + i2,
+                            j1 * other.n + j2,
+                            a * other.get(i2, j2),
+                        );
+                    }
+                }
+            }
+        }
+        m
+    }
+}
+
+impl Mul for &CMatrix {
+    type Output = CMatrix;
+
+    fn mul(self, rhs: &CMatrix) -> CMatrix {
+        assert_eq!(self.n, rhs.n, "matrix dimension mismatch");
+        let mut out = CMatrix::zero(self.n);
+        for i in 0..self.n {
+            for k in 0..self.n {
+                let a = self.get(i, k);
+                if a == Complex::ZERO {
+                    continue;
+                }
+                for j in 0..self.n {
+                    let v = out.get(i, j) + a * rhs.get(k, j);
+                    out.set(i, j, v);
+                }
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for CMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.n {
+            write!(f, "[")?;
+            for j in 0..self.n {
+                if j > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{}", self.get(i, j))?;
+            }
+            writeln!(f, "]")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pauli_x() -> CMatrix {
+        CMatrix::from_rows(&[&[Complex::ZERO, Complex::ONE], &[Complex::ONE, Complex::ZERO]])
+    }
+
+    #[test]
+    fn identity_acts_trivially() {
+        let id = CMatrix::identity(3);
+        let v = vec![Complex::ONE, Complex::I, Complex::new(0.5, -0.5)];
+        assert_eq!(id.mul_vec(&v), v);
+    }
+
+    #[test]
+    fn x_squares_to_identity() {
+        let x = pauli_x();
+        assert!((&x * &x).approx_eq(&CMatrix::identity(2), 1e-12));
+    }
+
+    #[test]
+    fn adjoint_of_phase_matrix() {
+        let mut m = CMatrix::identity(2);
+        m.set(1, 1, Complex::cis(0.7));
+        let a = m.adjoint();
+        assert!(a.get(1, 1).approx_eq(Complex::cis(-0.7), 1e-12));
+    }
+
+    #[test]
+    fn unitarity_detects_non_unitary() {
+        let mut m = CMatrix::identity(2);
+        m.set(0, 0, Complex::real(2.0));
+        assert!(!m.is_unitary(1e-9));
+        assert!(pauli_x().is_unitary(1e-12));
+    }
+
+    #[test]
+    fn kron_dimensions_and_values() {
+        let x = pauli_x();
+        let id = CMatrix::identity(2);
+        let k = x.kron(&id);
+        assert_eq!(k.dim(), 4);
+        assert_eq!(k.get(0, 2), Complex::ONE);
+        assert_eq!(k.get(1, 3), Complex::ONE);
+        assert_eq!(k.get(0, 1), Complex::ZERO);
+        assert!(k.is_unitary(1e-12));
+    }
+
+    #[test]
+    fn mul_vec_applies_x() {
+        let x = pauli_x();
+        let v = vec![Complex::ONE, Complex::ZERO];
+        assert_eq!(x.mul_vec(&v), vec![Complex::ZERO, Complex::ONE]);
+    }
+
+    #[test]
+    #[should_panic(expected = "vector length mismatch")]
+    fn mul_vec_rejects_wrong_length() {
+        let _ = pauli_x().mul_vec(&[Complex::ONE]);
+    }
+
+    #[test]
+    fn from_rows_round_trips() {
+        let m = CMatrix::from_rows(&[
+            &[Complex::ONE, Complex::I],
+            &[Complex::ZERO, Complex::real(2.0)],
+        ]);
+        assert_eq!(m.get(0, 1), Complex::I);
+        assert_eq!(m.get(1, 1), Complex::real(2.0));
+    }
+}

@@ -1,0 +1,268 @@
+//! A tolerance-bucketed canonical store for complex numbers.
+
+use std::collections::HashMap;
+
+use crate::{Complex, Tolerance};
+
+/// Identifier of a canonical complex value inside a [`ComplexTable`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CanonicalId(u32);
+
+impl CanonicalId {
+    /// The raw index of the canonical entry.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A canonical store of complex values with tolerance-based lookup.
+///
+/// Quantum decision diagrams keep every edge weight in a unique table so that
+/// numerically equal weights share one representative; the number of distinct
+/// entries is the paper's "DistinctC" column. Lookup buckets each value onto a
+/// grid of cell size `tolerance` and probes the 3×3 neighbourhood, so two
+/// values within `tolerance` of each other (in each component) map to the
+/// same canonical entry regardless of insertion order.
+///
+/// # Examples
+///
+/// ```
+/// use mdq_num::{Complex, ComplexTable, Tolerance};
+///
+/// let mut table = ComplexTable::new(Tolerance::new(1e-9));
+/// let a = table.insert(Complex::new(0.5, 0.0));
+/// let b = table.insert(Complex::new(0.5 + 1e-12, 0.0));
+/// assert_eq!(a, b);
+/// assert_eq!(table.len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ComplexTable {
+    tolerance: Tolerance,
+    values: Vec<Complex>,
+    buckets: HashMap<(i64, i64), Vec<u32>>,
+}
+
+impl ComplexTable {
+    /// Creates an empty table with the given tolerance.
+    #[must_use]
+    pub fn new(tolerance: Tolerance) -> Self {
+        Self {
+            tolerance,
+            values: Vec::new(),
+            buckets: HashMap::new(),
+        }
+    }
+
+    /// The tolerance used for canonicalization.
+    #[must_use]
+    pub fn tolerance(&self) -> Tolerance {
+        self.tolerance
+    }
+
+    /// Number of distinct canonical values — the "DistinctC" metric.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the table holds no values.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    fn cell(&self, v: Complex) -> (i64, i64) {
+        let t = self.tolerance.value().max(f64::MIN_POSITIVE);
+        // Cells twice the tolerance wide keep the probe neighbourhood small.
+        let w = 2.0 * t;
+        ((v.re / w).floor() as i64, (v.im / w).floor() as i64)
+    }
+
+    /// Inserts a value, returning the canonical id of an existing entry
+    /// within tolerance if one exists.
+    pub fn insert(&mut self, v: Complex) -> CanonicalId {
+        if let Some(id) = self.lookup(v) {
+            return id;
+        }
+        let id = u32::try_from(self.values.len()).expect("complex table overflow");
+        self.values.push(v);
+        let cell = self.cell(v);
+        self.buckets.entry(cell).or_default().push(id);
+        CanonicalId(id)
+    }
+
+    /// Finds the canonical id for a value already in the table, if any.
+    #[must_use]
+    pub fn lookup(&self, v: Complex) -> Option<CanonicalId> {
+        let (cx, cy) = self.cell(v);
+        let tol = self.tolerance.value();
+        for dx in -1..=1 {
+            for dy in -1..=1 {
+                if let Some(ids) = self.buckets.get(&(cx + dx, cy + dy)) {
+                    for &id in ids {
+                        let w = self.values[id as usize];
+                        if (w.re - v.re).abs() <= tol && (w.im - v.im).abs() <= tol {
+                            return Some(CanonicalId(id));
+                        }
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// The canonical representative for an id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id does not belong to this table.
+    #[must_use]
+    pub fn value(&self, id: CanonicalId) -> Complex {
+        self.values[id.index()]
+    }
+
+    /// Canonicalizes a value: the representative that `insert` would return.
+    pub fn canonicalize(&mut self, v: Complex) -> Complex {
+        let id = self.insert(v);
+        self.values[id.index()]
+    }
+
+    /// Iterates over the canonical values.
+    pub fn iter(&self) -> impl Iterator<Item = Complex> + '_ {
+        self.values.iter().copied()
+    }
+}
+
+impl Default for ComplexTable {
+    fn default() -> Self {
+        Self::new(Tolerance::default())
+    }
+}
+
+/// Counts the number of distinct complex values in `values` under the given
+/// tolerance — a convenience wrapper matching the paper's "DistinctC" column.
+///
+/// # Examples
+///
+/// ```
+/// use mdq_num::{distinct_complex_count, Complex, Tolerance};
+///
+/// let w = [Complex::ONE, Complex::ZERO, Complex::new(1.0 + 1e-12, 0.0)];
+/// assert_eq!(distinct_complex_count(w.iter().copied(), Tolerance::default()), 2);
+/// ```
+#[must_use]
+pub fn distinct_complex_count(
+    values: impl IntoIterator<Item = Complex>,
+    tolerance: Tolerance,
+) -> usize {
+    let mut table = ComplexTable::new(tolerance);
+    for v in values {
+        table.insert(v);
+    }
+    table.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_table() {
+        let table = ComplexTable::default();
+        assert!(table.is_empty());
+        assert_eq!(table.len(), 0);
+        assert_eq!(table.lookup(Complex::ONE), None);
+    }
+
+    #[test]
+    fn insert_deduplicates_within_tolerance() {
+        let mut t = ComplexTable::new(Tolerance::new(1e-6));
+        let a = t.insert(Complex::new(1.0, 1.0));
+        let b = t.insert(Complex::new(1.0 + 5e-7, 1.0 - 5e-7));
+        assert_eq!(a, b);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn insert_distinguishes_beyond_tolerance() {
+        let mut t = ComplexTable::new(Tolerance::new(1e-9));
+        let a = t.insert(Complex::new(1.0, 0.0));
+        let b = t.insert(Complex::new(1.0 + 1e-3, 0.0));
+        assert_ne!(a, b);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn canonicalize_returns_first_representative() {
+        let mut t = ComplexTable::new(Tolerance::new(1e-6));
+        let first = Complex::new(0.25, -0.5);
+        t.insert(first);
+        let canon = t.canonicalize(Complex::new(0.25 + 1e-8, -0.5));
+        assert_eq!(canon, first);
+    }
+
+    #[test]
+    fn values_straddling_cell_boundaries_still_merge() {
+        // Pick values just either side of a grid boundary.
+        let tol = 1e-6;
+        let mut t = ComplexTable::new(Tolerance::new(tol));
+        let a = t.insert(Complex::new(2.0 * tol - 1e-9, 0.0));
+        let b = t.insert(Complex::new(2.0 * tol + 1e-9, 0.0));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn negative_values_bucket_correctly() {
+        let mut t = ComplexTable::new(Tolerance::new(1e-9));
+        let a = t.insert(Complex::new(-0.5, -0.5));
+        let b = t.insert(Complex::new(-0.5, -0.5));
+        assert_eq!(a, b);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn distinct_count_helper() {
+        let vs = [
+            Complex::ZERO,
+            Complex::ONE,
+            Complex::new(1.0 / 2.0_f64.sqrt(), 0.0),
+            Complex::ZERO,
+        ];
+        assert_eq!(
+            distinct_complex_count(vs.iter().copied(), Tolerance::default()),
+            3
+        );
+    }
+
+    #[test]
+    fn value_round_trips() {
+        let mut t = ComplexTable::default();
+        let v = Complex::new(0.1, 0.9);
+        let id = t.insert(v);
+        assert_eq!(t.value(id), v);
+    }
+
+    #[test]
+    fn many_inserts_stay_consistent() {
+        let mut t = ComplexTable::new(Tolerance::new(1e-9));
+        for i in 0..1000 {
+            t.insert(Complex::new(f64::from(i) * 0.001, 0.0));
+        }
+        assert_eq!(t.len(), 1000);
+        // Re-inserting everything changes nothing.
+        for i in 0..1000 {
+            t.insert(Complex::new(f64::from(i) * 0.001, 0.0));
+        }
+        assert_eq!(t.len(), 1000);
+    }
+
+    #[test]
+    fn iter_yields_all_canonical_values() {
+        let mut t = ComplexTable::default();
+        t.insert(Complex::ONE);
+        t.insert(Complex::I);
+        let collected: Vec<_> = t.iter().collect();
+        assert_eq!(collected, vec![Complex::ONE, Complex::I]);
+    }
+}

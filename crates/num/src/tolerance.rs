@@ -1,0 +1,120 @@
+//! Comparison thresholds shared across the workspace.
+
+use std::fmt;
+
+/// A non-negative tolerance used for approximate comparisons of amplitudes
+/// and edge weights.
+///
+/// Decision-diagram packages for quantum computing traditionally compare
+/// complex numbers against a small threshold so that numerically equal
+/// values hash to the same canonical entry (cf. Zulehner et al., ICCAD 2019).
+/// The same threshold decides when an edge weight counts as zero.
+///
+/// # Examples
+///
+/// ```
+/// use mdq_num::Tolerance;
+///
+/// let tol = Tolerance::default();
+/// assert!(tol.eq_f64(1.0, 1.0 + 1e-12));
+/// assert!(!tol.eq_f64(1.0, 1.0 + 1e-3));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct Tolerance(f64);
+
+impl Tolerance {
+    /// The workspace-wide default (`1e-9`).
+    pub const DEFAULT: Tolerance = Tolerance(1e-9);
+
+    /// Creates a tolerance from a raw threshold.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is negative or not finite.
+    #[must_use]
+    pub fn new(value: f64) -> Self {
+        assert!(
+            value.is_finite() && value >= 0.0,
+            "tolerance must be finite and non-negative, got {value}"
+        );
+        Tolerance(value)
+    }
+
+    /// The raw threshold.
+    #[must_use]
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Whether two floats are within the tolerance of each other.
+    #[must_use]
+    pub fn eq_f64(self, a: f64, b: f64) -> bool {
+        (a - b).abs() <= self.0
+    }
+
+    /// Whether a float is within the tolerance of zero.
+    #[must_use]
+    pub fn is_zero(self, a: f64) -> bool {
+        a.abs() <= self.0
+    }
+}
+
+impl Default for Tolerance {
+    fn default() -> Self {
+        Tolerance::DEFAULT
+    }
+}
+
+impl fmt::Display for Tolerance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:e}", self.0)
+    }
+}
+
+impl From<Tolerance> for f64 {
+    fn from(t: Tolerance) -> f64 {
+        t.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_1e_minus_9() {
+        assert_eq!(Tolerance::default().value(), 1e-9);
+    }
+
+    #[test]
+    fn zero_tolerance_is_exact_comparison() {
+        let t = Tolerance::new(0.0);
+        assert!(t.eq_f64(1.0, 1.0));
+        assert!(!t.eq_f64(1.0, 1.0 + f64::EPSILON));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_tolerance_panics() {
+        let _ = Tolerance::new(-1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn nan_tolerance_panics() {
+        let _ = Tolerance::new(f64::NAN);
+    }
+
+    #[test]
+    fn is_zero_is_symmetric_around_zero() {
+        let t = Tolerance::new(0.5);
+        assert!(t.is_zero(0.4));
+        assert!(t.is_zero(-0.4));
+        assert!(!t.is_zero(0.6));
+    }
+
+    #[test]
+    fn display_uses_scientific_notation() {
+        assert_eq!(Tolerance::new(1e-9).to_string(), "1e-9");
+    }
+}

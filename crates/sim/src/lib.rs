@@ -1,0 +1,734 @@
+//! Dense mixed-radix state-vector simulator for mixed-dimensional qudit
+//! circuits.
+//!
+//! The paper's evaluation reports the *fidelity* actually reached by the
+//! synthesized circuits; verifying that requires executing mixed-dimensional
+//! circuits on a classical simulator (the authors use their DD-based
+//! simulator from QCE 2023). This crate provides a straightforward dense
+//! simulator: a [`StateVector`] over a mixed-radix register to which
+//! [`Instruction`]s and whole [`Circuit`]s are applied exactly.
+//!
+//! Dense simulation is exponential in the number of qudits, which is fine
+//! for verification at the paper's benchmark sizes (the largest Table 1
+//! register has 6720 basis states).
+//!
+//! # Examples
+//!
+//! ```
+//! use mdq_circuit::{Circuit, Control, Gate, Instruction};
+//! use mdq_num::radix::Dims;
+//! use mdq_sim::StateVector;
+//!
+//! // Prepare the two-qutrit GHZ state of the paper's Figure 1.
+//! let dims = Dims::new(vec![3, 3])?;
+//! let mut circuit = Circuit::new(dims.clone());
+//! circuit.push(Instruction::local(0, Gate::fourier()))?;
+//! circuit.push(Instruction::controlled(1, Gate::shift(1), vec![Control::new(0, 1)]))?;
+//! circuit.push(Instruction::controlled(1, Gate::shift(2), vec![Control::new(0, 2)]))?;
+//!
+//! let mut state = StateVector::ground(dims.clone());
+//! state.apply_circuit(&circuit);
+//!
+//! let p00 = state.probability(&[0, 0]);
+//! let p11 = state.probability(&[1, 1]);
+//! let p22 = state.probability(&[2, 2]);
+//! assert!((p00 - 1.0 / 3.0).abs() < 1e-12);
+//! assert!((p11 - 1.0 / 3.0).abs() < 1e-12);
+//! assert!((p22 - 1.0 / 3.0).abs() < 1e-12);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+
+use mdq_circuit::{Circuit, Gate, Instruction};
+use mdq_num::matrix::CMatrix;
+use mdq_num::radix::Dims;
+use mdq_num::Complex;
+
+/// Errors produced when constructing a [`StateVector`] from amplitudes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// The amplitude vector length does not match the register size.
+    WrongLength {
+        /// Expected `dims.space_size()`.
+        expected: usize,
+        /// Actual length supplied.
+        got: usize,
+    },
+    /// The amplitude vector has zero norm.
+    ZeroNorm,
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::WrongLength { expected, got } => {
+                write!(f, "amplitude vector has length {got}, expected {expected}")
+            }
+            SimError::ZeroNorm => write!(f, "amplitude vector has zero norm"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// A dense pure state of a mixed-dimensional qudit register.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StateVector {
+    dims: Dims,
+    amps: Vec<Complex>,
+}
+
+impl StateVector {
+    /// The product ground state `|0…0⟩`.
+    #[must_use]
+    pub fn ground(dims: Dims) -> Self {
+        let mut amps = vec![Complex::ZERO; dims.space_size()];
+        amps[0] = Complex::ONE;
+        StateVector { dims, amps }
+    }
+
+    /// A state from explicit amplitudes (normalized on construction).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] if the length mismatches the register or the
+    /// norm is zero.
+    pub fn from_amplitudes(dims: Dims, amplitudes: &[Complex]) -> Result<Self, SimError> {
+        if amplitudes.len() != dims.space_size() {
+            return Err(SimError::WrongLength {
+                expected: dims.space_size(),
+                got: amplitudes.len(),
+            });
+        }
+        let norm = mdq_num::norm(amplitudes);
+        if norm <= 1e-15 {
+            return Err(SimError::ZeroNorm);
+        }
+        let amps = amplitudes.iter().map(|a| *a / norm).collect();
+        Ok(StateVector { dims, amps })
+    }
+
+    /// The register layout.
+    #[must_use]
+    pub fn dims(&self) -> &Dims {
+        &self.dims
+    }
+
+    /// The amplitudes in mixed-radix index order.
+    #[must_use]
+    pub fn amplitudes(&self) -> &[Complex] {
+        &self.amps
+    }
+
+    /// The amplitude of one basis state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the digits are out of range.
+    #[must_use]
+    pub fn amplitude(&self, digits: &[usize]) -> Complex {
+        self.amps[self.dims.index_of(digits)]
+    }
+
+    /// The measurement probability of one basis state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the digits are out of range.
+    #[must_use]
+    pub fn probability(&self, digits: &[usize]) -> f64 {
+        self.amplitude(digits).norm_sqr()
+    }
+
+    /// The Euclidean norm of the state (1 for any reachable state).
+    #[must_use]
+    pub fn norm(&self) -> f64 {
+        mdq_num::norm(&self.amps)
+    }
+
+    /// Fidelity `|⟨self|other⟩|²` with another state over the same register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the registers differ.
+    #[must_use]
+    pub fn fidelity(&self, other: &StateVector) -> f64 {
+        assert_eq!(self.dims, other.dims, "fidelity across different registers");
+        mdq_num::fidelity(&self.amps, &other.amps)
+    }
+
+    /// Fidelity against a dense amplitude slice (assumed normalized).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    #[must_use]
+    pub fn fidelity_with_amplitudes(&self, amplitudes: &[Complex]) -> f64 {
+        mdq_num::fidelity(&self.amps, amplitudes)
+    }
+
+    /// Applies one instruction in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the instruction does not fit the register (use
+    /// [`Circuit::push`] to build validated circuits).
+    pub fn apply(&mut self, instruction: &Instruction) {
+        let t = instruction.qudit;
+        let n = self.dims.len();
+        assert!(t < n, "target qudit {t} out of range");
+        let d = self.dims.dim(t);
+        let strides = self.dims.strides();
+        let stride_t = strides[t];
+
+        // Pre-compute control (stride, dim, level) triples.
+        let controls: Vec<(usize, usize, usize)> = instruction
+            .controls
+            .iter()
+            .map(|c| {
+                assert!(c.qudit < n, "control qudit {} out of range", c.qudit);
+                assert!(c.qudit != t, "control equals target");
+                let cd = self.dims.dim(c.qudit);
+                assert!(c.level < cd, "control level {} out of range", c.level);
+                (strides[c.qudit], cd, c.level)
+            })
+            .collect();
+        let control_ok = |idx: usize| {
+            controls
+                .iter()
+                .all(|&(stride, dim, level)| (idx / stride) % dim == level)
+        };
+
+        match &instruction.gate {
+            // Two-level gates touch only a 2×2 block of each fiber.
+            Gate::Givens { lo, hi, theta, phi } => {
+                let c = Complex::real((theta / 2.0).cos());
+                let s = (theta / 2.0).sin();
+                let a01 = Complex::new(0.0, -1.0) * Complex::cis(-phi) * s;
+                let a10 = Complex::new(0.0, -1.0) * Complex::cis(*phi) * s;
+                self.for_each_pair(stride_t, d, *lo, *hi, control_ok, |x, y| {
+                    (c * x + a01 * y, a10 * x + c * y)
+                });
+            }
+            Gate::ZRotation { lo, hi, theta } => {
+                let p0 = Complex::cis(theta / 2.0);
+                let p1 = Complex::cis(-theta / 2.0);
+                self.for_each_pair(stride_t, d, *lo, *hi, control_ok, |x, y| (p0 * x, p1 * y));
+            }
+            gate => {
+                let m = gate.matrix(d);
+                self.apply_fiber_matrix(stride_t, d, control_ok, &m);
+            }
+        }
+    }
+
+    /// Applies a closure to the `(lo, hi)` components of every target fiber
+    /// passing the control predicate.
+    fn for_each_pair(
+        &mut self,
+        stride_t: usize,
+        d: usize,
+        lo: usize,
+        hi: usize,
+        control_ok: impl Fn(usize) -> bool,
+        f: impl Fn(Complex, Complex) -> (Complex, Complex),
+    ) {
+        for idx in 0..self.amps.len() {
+            let digit = (idx / stride_t) % d;
+            if digit == 0 && control_ok(idx) {
+                let i_lo = idx + lo * stride_t;
+                let i_hi = idx + hi * stride_t;
+                let (x, y) = f(self.amps[i_lo], self.amps[i_hi]);
+                self.amps[i_lo] = x;
+                self.amps[i_hi] = y;
+            }
+        }
+    }
+
+    /// Applies a full `d×d` matrix to every target fiber passing the control
+    /// predicate.
+    fn apply_fiber_matrix(
+        &mut self,
+        stride_t: usize,
+        d: usize,
+        control_ok: impl Fn(usize) -> bool,
+        m: &CMatrix,
+    ) {
+        let size = self.amps.len();
+        let mut fiber = vec![Complex::ZERO; d];
+        for idx in 0..size {
+            let digit = (idx / stride_t) % d;
+            if digit != 0 || !control_ok(idx) {
+                continue;
+            }
+            for (k, f) in fiber.iter_mut().enumerate() {
+                *f = self.amps[idx + k * stride_t];
+            }
+            let out = m.mul_vec(&fiber);
+            for (k, v) in out.into_iter().enumerate() {
+                self.amps[idx + k * stride_t] = v;
+            }
+        }
+    }
+
+    /// Applies every instruction of a circuit in order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit's register differs from the state's.
+    pub fn apply_circuit(&mut self, circuit: &Circuit) {
+        assert_eq!(
+            circuit.dims(),
+            &self.dims,
+            "circuit register differs from state register"
+        );
+        for instr in circuit.iter() {
+            self.apply(instr);
+        }
+    }
+
+    /// Samples a basis state (as digits) from the measurement distribution.
+    /// The caller supplies uniform random numbers in `[0, 1)`.
+    pub fn sample(&self, mut uniform: impl FnMut() -> f64) -> Vec<usize> {
+        let mut x = uniform();
+        for (idx, amp) in self.amps.iter().enumerate() {
+            let p = amp.norm_sqr();
+            if x < p {
+                return self.dims.digits_of(idx);
+            }
+            x -= p;
+        }
+        self.dims.digits_of(self.amps.len() - 1)
+    }
+
+    /// The marginal measurement distribution of one qudit: entry `l` is the
+    /// probability of observing `qudit` at level `l`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `qudit` is out of range.
+    #[must_use]
+    pub fn marginal(&self, qudit: usize) -> Vec<f64> {
+        assert!(qudit < self.dims.len(), "qudit {qudit} out of range");
+        let d = self.dims.dim(qudit);
+        let stride = self.dims.strides()[qudit];
+        let mut probs = vec![0.0; d];
+        for (idx, amp) in self.amps.iter().enumerate() {
+            probs[(idx / stride) % d] += amp.norm_sqr();
+        }
+        probs
+    }
+
+    /// Projectively measures one qudit, collapsing the state in place and
+    /// returning the observed level. The caller supplies a uniform random
+    /// number in `[0, 1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `qudit` is out of range.
+    pub fn measure(&mut self, qudit: usize, uniform: f64) -> usize {
+        let probs = self.marginal(qudit);
+        let mut x = uniform;
+        let mut outcome = probs.len() - 1;
+        for (l, &p) in probs.iter().enumerate() {
+            if x < p {
+                outcome = l;
+                break;
+            }
+            x -= p;
+        }
+        let d = self.dims.dim(qudit);
+        let stride = self.dims.strides()[qudit];
+        let renorm = probs[outcome].sqrt();
+        for (idx, amp) in self.amps.iter_mut().enumerate() {
+            if (idx / stride) % d == outcome {
+                *amp = *amp / renorm;
+            } else {
+                *amp = Complex::ZERO;
+            }
+        }
+        outcome
+    }
+
+    /// Extends the register with extra qudits in `|0⟩`, returning the new
+    /// state (existing amplitudes occupy the `extra digits = 0` slice).
+    ///
+    /// Used to run transpiled circuits, whose ancillas extend the register.
+    #[must_use]
+    pub fn with_ancillas(&self, extra_dims: &[usize]) -> StateVector {
+        let mut dims = self.dims.as_slice().to_vec();
+        dims.extend_from_slice(extra_dims);
+        let dims = Dims::new(dims).expect("extended register is valid");
+        let extra: usize = extra_dims.iter().product();
+        let mut amps = vec![Complex::ZERO; dims.space_size()];
+        for (i, a) in self.amps.iter().enumerate() {
+            amps[i * extra] = *a;
+        }
+        StateVector { dims, amps }
+    }
+
+    /// Projects out trailing ancilla qudits that are in `|0⟩`, returning the
+    /// reduced state and the probability mass found outside the ancilla
+    /// ground space (0 for a correctly uncomputed circuit).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `original` exceeds the register length.
+    #[must_use]
+    pub fn without_ancillas(&self, original: usize) -> (StateVector, f64) {
+        assert!(original <= self.dims.len() && original > 0);
+        let dims = Dims::new(self.dims.as_slice()[..original].to_vec())
+            .expect("prefix register is valid");
+        let extra: usize = self.dims.as_slice()[original..].iter().product();
+        let mut amps = vec![Complex::ZERO; dims.space_size()];
+        let mut leaked = 0.0;
+        for (i, a) in self.amps.iter().enumerate() {
+            if i % extra == 0 {
+                amps[i / extra] = *a;
+            } else {
+                leaked += a.norm_sqr();
+            }
+        }
+        (StateVector { dims, amps }, leaked)
+    }
+}
+
+impl fmt::Display for StateVector {
+    /// Writes the state in ket notation, omitting (numerically) zero terms.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (i, a) in self.amps.iter().enumerate() {
+            if a.is_zero(1e-12) {
+                continue;
+            }
+            if !first {
+                write!(f, " + ")?;
+            }
+            first = false;
+            let digits = self.dims.digits_of(i);
+            write!(f, "({a})|")?;
+            for d in digits {
+                write!(f, "{d}")?;
+            }
+            write!(f, "⟩")?;
+        }
+        if first {
+            write!(f, "0")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdq_circuit::{Control, Gate};
+    use proptest::prelude::*;
+
+    fn dims(v: &[usize]) -> Dims {
+        Dims::new(v.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn ground_state_is_all_zero_ket() {
+        let s = StateVector::ground(dims(&[3, 2]));
+        assert!((s.probability(&[0, 0]) - 1.0).abs() < 1e-15);
+        assert!((s.norm() - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn from_amplitudes_normalizes() {
+        let s = StateVector::from_amplitudes(
+            dims(&[2]),
+            &[Complex::real(3.0), Complex::real(4.0)],
+        )
+        .unwrap();
+        assert!((s.probability(&[0]) - 0.36).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_amplitudes_rejects_bad_input() {
+        assert_eq!(
+            StateVector::from_amplitudes(dims(&[2]), &[Complex::ONE]),
+            Err(SimError::WrongLength {
+                expected: 2,
+                got: 1
+            })
+        );
+        assert_eq!(
+            StateVector::from_amplitudes(dims(&[2]), &[Complex::ZERO, Complex::ZERO]),
+            Err(SimError::ZeroNorm)
+        );
+    }
+
+    #[test]
+    fn qutrit_hadamard_gives_uniform_superposition() {
+        // The paper's Example 2.
+        let mut s = StateVector::ground(dims(&[3]));
+        s.apply(&Instruction::local(0, Gate::fourier()));
+        let a = 1.0 / 3.0_f64.sqrt();
+        for k in 0..3 {
+            assert!((s.probability(&[k]) - a * a).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn shift_moves_basis_state() {
+        let mut s = StateVector::ground(dims(&[4]));
+        s.apply(&Instruction::local(0, Gate::shift(3)));
+        assert!((s.probability(&[3]) - 1.0).abs() < 1e-12);
+        s.apply(&Instruction::local(0, Gate::shift(1)));
+        assert!((s.probability(&[0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn control_fires_only_on_exact_level() {
+        // Put the control qutrit in |1⟩, then in |2⟩; the controlled shift
+        // on the qubit fires only at level 1.
+        for (ctrl_state, expect_flip) in [(1usize, true), (2usize, false)] {
+            let mut s = StateVector::ground(dims(&[3, 2]));
+            s.apply(&Instruction::local(0, Gate::shift(ctrl_state as i64)));
+            s.apply(&Instruction::controlled(
+                1,
+                Gate::shift(1),
+                vec![Control::new(0, 1)],
+            ));
+            let expected = if expect_flip {
+                [ctrl_state, 1]
+            } else {
+                [ctrl_state, 0]
+            };
+            assert!(
+                (s.probability(&expected) - 1.0).abs() < 1e-12,
+                "ctrl_state {ctrl_state}"
+            );
+        }
+    }
+
+    #[test]
+    fn givens_fast_path_matches_matrix_path() {
+        let d = dims(&[3, 4]);
+        let amps: Vec<Complex> = (0..12)
+            .map(|i| Complex::new((i + 1) as f64, (i % 5) as f64))
+            .collect();
+        let mut fast = StateVector::from_amplitudes(d.clone(), &amps).unwrap();
+        let mut slow = fast.clone();
+        let gate = Gate::givens(1, 3, 0.8, -0.4);
+        fast.apply(&Instruction::controlled(
+            1,
+            gate.clone(),
+            vec![Control::new(0, 2)],
+        ));
+        // Matrix path via an explicit Unitary gate.
+        slow.apply(&Instruction::controlled(
+            1,
+            Gate::Unitary(gate.matrix(4)),
+            vec![Control::new(0, 2)],
+        ));
+        assert!((fast.fidelity(&slow) - 1.0).abs() < 1e-12);
+        for (a, b) in fast.amplitudes().iter().zip(slow.amplitudes()) {
+            assert!(a.approx_eq(*b, 1e-12));
+        }
+    }
+
+    #[test]
+    fn z_rotation_fast_path_matches_matrix_path() {
+        let d = dims(&[5]);
+        let amps: Vec<Complex> = (0..5).map(|i| Complex::new(1.0, i as f64)).collect();
+        let mut fast = StateVector::from_amplitudes(d.clone(), &amps).unwrap();
+        let mut slow = fast.clone();
+        let gate = Gate::z_rotation(1, 4, 2.2);
+        fast.apply(&Instruction::local(0, gate.clone()));
+        slow.apply(&Instruction::local(0, Gate::Unitary(gate.matrix(5))));
+        for (a, b) in fast.amplitudes().iter().zip(slow.amplitudes()) {
+            assert!(a.approx_eq(*b, 1e-12));
+        }
+    }
+
+    #[test]
+    fn ghz_circuit_of_figure_one() {
+        let d = dims(&[3, 3]);
+        let mut c = Circuit::new(d.clone());
+        c.push(Instruction::local(0, Gate::fourier())).unwrap();
+        c.push(Instruction::controlled(
+            1,
+            Gate::shift(1),
+            vec![Control::new(0, 1)],
+        ))
+        .unwrap();
+        c.push(Instruction::controlled(
+            1,
+            Gate::shift(2),
+            vec![Control::new(0, 2)],
+        ))
+        .unwrap();
+        let mut s = StateVector::ground(d);
+        s.apply_circuit(&c);
+        for k in 0..3 {
+            assert!((s.probability(&[k, k]) - 1.0 / 3.0).abs() < 1e-12);
+        }
+        assert!(s.probability(&[0, 1]) < 1e-15);
+    }
+
+    #[test]
+    fn adjoint_circuit_restores_ground_state() {
+        let d = dims(&[3, 2, 4]);
+        let mut c = Circuit::new(d.clone());
+        c.push(Instruction::local(0, Gate::fourier())).unwrap();
+        c.push(Instruction::controlled(
+            2,
+            Gate::givens(0, 3, 1.2, 0.5),
+            vec![Control::new(0, 1)],
+        ))
+        .unwrap();
+        c.push(Instruction::local(1, Gate::givens(0, 1, 0.7, -0.2)))
+            .unwrap();
+        c.push(Instruction::local(2, Gate::z_rotation(0, 2, 0.9)))
+            .unwrap();
+        let mut s = StateVector::ground(d);
+        s.apply_circuit(&c);
+        s.apply_circuit(&c.adjoint());
+        assert!((s.probability(&[0, 0, 0]) - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn ancilla_round_trip() {
+        let d = dims(&[3, 2]);
+        let mut s = StateVector::ground(d);
+        s.apply(&Instruction::local(0, Gate::fourier()));
+        let extended = s.with_ancillas(&[2, 2]);
+        assert_eq!(extended.dims().as_slice(), &[3, 2, 2, 2]);
+        let (back, leaked) = extended.without_ancillas(2);
+        assert!(leaked < 1e-15);
+        assert!((back.fidelity(&s) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_lists_nonzero_kets() {
+        let mut s = StateVector::ground(dims(&[2, 2]));
+        s.apply(&Instruction::local(0, Gate::shift(1)));
+        assert_eq!(s.to_string(), "(1)|10⟩");
+    }
+
+    #[test]
+    fn marginal_of_ghz_is_uniform_over_min_levels() {
+        let d = dims(&[3, 3]);
+        let mut c = Circuit::new(d.clone());
+        c.push(Instruction::local(0, Gate::fourier())).unwrap();
+        c.push(Instruction::controlled(
+            1,
+            Gate::shift(1),
+            vec![Control::new(0, 1)],
+        ))
+        .unwrap();
+        c.push(Instruction::controlled(
+            1,
+            Gate::shift(2),
+            vec![Control::new(0, 2)],
+        ))
+        .unwrap();
+        let mut s = StateVector::ground(d);
+        s.apply_circuit(&c);
+        for q in 0..2 {
+            let m = s.marginal(q);
+            for p in m {
+                assert!((p - 1.0 / 3.0).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn measure_collapses_ghz_correlations() {
+        // Measuring one half of a GHZ pair determines the other.
+        let d = dims(&[3, 3]);
+        let a = Complex::real(1.0 / 3.0_f64.sqrt());
+        let mut amps = vec![Complex::ZERO; 9];
+        for k in 0..3 {
+            amps[d.index_of(&[k, k])] = a;
+        }
+        for (u, expected) in [(0.0, 0usize), (0.5, 1), (0.99, 2)] {
+            let mut s = StateVector::from_amplitudes(d.clone(), &amps).unwrap();
+            let outcome = s.measure(0, u);
+            assert_eq!(outcome, expected);
+            assert!((s.norm() - 1.0).abs() < 1e-12);
+            assert!((s.probability(&[outcome, outcome]) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn measure_preserves_marginal_of_untouched_qudit() {
+        let d = dims(&[2, 3]);
+        let mut s = StateVector::ground(d);
+        s.apply(&Instruction::local(1, Gate::fourier()));
+        let before = s.marginal(1);
+        let _ = s.measure(0, 0.3);
+        let after = s.marginal(1);
+        for (x, y) in before.iter().zip(after.iter()) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn sample_returns_only_support_states() {
+        let d = dims(&[3, 2]);
+        let mut s = StateVector::ground(d);
+        s.apply(&Instruction::local(0, Gate::fourier()));
+        let mut seq = [0.0, 0.4, 0.99].into_iter();
+        // All samples must have the qubit in |0⟩.
+        for _ in 0..3 {
+            let digits = s.sample(|| seq.next().unwrap_or(0.5));
+            assert_eq!(digits[1], 0);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn prop_gates_preserve_norm(
+            theta in -6.0..6.0f64,
+            phi in -6.0..6.0f64,
+            seed in 0u64..1000,
+        ) {
+            let d = dims(&[3, 2, 4]);
+            let n = d.space_size();
+            let amps: Vec<Complex> = (0..n)
+                .map(|i| {
+                    let x = ((i as u64 + 1) * (seed + 7)) % 97;
+                    Complex::new(x as f64 / 97.0 - 0.5, ((x * 31) % 89) as f64 / 89.0 - 0.5)
+                })
+                .collect();
+            prop_assume!(mdq_num::norm(&amps) > 1e-6);
+            let mut s = StateVector::from_amplitudes(d, &amps).unwrap();
+            s.apply(&Instruction::local(2, Gate::givens(1, 3, theta, phi)));
+            s.apply(&Instruction::controlled(
+                0,
+                Gate::z_rotation(0, 2, theta),
+                vec![Control::new(1, 1)],
+            ));
+            s.apply(&Instruction::local(1, Gate::fourier()));
+            prop_assert!((s.norm() - 1.0).abs() < 1e-9);
+        }
+
+        #[test]
+        fn prop_apply_then_adjoint_is_identity(
+            theta in -6.0..6.0f64,
+            phi in -6.0..6.0f64,
+            lo in 0usize..3,
+        ) {
+            let d = dims(&[4, 2]);
+            let gate = Gate::givens(lo, 3, theta, phi);
+            let mut s = StateVector::ground(d.clone());
+            s.apply(&Instruction::local(0, Gate::fourier()));
+            let before = s.clone();
+            let instr = Instruction::controlled(0, gate, vec![Control::new(1, 0)]);
+            s.apply(&instr);
+            s.apply(&instr.adjoint());
+            prop_assert!((s.fidelity(&before) - 1.0).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,492 @@
+//! Benchmark quantum-state generators for mixed-dimensional qudit systems.
+//!
+//! These are the workloads of the paper's evaluation (Table 1):
+//!
+//! * [`ghz`] — the mixed-dimensional GHZ state
+//!   `1/√k (|0…0⟩ + |1…1⟩ + … + |k−1,…,k−1⟩)` with `k = min(dims)`;
+//! * [`w_state`] — the all-levels W generalization: one component per
+//!   excited level of every qudit (`Σ(dᵢ−1)` components), the variant whose
+//!   operation counts reproduce the paper's W rows;
+//! * [`embedded_w`] — the *n*-qubit W state embedded into levels {0, 1} of
+//!   each qudit (Yeh, *Scaling W state circuits in the qudit Clifford
+//!   hierarchy*, 2023 — reference \[27\] of the paper);
+//! * [`random_state`] — dense random states ("amplitudes generated from a
+//!   uniform distribution"), with selectable [`RandomKind`];
+//!
+//! plus generators used by the examples and extension benchmarks:
+//! [`uniform`], [`basis_state`], [`product_state`], [`dicke`], and
+//! [`cyclic`].
+//!
+//! All generators return normalized dense amplitude vectors in mixed-radix
+//! index order (see [`Dims::index_of`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use mdq_num::radix::Dims;
+//! use mdq_states::{ghz, w_state};
+//!
+//! let dims = Dims::new(vec![3, 6, 2])?;
+//! let g = ghz(&dims);
+//! // min dim is 2 ⇒ two components of amplitude 1/√2.
+//! assert!((g[dims.index_of(&[0, 0, 0])].re - 1.0 / 2.0_f64.sqrt()).abs() < 1e-12);
+//! assert!((g[dims.index_of(&[1, 1, 1])].re - 1.0 / 2.0_f64.sqrt()).abs() < 1e-12);
+//!
+//! // The all-levels W state has Σ(dᵢ−1) = 2+5+1 = 8 components.
+//! let w = w_state(&dims);
+//! let support = w.iter().filter(|a| a.norm_sqr() > 1e-12).count();
+//! assert_eq!(support, 8);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod sparse;
+
+use mdq_num::radix::Dims;
+use mdq_num::Complex;
+use rand::Rng;
+
+/// The mixed-dimensional GHZ state `1/√k Σ_{l<k} |l,l,…,l⟩` with
+/// `k = min(dims)` (reference \[33\] of the paper).
+///
+/// For uniform qubit registers this is the familiar
+/// `(|0…0⟩ + |1…1⟩)/√2`; mixed registers are truncated at the smallest
+/// local dimension so every component is a valid basis state.
+#[must_use]
+pub fn ghz(dims: &Dims) -> Vec<Complex> {
+    let k = dims.as_slice().iter().copied().min().expect("non-empty register");
+    let amp = Complex::real(1.0 / (k as f64).sqrt());
+    let mut amps = vec![Complex::ZERO; dims.space_size()];
+    for level in 0..k {
+        let digits = vec![level; dims.len()];
+        amps[dims.index_of(&digits)] = amp;
+    }
+    amps
+}
+
+/// The all-levels W generalization: an equal superposition of every state
+/// with exactly one qudit excited to any of its levels `1..dᵢ`,
+/// `1/√N Σᵢ Σ_{l=1}^{dᵢ−1} |0,…,l⟩ᵢ,…,0⟩` with `N = Σ(dᵢ−1)`.
+///
+/// For qubit registers this is the ordinary W state (reference \[34\]); the
+/// operation counts it produces under exact synthesis match the paper's
+/// W-state rows of Table 1 (37/186/262), which identifies it as the variant
+/// benchmarked there.
+#[must_use]
+pub fn w_state(dims: &Dims) -> Vec<Complex> {
+    let components: usize = dims.as_slice().iter().map(|d| d - 1).sum();
+    let amp = Complex::real(1.0 / (components as f64).sqrt());
+    let mut amps = vec![Complex::ZERO; dims.space_size()];
+    for (qudit, &d) in dims.as_slice().iter().enumerate() {
+        for level in 1..d {
+            let mut digits = vec![0; dims.len()];
+            digits[qudit] = level;
+            amps[dims.index_of(&digits)] = amp;
+        }
+    }
+    amps
+}
+
+/// The *n*-qubit W state embedded into levels {0, 1} of each qudit:
+/// `1/√n (|0…01⟩ + |0…10⟩ + … + |10…0⟩)` (reference \[27\]).
+#[must_use]
+pub fn embedded_w(dims: &Dims) -> Vec<Complex> {
+    let n = dims.len();
+    let amp = Complex::real(1.0 / (n as f64).sqrt());
+    let mut amps = vec![Complex::ZERO; dims.space_size()];
+    for qudit in 0..n {
+        let mut digits = vec![0; n];
+        digits[qudit] = 1;
+        amps[dims.index_of(&digits)] = amp;
+    }
+    amps
+}
+
+/// How random amplitudes are drawn by [`random_state`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RandomKind {
+    /// Real and imaginary parts i.i.d. uniform on `(−1, 1)` (default).
+    #[default]
+    ReImUniform,
+    /// Non-negative real amplitudes uniform on `(0, 1)`.
+    RealUniform,
+    /// Magnitude uniform on `(0, 1)` with phase uniform on `(0, 2π)`.
+    MagnitudePhase,
+}
+
+/// A dense random state with every amplitude drawn from a uniform
+/// distribution, then normalized (the paper's "Random State" benchmark; the
+/// exact distribution is unspecified there, so the flavour is selectable).
+///
+/// With probability 1 every amplitude is distinct and nonzero, so the
+/// decision diagram is a full tree and "DistinctC" equals the edge count —
+/// exactly the behaviour of the Random rows of Table 1.
+pub fn random_state<R: Rng + ?Sized>(dims: &Dims, kind: RandomKind, rng: &mut R) -> Vec<Complex> {
+    let n = dims.space_size();
+    let raw: Vec<Complex> = (0..n)
+        .map(|_| match kind {
+            RandomKind::ReImUniform => {
+                Complex::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0))
+            }
+            RandomKind::RealUniform => Complex::real(rng.gen_range(0.0..1.0)),
+            RandomKind::MagnitudePhase => Complex::from_polar(
+                rng.gen_range(0.0..1.0),
+                rng.gen_range(0.0..std::f64::consts::TAU),
+            ),
+        })
+        .collect();
+    normalize(raw)
+}
+
+/// The uniform superposition over all basis states.
+#[must_use]
+pub fn uniform(dims: &Dims) -> Vec<Complex> {
+    let n = dims.space_size();
+    vec![Complex::real(1.0 / (n as f64).sqrt()); n]
+}
+
+/// The basis state `|digits⟩`.
+///
+/// # Panics
+///
+/// Panics if the digits are out of range for the register.
+#[must_use]
+pub fn basis_state(dims: &Dims, digits: &[usize]) -> Vec<Complex> {
+    let mut amps = vec![Complex::ZERO; dims.space_size()];
+    amps[dims.index_of(digits)] = Complex::ONE;
+    amps
+}
+
+/// A product state `⊗ᵢ |ψᵢ⟩` from local amplitude vectors (each normalized
+/// internally).
+///
+/// # Panics
+///
+/// Panics if the number of factors or any factor length mismatches the
+/// register, or if a factor has zero norm.
+#[must_use]
+pub fn product_state(dims: &Dims, factors: &[Vec<Complex>]) -> Vec<Complex> {
+    assert_eq!(
+        factors.len(),
+        dims.len(),
+        "need one local factor per qudit"
+    );
+    for (i, f) in factors.iter().enumerate() {
+        assert_eq!(f.len(), dims.dim(i), "factor {i} has wrong dimension");
+        assert!(mdq_num::norm(f) > 1e-12, "factor {i} has zero norm");
+    }
+    let mut amps = Vec::with_capacity(dims.space_size());
+    for digits in dims.iter_basis() {
+        let mut a = Complex::ONE;
+        for (i, &digit) in digits.iter().enumerate() {
+            a *= factors[i][digit];
+        }
+        amps.push(a);
+    }
+    normalize(amps)
+}
+
+/// The Dicke-style state with exactly `k` qudits excited to level 1 (and
+/// every other qudit at level 0), in equal superposition — the qudit
+/// embedding of the qubit Dicke state `|D^n_k⟩`.
+///
+/// # Panics
+///
+/// Panics if `k > dims.len()`.
+#[must_use]
+pub fn dicke(dims: &Dims, k: usize) -> Vec<Complex> {
+    let n = dims.len();
+    assert!(k <= n, "cannot excite {k} of {n} qudits");
+    let mut amps = vec![Complex::ZERO; dims.space_size()];
+    let mut count = 0usize;
+    // Enumerate all n-choose-k excitation patterns via bitmasks.
+    for mask in 0u64..(1 << n) {
+        if mask.count_ones() as usize != k {
+            continue;
+        }
+        let digits: Vec<usize> = (0..n).map(|i| usize::from(mask >> i & 1 == 1)).collect();
+        amps[dims.index_of(&digits)] = Complex::ONE;
+        count += 1;
+    }
+    let amp = Complex::real(1.0 / (count as f64).sqrt());
+    for a in &mut amps {
+        if a.norm_sqr() > 0.0 {
+            *a = amp;
+        }
+    }
+    amps
+}
+
+/// A cyclic state: the equal superposition of all distinct cyclic rotations
+/// of the digit string `seed` (cf. Mozafari, Yang, De Micheli, *Efficient
+/// preparation of cyclic quantum states*, ASP-DAC 2022 — reference \[24\]).
+///
+/// Rotations that would move a digit onto a qudit too small to hold it are
+/// skipped, which keeps the construction well-defined on mixed registers.
+///
+/// # Panics
+///
+/// Panics if `seed` is out of range for the register or no rotation is
+/// representable.
+#[must_use]
+pub fn cyclic(dims: &Dims, seed: &[usize]) -> Vec<Complex> {
+    assert_eq!(seed.len(), dims.len(), "seed length mismatch");
+    let n = dims.len();
+    let mut components = Vec::new();
+    for shift in 0..n {
+        let rotated: Vec<usize> = (0..n).map(|i| seed[(i + shift) % n]).collect();
+        if rotated
+            .iter()
+            .zip(dims.as_slice())
+            .all(|(&digit, &d)| digit < d)
+        {
+            let idx = dims.index_of(&rotated);
+            if !components.contains(&idx) {
+                components.push(idx);
+            }
+        }
+    }
+    assert!(!components.is_empty(), "no representable rotation of seed");
+    let amp = Complex::real(1.0 / (components.len() as f64).sqrt());
+    let mut amps = vec![Complex::ZERO; dims.space_size()];
+    for idx in components {
+        amps[idx] = amp;
+    }
+    amps
+}
+
+fn normalize(mut amps: Vec<Complex>) -> Vec<Complex> {
+    let norm = mdq_num::norm(&amps);
+    assert!(norm > 1e-12, "state has zero norm");
+    for a in &mut amps {
+        *a = *a / norm;
+    }
+    amps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn dims(v: &[usize]) -> Dims {
+        Dims::new(v.to_vec()).unwrap()
+    }
+
+    fn assert_normalized(amps: &[Complex]) {
+        let total: f64 = amps.iter().map(|a| a.norm_sqr()).sum();
+        assert!((total - 1.0).abs() < 1e-12, "norm² = {total}");
+    }
+
+    fn support(amps: &[Complex]) -> usize {
+        amps.iter().filter(|a| a.norm_sqr() > 1e-15).count()
+    }
+
+    #[test]
+    fn ghz_uses_min_dimension_components() {
+        let d = dims(&[3, 6, 2]);
+        let g = ghz(&d);
+        assert_normalized(&g);
+        assert_eq!(support(&g), 2);
+        let d = dims(&[4, 7, 4, 4, 3, 5]);
+        let g = ghz(&d);
+        assert_eq!(support(&g), 3);
+        assert_normalized(&g);
+    }
+
+    #[test]
+    fn ghz_on_uniform_qutrits_matches_example_three() {
+        // The paper's Example 3: (|00⟩ + |11⟩ + |22⟩)/√3.
+        let d = dims(&[3, 3]);
+        let g = ghz(&d);
+        let a = 1.0 / 3.0_f64.sqrt();
+        for k in 0..3 {
+            assert!((g[d.index_of(&[k, k])].re - a).abs() < 1e-12);
+        }
+        assert_eq!(support(&g), 3);
+    }
+
+    #[test]
+    fn w_state_component_counts() {
+        for (v, expected) in [
+            (vec![3usize, 6, 2], 8usize),  // 2+5+1
+            (vec![9, 5, 6, 3], 19),        // 8+4+5+2
+            (vec![4, 7, 4, 4, 3, 5], 21),  // 3+6+3+3+2+4
+        ] {
+            let d = dims(&v);
+            let w = w_state(&d);
+            assert_eq!(support(&w), expected, "dims {v:?}");
+            assert_normalized(&w);
+        }
+    }
+
+    #[test]
+    fn w_state_components_have_single_excitation() {
+        let d = dims(&[3, 4]);
+        let w = w_state(&d);
+        for (i, a) in w.iter().enumerate() {
+            if a.norm_sqr() > 1e-15 {
+                let digits = d.digits_of(i);
+                let excited = digits.iter().filter(|&&x| x > 0).count();
+                assert_eq!(excited, 1, "component {digits:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn embedded_w_has_one_component_per_qudit() {
+        let d = dims(&[9, 5, 6, 3]);
+        let w = embedded_w(&d);
+        assert_eq!(support(&w), 4);
+        assert_normalized(&w);
+        // Every component uses only levels {0,1}.
+        for (i, a) in w.iter().enumerate() {
+            if a.norm_sqr() > 1e-15 {
+                assert!(d.digits_of(i).iter().all(|&x| x <= 1));
+            }
+        }
+    }
+
+    #[test]
+    fn embedded_w_on_qubits_equals_w_state() {
+        let d = dims(&[2, 2, 2]);
+        let a = embedded_w(&d);
+        let b = w_state(&d);
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert!(x.approx_eq(*y, 1e-12));
+        }
+    }
+
+    #[test]
+    fn random_state_is_dense_and_seeded() {
+        let d = dims(&[3, 6, 2]);
+        let mut rng = StdRng::seed_from_u64(7);
+        let r1 = random_state(&d, RandomKind::ReImUniform, &mut rng);
+        assert_normalized(&r1);
+        assert_eq!(support(&r1), d.space_size());
+        // Same seed reproduces the state.
+        let mut rng = StdRng::seed_from_u64(7);
+        let r2 = random_state(&d, RandomKind::ReImUniform, &mut rng);
+        assert_eq!(r1, r2);
+        // Different seed differs.
+        let mut rng = StdRng::seed_from_u64(8);
+        let r3 = random_state(&d, RandomKind::ReImUniform, &mut rng);
+        assert_ne!(r1, r3);
+    }
+
+    #[test]
+    fn random_kinds_respect_their_distributions() {
+        let d = dims(&[4, 4]);
+        let mut rng = StdRng::seed_from_u64(3);
+        let real = random_state(&d, RandomKind::RealUniform, &mut rng);
+        assert!(real.iter().all(|a| a.im == 0.0 && a.re >= 0.0));
+        let polar = random_state(&d, RandomKind::MagnitudePhase, &mut rng);
+        assert_normalized(&polar);
+        assert!(polar.iter().any(|a| a.im != 0.0));
+    }
+
+    #[test]
+    fn uniform_state_is_flat() {
+        let d = dims(&[3, 2]);
+        let u = uniform(&d);
+        assert_normalized(&u);
+        let a = 1.0 / 6.0_f64.sqrt();
+        assert!(u.iter().all(|x| (x.re - a).abs() < 1e-12 && x.im == 0.0));
+    }
+
+    #[test]
+    fn basis_state_is_one_hot() {
+        let d = dims(&[3, 4]);
+        let b = basis_state(&d, &[2, 1]);
+        assert_eq!(support(&b), 1);
+        assert!(b[d.index_of(&[2, 1])].approx_eq(Complex::ONE, 1e-15));
+    }
+
+    #[test]
+    fn product_state_factorizes() {
+        let d = dims(&[2, 3]);
+        let plus = vec![Complex::ONE, Complex::ONE];
+        let skew = vec![Complex::real(1.0), Complex::real(2.0), Complex::real(2.0)];
+        let p = product_state(&d, &[plus, skew]);
+        assert_normalized(&p);
+        // amplitude(|i,j⟩) ∝ 1 · skew[j]
+        let a00 = p[d.index_of(&[0, 0])];
+        let a01 = p[d.index_of(&[0, 1])];
+        assert!((a01.re / a00.re - 2.0).abs() < 1e-12);
+        let a10 = p[d.index_of(&[1, 0])];
+        assert!(a10.approx_eq(a00, 1e-12));
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong dimension")]
+    fn product_state_checks_factor_lengths() {
+        let d = dims(&[2, 3]);
+        let _ = product_state(&d, &[vec![Complex::ONE; 2], vec![Complex::ONE; 2]]);
+    }
+
+    #[test]
+    fn dicke_counts_choose_patterns() {
+        let d = dims(&[2, 3, 2, 4]);
+        let s = dicke(&d, 2);
+        assert_eq!(support(&s), 6); // C(4,2)
+        assert_normalized(&s);
+        for (i, a) in s.iter().enumerate() {
+            if a.norm_sqr() > 1e-15 {
+                let digits = d.digits_of(i);
+                assert_eq!(digits.iter().sum::<usize>(), 2);
+                assert!(digits.iter().all(|&x| x <= 1));
+            }
+        }
+    }
+
+    #[test]
+    fn dicke_zero_is_ground_state() {
+        let d = dims(&[3, 2]);
+        let s = dicke(&d, 0);
+        assert_eq!(support(&s), 1);
+        assert!(s[0].approx_eq(Complex::ONE, 1e-15));
+    }
+
+    #[test]
+    fn cyclic_superposes_rotations() {
+        let d = dims(&[3, 3, 3]);
+        let s = cyclic(&d, &[0, 1, 2]);
+        assert_eq!(support(&s), 3);
+        assert_normalized(&s);
+        assert!(s[d.index_of(&[0, 1, 2])].norm_sqr() > 0.0);
+        assert!(s[d.index_of(&[1, 2, 0])].norm_sqr() > 0.0);
+        assert!(s[d.index_of(&[2, 0, 1])].norm_sqr() > 0.0);
+    }
+
+    #[test]
+    fn cyclic_deduplicates_fixed_points() {
+        let d = dims(&[2, 2]);
+        let s = cyclic(&d, &[1, 1]);
+        assert_eq!(support(&s), 1);
+    }
+
+    #[test]
+    fn cyclic_skips_unrepresentable_rotations() {
+        // Rotating [2,0] onto a qubit position is invalid and skipped.
+        let d = dims(&[3, 2]);
+        let s = cyclic(&d, &[2, 0]);
+        assert_eq!(support(&s), 1);
+        assert!(s[d.index_of(&[2, 0])].norm_sqr() > 0.0);
+    }
+
+    #[test]
+    fn all_generators_are_normalized_across_registers() {
+        for v in [vec![2usize, 2], vec![3, 6, 2], vec![9, 5, 6, 3]] {
+            let d = dims(&v);
+            assert_normalized(&ghz(&d));
+            assert_normalized(&w_state(&d));
+            assert_normalized(&embedded_w(&d));
+            assert_normalized(&uniform(&d));
+            let mut rng = StdRng::seed_from_u64(1);
+            assert_normalized(&random_state(&d, RandomKind::default(), &mut rng));
+        }
+    }
+}

@@ -1,0 +1,208 @@
+//! Sparse `(digits, amplitude)` generators for structured states.
+//!
+//! The dense generators of the crate root materialize the full Hilbert
+//! space, which caps registers at a few thousand amplitudes. The structured
+//! benchmark families (GHZ, W, embedded W, Dicke, cyclic, basis) have
+//! supports linear (or polynomial) in the qudit count, so they pair
+//! naturally with [`StateDd::from_sparse`] to scale to registers whose
+//! dense vector could never be allocated.
+//!
+//! [`StateDd::from_sparse`]: https://example.invalid/mdq
+//!
+//! # Examples
+//!
+//! ```
+//! use mdq_dd::{BuildOptions, StateDd};
+//! use mdq_num::radix::Dims;
+//! use mdq_states::sparse;
+//!
+//! // A 16-qudit mixed register: the dense space has ~43 million
+//! // amplitudes; the sparse GHZ description has two entries.
+//! let dims = Dims::new(vec![3, 4, 2, 5, 3, 2, 4, 3, 2, 3, 4, 2, 5, 3, 2, 3])?;
+//! let dd = StateDd::from_sparse(&dims, &sparse::ghz(&dims), BuildOptions::default())?;
+//! assert_eq!(dd.node_count(), 1 + 2 * 15);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use mdq_num::radix::Dims;
+use mdq_num::Complex;
+
+/// A sparse state: basis-state digits and their amplitudes.
+pub type SparseState = Vec<(Vec<usize>, Complex)>;
+
+/// Sparse form of [`ghz`](crate::ghz): `k = min(dims)` diagonal components.
+#[must_use]
+pub fn ghz(dims: &Dims) -> SparseState {
+    let k = dims.as_slice().iter().copied().min().expect("non-empty register");
+    let amp = Complex::real(1.0 / (k as f64).sqrt());
+    (0..k).map(|level| (vec![level; dims.len()], amp)).collect()
+}
+
+/// Sparse form of [`w_state`](crate::w_state): one component per excited
+/// level of every qudit.
+#[must_use]
+pub fn w_state(dims: &Dims) -> SparseState {
+    let components: usize = dims.as_slice().iter().map(|d| d - 1).sum();
+    let amp = Complex::real(1.0 / (components as f64).sqrt());
+    let mut entries = Vec::with_capacity(components);
+    for (qudit, &d) in dims.as_slice().iter().enumerate() {
+        for level in 1..d {
+            let mut digits = vec![0; dims.len()];
+            digits[qudit] = level;
+            entries.push((digits, amp));
+        }
+    }
+    entries
+}
+
+/// Sparse form of [`embedded_w`](crate::embedded_w): one level-1 component
+/// per qudit.
+#[must_use]
+pub fn embedded_w(dims: &Dims) -> SparseState {
+    let n = dims.len();
+    let amp = Complex::real(1.0 / (n as f64).sqrt());
+    (0..n)
+        .map(|qudit| {
+            let mut digits = vec![0; n];
+            digits[qudit] = 1;
+            (digits, amp)
+        })
+        .collect()
+}
+
+/// Sparse form of [`basis_state`](crate::basis_state).
+///
+/// # Panics
+///
+/// Panics if the digits are out of range for the register.
+#[must_use]
+pub fn basis_state(dims: &Dims, digits: &[usize]) -> SparseState {
+    // Validate through index_of.
+    let _ = dims.index_of(digits);
+    vec![(digits.to_vec(), Complex::ONE)]
+}
+
+/// Sparse form of [`dicke`](crate::dicke): `C(n, k)` components with exactly
+/// `k` qudits at level 1.
+///
+/// # Panics
+///
+/// Panics if `k > dims.len()`.
+#[must_use]
+pub fn dicke(dims: &Dims, k: usize) -> SparseState {
+    let n = dims.len();
+    assert!(k <= n, "cannot excite {k} of {n} qudits");
+    let mut entries = Vec::new();
+    let mut pattern = vec![0usize; n];
+    collect_dicke(&mut pattern, 0, k, &mut entries);
+    let amp = Complex::real(1.0 / (entries.len() as f64).sqrt());
+    entries.into_iter().map(|digits| (digits, amp)).collect()
+}
+
+fn collect_dicke(pattern: &mut Vec<usize>, from: usize, left: usize, out: &mut Vec<Vec<usize>>) {
+    if left == 0 {
+        out.push(pattern.clone());
+        return;
+    }
+    let n = pattern.len();
+    if from + left > n {
+        return;
+    }
+    // Exclude `from`.
+    collect_dicke(pattern, from + 1, left, out);
+    // Include `from`.
+    pattern[from] = 1;
+    collect_dicke(pattern, from + 1, left - 1, out);
+    pattern[from] = 0;
+}
+
+/// Sparse form of [`cyclic`](crate::cyclic): the distinct representable
+/// rotations of `seed`.
+///
+/// # Panics
+///
+/// Panics if `seed` mismatches the register or no rotation is representable.
+#[must_use]
+pub fn cyclic(dims: &Dims, seed: &[usize]) -> SparseState {
+    assert_eq!(seed.len(), dims.len(), "seed length mismatch");
+    let n = dims.len();
+    let mut components: Vec<Vec<usize>> = Vec::new();
+    for shift in 0..n {
+        let rotated: Vec<usize> = (0..n).map(|i| seed[(i + shift) % n]).collect();
+        if rotated
+            .iter()
+            .zip(dims.as_slice())
+            .all(|(&digit, &d)| digit < d)
+            && !components.contains(&rotated)
+        {
+            components.push(rotated);
+        }
+    }
+    assert!(!components.is_empty(), "no representable rotation of seed");
+    let amp = Complex::real(1.0 / (components.len() as f64).sqrt());
+    components.into_iter().map(|digits| (digits, amp)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dims(v: &[usize]) -> Dims {
+        Dims::new(v.to_vec()).unwrap()
+    }
+
+    /// Densifies a sparse state for comparison with the dense generators.
+    fn densify(dims: &Dims, entries: &SparseState) -> Vec<Complex> {
+        let mut amps = vec![Complex::ZERO; dims.space_size()];
+        for (digits, amp) in entries {
+            amps[dims.index_of(digits)] += *amp;
+        }
+        amps
+    }
+
+    #[test]
+    fn sparse_generators_match_dense_generators() {
+        let d = dims(&[3, 6, 2]);
+        let pairs: Vec<(Vec<Complex>, SparseState)> = vec![
+            (crate::ghz(&d), ghz(&d)),
+            (crate::w_state(&d), w_state(&d)),
+            (crate::embedded_w(&d), embedded_w(&d)),
+            (crate::dicke(&d, 2), dicke(&d, 2)),
+            (crate::basis_state(&d, &[2, 4, 1]), basis_state(&d, &[2, 4, 1])),
+            (crate::cyclic(&d, &[1, 0, 0]), cyclic(&d, &[1, 0, 0])),
+        ];
+        for (i, (dense, sparse)) in pairs.iter().enumerate() {
+            let from_sparse = densify(&d, sparse);
+            for (a, b) in dense.iter().zip(from_sparse.iter()) {
+                assert!(a.approx_eq(*b, 1e-12), "family {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_supports_are_minimal() {
+        let d = dims(&[9, 5, 6, 3]);
+        assert_eq!(ghz(&d).len(), 3);
+        assert_eq!(w_state(&d).len(), 19);
+        assert_eq!(embedded_w(&d).len(), 4);
+        assert_eq!(basis_state(&d, &[0, 0, 0, 0]).len(), 1);
+    }
+
+    #[test]
+    fn dicke_enumerates_choose_patterns() {
+        let d = dims(&[2; 6]);
+        assert_eq!(dicke(&d, 3).len(), 20); // C(6,3)
+        assert_eq!(dicke(&d, 0).len(), 1);
+        assert_eq!(dicke(&d, 6).len(), 1);
+    }
+
+    #[test]
+    fn generators_scale_to_large_registers() {
+        // 24 qudits — impossible densely, trivial sparsely.
+        let pattern: Vec<usize> = (0..24).map(|i| 2 + (i % 4)).collect();
+        let d = dims(&pattern);
+        assert_eq!(ghz(&d).len(), 2);
+        assert_eq!(w_state(&d).len(), pattern.iter().map(|x| x - 1).sum::<usize>());
+        assert_eq!(embedded_w(&d).len(), 24);
+    }
+}

@@ -1,0 +1,42 @@
+//! Entanglement structure from the diagram alone: Schmidt-rank bounds for
+//! every bipartition, read off the reduced decision diagram (§1 of the
+//! paper motivates state preparation as a tool for studying exactly such
+//! properties of qudit states).
+//!
+//! Run with: `cargo run --example entanglement_map`
+
+use mdq::dd::{BuildOptions, StateDd};
+use mdq::num::radix::Dims;
+use mdq::num::Complex;
+use mdq::states;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dims = Dims::new(vec![3, 6, 2, 4])?;
+    println!("register {dims}: Schmidt-rank bounds per cut (left|right)\n");
+
+    let families: Vec<(&str, Vec<Complex>)> = vec![
+        ("GHZ", states::ghz(&dims)),
+        ("W (all levels)", states::w_state(&dims)),
+        ("embedded W", states::embedded_w(&dims)),
+        ("Dicke k=2", states::dicke(&dims, 2)),
+        ("uniform (product)", states::uniform(&dims)),
+        ("basis |1,2,0,3⟩", states::basis_state(&dims, &[1, 2, 0, 3])),
+    ];
+
+    println!("{:<18} {:>12} {:>10}", "state", "cut ranks", "product?");
+    for (name, amps) in families {
+        let dd = StateDd::from_amplitudes(&dims, &amps, BuildOptions::default())?.reduce();
+        let ranks = dd.cut_ranks();
+        println!(
+            "{:<18} {:>12} {:>10}",
+            name,
+            format!("{ranks:?}"),
+            if dd.is_product_bound() { "yes" } else { "no" }
+        );
+    }
+
+    println!("\nGHZ is rank-k across every cut; W states are rank-2 everywhere;");
+    println!("product states are rank-1 everywhere — all visible in the diagram");
+    println!("without computing a single reduced density matrix.");
+    Ok(())
+}

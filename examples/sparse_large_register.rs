@@ -1,0 +1,65 @@
+//! Beyond dense reach: synthesize state-preparation circuits for registers
+//! whose Hilbert space could never be allocated, using the sparse pipeline.
+//!
+//! Run with: `cargo run --release --example sparse_large_register`
+//!
+//! The paper's evaluation stops at 6720 dense amplitudes; the decision
+//! diagram itself has no such limit for structured states. This example
+//! prepares GHZ, W and Dicke states over a 20-qudit mixed register
+//! (≈ 10¹⁰ basis states) in microseconds, because the diagram and the
+//! circuit are linear in the register size.
+
+use mdq::core::{prepare_sparse, verify::prepared_fidelity_dd, PrepareOptions};
+use mdq::dd::{BuildOptions, StateDd};
+use mdq::num::radix::Dims;
+use mdq::states::sparse;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let pattern = vec![3usize, 4, 2, 5, 3, 2, 4, 3, 2, 3, 4, 2, 5, 3, 2, 3, 4, 2, 3, 5];
+    let dims = Dims::new(pattern)?;
+    let space: f64 = dims.as_slice().iter().map(|&d| d as f64).product();
+    println!(
+        "register: {} ({} qudits, ≈{:.2e} basis states)\n",
+        dims,
+        dims.len(),
+        space
+    );
+
+    println!(
+        "{:<10} {:>8} {:>8} {:>6} {:>10} {:>12} {:>10}",
+        "state", "support", "nodes", "ops", "ctrl(max)", "time", "fidelity"
+    );
+    let workloads: Vec<(&str, sparse::SparseState)> = vec![
+        ("GHZ", sparse::ghz(&dims)),
+        ("W", sparse::w_state(&dims)),
+        ("Emb. W", sparse::embedded_w(&dims)),
+        ("Dicke k=2", sparse::dicke(&dims, 2)),
+    ];
+
+    for (name, entries) in workloads {
+        let support = entries.len();
+        let result = prepare_sparse(&dims, &entries, PrepareOptions::exact())?;
+
+        // The dense simulator cannot verify at this scale, but the
+        // decision-diagram simulator can: run the synthesized circuit on
+        // the |0…0⟩ diagram and compare against the target diagram.
+        let target = StateDd::from_sparse(&dims, &entries, BuildOptions::default())?;
+        let fidelity = prepared_fidelity_dd(&result.circuit, &target);
+
+        println!(
+            "{:<10} {:>8} {:>8} {:>6} {:>10} {:>12?} {:>10.6}",
+            name,
+            support,
+            result.dd.node_count(),
+            result.report.operations,
+            result.report.controls_max,
+            result.report.total_time,
+            fidelity,
+        );
+        assert!(fidelity > 1.0 - 1e-9, "{name}: fidelity {fidelity}");
+    }
+
+    println!("\nEvery circuit was verified end to end by decision-diagram simulation;");
+    println!("the dense vector (≈80 GB of amplitudes) never existed.");
+    Ok(())
+}

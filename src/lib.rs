@@ -1,0 +1,47 @@
+//! # mdq — Mixed-Dimensional Qudit State Preparation
+//!
+//! A Rust reproduction of *"Mixed-Dimensional Qudit State Preparation Using
+//! Edge-Weighted Decision Diagrams"* (Mato, Hillmich, Wille — DAC 2024),
+//! including every substrate the paper relies on:
+//!
+//! | Crate | Contents |
+//! |-------|----------|
+//! | [`num`] | complex arithmetic, tolerance tables, mixed-radix utilities |
+//! | [`dd`] | edge-weighted decision diagrams with variable successor counts |
+//! | [`circuit`] | mixed-dimensional circuit IR, passes, transpilation |
+//! | [`sim`] | dense mixed-radix state-vector simulator |
+//! | [`states`] | benchmark state generators (GHZ, W, embedded W, random, …) |
+//! | [`core`] | the synthesis algorithm and the three-step pipeline |
+//!
+//! This facade re-exports all of them; depend on the individual crates for a
+//! narrower dependency surface.
+//!
+//! # Quickstart
+//!
+//! Prepare a two-qutrit GHZ state (the paper's Figure 1) and verify it:
+//!
+//! ```
+//! use mdq::core::{prepare, PrepareOptions};
+//! use mdq::num::radix::Dims;
+//! use mdq::sim::StateVector;
+//! use mdq::states::ghz;
+//!
+//! let dims = Dims::new(vec![3, 3])?;
+//! let target = ghz(&dims);
+//! let result = prepare(&dims, &target, PrepareOptions::exact())?;
+//!
+//! let mut state = StateVector::ground(dims);
+//! state.apply_circuit(&result.circuit);
+//! assert!(state.fidelity_with_amplitudes(&target) > 1.0 - 1e-9);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use mdq_circuit as circuit;
+pub use mdq_core as core;
+pub use mdq_dd as dd;
+pub use mdq_num as num;
+pub use mdq_sim as sim;
+pub use mdq_states as states;

@@ -1,0 +1,92 @@
+//! Property-based end-to-end test: for arbitrary mixed-dimensional
+//! registers and arbitrary dense states, the full pipeline prepares the
+//! state to its guaranteed fidelity — exactly when exact, within budget
+//! when approximated — and all reported metrics are internally consistent.
+
+use mdq::core::{prepare, PrepareOptions};
+use mdq::num::radix::Dims;
+use mdq::num::Complex;
+use mdq::sim::StateVector;
+use proptest::prelude::*;
+
+fn arb_dims() -> impl Strategy<Value = Dims> {
+    proptest::collection::vec(2usize..6, 1..5).prop_map(|v| Dims::new(v).unwrap())
+}
+
+fn arb_state(dims: &Dims) -> impl Strategy<Value = Vec<Complex>> {
+    let n = dims.space_size();
+    proptest::collection::vec((-1.0..1.0f64, -1.0..1.0f64), n..=n).prop_filter_map(
+        "state must have nonzero norm",
+        |parts| {
+            let v: Vec<Complex> = parts
+                .into_iter()
+                .map(|(re, im)| Complex::new(re, im))
+                .collect();
+            let norm = mdq::num::norm(&v);
+            (norm > 1e-6).then(|| v.iter().map(|a| *a / norm).collect::<Vec<_>>())
+        },
+    )
+}
+
+fn arb_dims_and_state() -> impl Strategy<Value = (Dims, Vec<Complex>)> {
+    arb_dims().prop_flat_map(|d| {
+        let s = arb_state(&d);
+        (Just(d), s)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn prop_exact_preparation_reaches_unit_fidelity((dims, state) in arb_dims_and_state()) {
+        let result = prepare(&dims, &state, PrepareOptions::exact()).unwrap();
+        let mut sv = StateVector::ground(dims.clone());
+        sv.apply_circuit(&result.circuit);
+        let f = sv.fidelity_with_amplitudes(&state);
+        prop_assert!((f - 1.0).abs() < 1e-8, "fidelity {}", f);
+        // Metric consistency: ops ≤ edges − 1, controls_max < #qudits.
+        prop_assert!(result.report.operations < result.report.nodes_initial);
+        prop_assert!(result.report.controls_max < dims.len());
+    }
+
+    #[test]
+    fn prop_approximated_preparation_respects_budget(
+        (dims, state) in arb_dims_and_state(),
+        threshold in 0.7..0.999f64,
+    ) {
+        let result = prepare(&dims, &state, PrepareOptions::approximated(threshold)).unwrap();
+        let mut sv = StateVector::ground(dims.clone());
+        sv.apply_circuit(&result.circuit);
+        let f = sv.fidelity_with_amplitudes(&state);
+        prop_assert!(f >= threshold - 1e-8, "fidelity {} below {}", f, threshold);
+        prop_assert!((f - result.report.fidelity_bound).abs() < 1e-8,
+            "measured {} vs bound {}", f, result.report.fidelity_bound);
+    }
+
+    #[test]
+    fn prop_reduced_synthesis_is_equivalent((dims, state) in arb_dims_and_state()) {
+        let plain = prepare(&dims, &state, PrepareOptions::exact()).unwrap();
+        let reduced = prepare(&dims, &state, PrepareOptions::exact().with_reduction()).unwrap();
+        let mut sv = StateVector::ground(dims.clone());
+        sv.apply_circuit(&reduced.circuit);
+        let f = sv.fidelity_with_amplitudes(&state);
+        prop_assert!((f - 1.0).abs() < 1e-8, "fidelity {}", f);
+        prop_assert!(reduced.report.operations <= plain.report.operations);
+    }
+
+    #[test]
+    fn prop_disentangler_and_preparer_are_mutual_inverses((dims, state) in arb_dims_and_state()) {
+        use mdq::core::{synthesize, Direction, SynthesisOptions};
+        use mdq::dd::{BuildOptions, StateDd};
+        let dd = StateDd::from_amplitudes(&dims, &state, BuildOptions::default()).unwrap();
+        let dis = synthesize(&dd, SynthesisOptions {
+            direction: Direction::Disentangle,
+            ..SynthesisOptions::default()
+        });
+        let mut sv = StateVector::from_amplitudes(dims.clone(), &state).unwrap();
+        sv.apply_circuit(&dis);
+        let ground = vec![0; dims.len()];
+        prop_assert!((sv.probability(&ground) - 1.0).abs() < 1e-8);
+    }
+}

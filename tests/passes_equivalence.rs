@@ -1,0 +1,111 @@
+//! Integration test: every circuit-rewriting pass preserves the semantics
+//! of synthesized state-preparation circuits.
+//!
+//! Chains exercised on real synthesis output (not hand-built circuits):
+//! * `decompose_phases` — the paper's Z(θ) identity;
+//! * `merge_rotations` — adjacent-rotation fusion;
+//! * `drop_identities`;
+//! * arbitrary compositions of the above.
+
+use mdq::circuit::{passes, Circuit};
+use mdq::core::{prepare, PrepareOptions};
+use mdq::num::radix::Dims;
+use mdq::num::Complex;
+use mdq::sim::StateVector;
+use mdq::states::{ghz, random_state, w_state, RandomKind};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn dims(v: &[usize]) -> Dims {
+    Dims::new(v.to_vec()).unwrap()
+}
+
+fn fidelity_from_ground(circuit: &Circuit, target: &[Complex]) -> f64 {
+    let mut s = StateVector::ground(circuit.dims().clone());
+    s.apply_circuit(circuit);
+    s.fidelity_with_amplitudes(target)
+}
+
+fn workloads() -> Vec<(Dims, Vec<Complex>)> {
+    let mut rng = StdRng::seed_from_u64(13);
+    let d1 = dims(&[3, 6, 2]);
+    let d2 = dims(&[2, 3, 4]);
+    vec![
+        (d1.clone(), ghz(&d1)),
+        (d1.clone(), w_state(&d1)),
+        (d1.clone(), random_state(&d1, RandomKind::ReImUniform, &mut rng)),
+        (d2.clone(), random_state(&d2, RandomKind::MagnitudePhase, &mut rng)),
+    ]
+}
+
+#[test]
+fn phase_decomposition_preserves_prepared_states() {
+    for (d, target) in workloads() {
+        let circuit = prepare(&d, &target, PrepareOptions::exact()).unwrap().circuit;
+        let (decomposed, expanded) = passes::decompose_phases(&circuit);
+        assert!(expanded > 0, "synthesis always emits phase rotations");
+        // Z rotations count as 1 op but expand to 3 Givens each.
+        assert_eq!(decomposed.len(), circuit.len() + 2 * expanded);
+        let f = fidelity_from_ground(&decomposed, &target);
+        assert!((f - 1.0).abs() < 1e-9, "fidelity {f} over {d}");
+    }
+}
+
+#[test]
+fn rotation_merging_preserves_prepared_states() {
+    for (d, target) in workloads() {
+        let circuit = prepare(&d, &target, PrepareOptions::exact()).unwrap().circuit;
+        let (merged, removed) = passes::merge_rotations(&circuit, 1e-12);
+        let f = fidelity_from_ground(&merged, &target);
+        assert!((f - 1.0).abs() < 1e-9, "fidelity {f} over {d} ({removed} removed)");
+        assert!(merged.len() + removed == circuit.len());
+    }
+}
+
+#[test]
+fn merging_removes_identity_rotations_on_sparse_states() {
+    // GHZ circuits carry many θ=0 rotations from the exact operation-count
+    // semantics; the merge pass strips them without touching fidelity.
+    let d = dims(&[3, 6, 2]);
+    let target = ghz(&d);
+    let circuit = prepare(&d, &target, PrepareOptions::exact()).unwrap().circuit;
+    let (merged, removed) = passes::merge_rotations(&circuit, 1e-12);
+    assert!(removed > 0);
+    assert!(merged.len() < circuit.len());
+    let f = fidelity_from_ground(&merged, &target);
+    assert!((f - 1.0).abs() < 1e-9);
+}
+
+#[test]
+fn full_pass_chain_preserves_prepared_states() {
+    for (d, target) in workloads() {
+        let circuit = prepare(&d, &target, PrepareOptions::exact()).unwrap().circuit;
+        let (decomposed, _) = passes::decompose_phases(&circuit);
+        let (merged, _) = passes::merge_rotations(&decomposed, 1e-12);
+        let mut cleaned = merged.clone();
+        cleaned.drop_identities(1e-12);
+        let f = fidelity_from_ground(&cleaned, &target);
+        assert!((f - 1.0).abs() < 1e-9, "fidelity {f} over {d}");
+        // After decomposition no Z rotations remain.
+        assert_eq!(cleaned.stats().phase_count, 0);
+        for instr in cleaned.iter() {
+            assert!(
+                !matches!(instr.gate, mdq::circuit::Gate::ZRotation { .. }),
+                "Z rotation survived decomposition"
+            );
+        }
+    }
+}
+
+#[test]
+fn serialization_round_trips_synthesized_circuits() {
+    use mdq::circuit::serialize;
+    for (d, target) in workloads() {
+        let circuit = prepare(&d, &target, PrepareOptions::exact()).unwrap().circuit;
+        let text = serialize::to_text(&circuit).unwrap();
+        let back = serialize::from_text(&text).unwrap();
+        assert_eq!(circuit, back, "round trip over {d}");
+        let f = fidelity_from_ground(&back, &target);
+        assert!((f - 1.0).abs() < 1e-9);
+    }
+}

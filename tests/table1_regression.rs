@@ -1,0 +1,145 @@
+//! End-to-end regression of the paper's Table 1 across crate boundaries:
+//! state generators → decision diagram → synthesis → simulator.
+//!
+//! Exact expectations (structural metrics, operation counts) come from the
+//! table itself; fidelity columns are re-measured with the simulator.
+
+use mdq::core::{prepare, verify::prepare_and_verify, PrepareOptions};
+use mdq::num::radix::Dims;
+use mdq::states::{embedded_w, ghz, random_state, w_state, RandomKind};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn dims(v: &[usize]) -> Dims {
+    Dims::new(v.to_vec()).unwrap()
+}
+
+/// (family name, generator) pairs for the structured benchmarks.
+type Generator = fn(&Dims) -> Vec<mdq::num::Complex>;
+
+const STRUCTURED: [(&str, Generator); 3] = [
+    ("Emb. W-State", embedded_w as Generator),
+    ("GHZ State", ghz as Generator),
+    ("W-State", w_state as Generator),
+];
+
+#[test]
+fn exact_structural_metrics_all_rows() {
+    // "Nodes" (Exact) is purely structural: identical for every family.
+    let expectations = [
+        (&[3usize, 6, 2][..], 58usize),
+        (&[9, 5, 6, 3], 1135),
+        (&[4, 7, 4, 4, 3, 5], 8657),
+    ];
+    for (reg, nodes) in expectations {
+        let d = dims(reg);
+        for (name, generator) in STRUCTURED {
+            let r = prepare(&d, &generator(&d), PrepareOptions::exact()).unwrap();
+            assert_eq!(r.report.nodes_initial, nodes, "{name} over {reg:?}");
+        }
+    }
+}
+
+#[test]
+fn exact_operation_counts_all_structured_rows() {
+    let expectations: [(&[usize], [usize; 3]); 3] = [
+        // (register, [EmbW, GHZ, W] operations)
+        (&[3, 6, 2], [21, 19, 37]),
+        (&[9, 5, 6, 3], [49, 51, 186]),
+        (&[4, 7, 4, 4, 3, 5], [91, 73, 262]),
+    ];
+    for (reg, ops) in expectations {
+        let d = dims(reg);
+        for ((name, generator), want) in STRUCTURED.iter().zip(ops) {
+            let r = prepare(&d, &generator(&d), PrepareOptions::exact()).unwrap();
+            assert_eq!(r.report.operations, want, "{name} over {reg:?}");
+        }
+    }
+}
+
+#[test]
+fn structured_rows_are_unaffected_by_approximation() {
+    // "Due to the regular structure of the first three benchmarks, the
+    // approximation shows no effect" — every component carries ≥ 1/21 of
+    // the mass, far above the 2 % budget.
+    for reg in [&[3usize, 6, 2][..], &[9, 5, 6, 3], &[4, 7, 4, 4, 3, 5]] {
+        let d = dims(reg);
+        for (name, generator) in STRUCTURED {
+            let state = generator(&d);
+            let exact = prepare(&d, &state, PrepareOptions::exact()).unwrap();
+            let approx = prepare(&d, &state, PrepareOptions::approximated(0.98)).unwrap();
+            assert_eq!(
+                exact.report.operations, approx.report.operations,
+                "{name} over {reg:?}"
+            );
+            // The zero-weight branches of the structural tree are removed
+            // for free, but no probability mass is ever pruned.
+            assert!(approx.report.pruned_mass < 1e-12, "{name} over {reg:?}");
+            assert!((approx.report.fidelity_bound - 1.0).abs() < 1e-12);
+        }
+    }
+}
+
+#[test]
+fn structured_fidelities_are_exactly_one() {
+    for reg in [&[3usize, 6, 2][..], &[9, 5, 6, 3]] {
+        let d = dims(reg);
+        for (name, generator) in STRUCTURED {
+            let (_, f) =
+                prepare_and_verify(&d, &generator(&d), PrepareOptions::exact()).unwrap();
+            assert!((f - 1.0).abs() < 1e-9, "{name} over {reg:?}: fidelity {f}");
+        }
+    }
+}
+
+#[test]
+fn random_rows_exact_and_approximated() {
+    let registers: [&[usize]; 3] = [&[3, 6, 2], &[9, 5, 6, 3], &[6, 6, 5, 3, 3]];
+    let exact_ops = [57usize, 1134, 2382];
+    let mut rng = StdRng::seed_from_u64(2468);
+    for (reg, want_ops) in registers.iter().zip(exact_ops) {
+        let d = dims(reg);
+        let state = random_state(&d, RandomKind::ReImUniform, &mut rng);
+
+        let (exact, f_exact) =
+            prepare_and_verify(&d, &state, PrepareOptions::exact()).unwrap();
+        assert_eq!(exact.report.operations, want_ops, "{reg:?}");
+        assert!((f_exact - 1.0).abs() < 1e-9, "{reg:?}: exact fidelity {f_exact}");
+
+        let (approx, f_approx) =
+            prepare_and_verify(&d, &state, PrepareOptions::approximated(0.98)).unwrap();
+        assert!(f_approx >= 0.98 - 1e-9, "{reg:?}: approx fidelity {f_approx}");
+        assert!(
+            (f_approx - approx.report.fidelity_bound).abs() < 1e-9,
+            "{reg:?}: measured {f_approx} vs bound {}",
+            approx.report.fidelity_bound
+        );
+        assert!(approx.report.operations <= exact.report.operations);
+        assert!(approx.report.nodes_final <= exact.report.nodes_initial);
+    }
+}
+
+#[test]
+fn time_grows_with_diagram_size() {
+    // "Performance directly linked to the size of the decision diagram":
+    // the largest random row must take longer than the smallest, by a wide
+    // margin (the diagrams differ by 150×).
+    let mut rng = StdRng::seed_from_u64(7);
+    let d_small = dims(&[3, 6, 2]);
+    let d_large = dims(&[4, 7, 4, 4, 3, 5]);
+    let small_state = random_state(&d_small, RandomKind::ReImUniform, &mut rng);
+    let large_state = random_state(&d_large, RandomKind::ReImUniform, &mut rng);
+    // Warm up, then time a few runs.
+    let mut t_small = std::time::Duration::MAX;
+    let mut t_large = std::time::Duration::MAX;
+    for _ in 0..5 {
+        let rs = prepare(&d_small, &small_state, PrepareOptions::exact()).unwrap();
+        let rl = prepare(&d_large, &large_state, PrepareOptions::exact()).unwrap();
+        t_small = t_small.min(rs.report.time);
+        t_large = t_large.min(rl.report.time);
+    }
+    assert!(
+        t_large > t_small,
+        "large register ({t_large:?}) should outweigh small ({t_small:?})"
+    );
+}

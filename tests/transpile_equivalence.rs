@@ -1,0 +1,165 @@
+//! Integration test: the two-qudit transpiler preserves circuit semantics.
+//!
+//! The paper defers multi-controlled → two-qudit lowering to \[35\], \[36\];
+//! our transpiler must therefore be *verified*, not assumed: for circuits
+//! with up to 4 controls over mixed dimensions, running the lowered circuit
+//! (ancillas in |0⟩) must reproduce the original circuit's action exactly
+//! and return every ancilla to |0⟩.
+
+use mdq::circuit::{transpile, Circuit, Control, Gate, Instruction};
+use mdq::num::radix::Dims;
+use mdq::num::Complex;
+use mdq::sim::StateVector;
+
+/// Deterministic pseudo-random amplitudes for input states.
+fn pseudo_random_state(dims: &Dims, seed: u64) -> Vec<Complex> {
+    let n = dims.space_size();
+    let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+    };
+    let v: Vec<Complex> = (0..n).map(|_| Complex::new(next(), next())).collect();
+    let norm = mdq::num::norm(&v);
+    v.into_iter().map(|a| a / norm).collect()
+}
+
+/// Applies `circuit` directly and through the transpiler, comparing results.
+fn assert_transpile_equivalent(circuit: &Circuit, seed: u64) {
+    let dims = circuit.dims().clone();
+    let input = pseudo_random_state(&dims, seed);
+
+    let mut direct = StateVector::from_amplitudes(dims.clone(), &input).unwrap();
+    direct.apply_circuit(circuit);
+
+    let lowered = transpile::to_two_qudit(circuit).unwrap();
+    for instr in lowered.circuit.iter() {
+        assert!(
+            instr.qudits().count() <= 2,
+            "instruction touches more than two qudits: {instr}"
+        );
+    }
+    let base = StateVector::from_amplitudes(dims, &input).unwrap();
+    let mut extended = base.with_ancillas(&vec![2; lowered.ancilla_count]);
+    extended.apply_circuit(&lowered.circuit);
+    let (reduced, leaked) = extended.without_ancillas(lowered.original_qudits);
+
+    assert!(
+        leaked < 1e-18,
+        "ancillas not returned to |0⟩: leaked {leaked}"
+    );
+    let fid = reduced.fidelity(&direct);
+    assert!(
+        (fid - 1.0).abs() < 1e-9,
+        "transpiled circuit differs: fidelity {fid}"
+    );
+    // Fidelity 1 still allows a global-phase mismatch; the lowering must be
+    // exact including phase, because it may be used inside larger circuits.
+    for (a, b) in reduced.amplitudes().iter().zip(direct.amplitudes()) {
+        assert!(a.approx_eq(*b, 1e-9), "amplitude mismatch: {a} vs {b}");
+    }
+}
+
+#[test]
+fn two_controls_givens_on_mixed_register() {
+    let dims = Dims::new(vec![3, 4, 2]).unwrap();
+    let mut c = Circuit::new(dims);
+    c.push(Instruction::controlled(
+        2,
+        Gate::givens(0, 1, 1.234, -0.7),
+        vec![Control::new(0, 2), Control::new(1, 3)],
+    ))
+    .unwrap();
+    assert_transpile_equivalent(&c, 42);
+}
+
+#[test]
+fn two_controls_all_control_levels() {
+    // Exhaustively check every control-level combination on a [3,3,2]
+    // register: the gate must fire exactly on its (l0, l1) pair.
+    for l0 in 0..3 {
+        for l1 in 0..3 {
+            let dims = Dims::new(vec![3, 3, 2]).unwrap();
+            let mut c = Circuit::new(dims);
+            c.push(Instruction::controlled(
+                2,
+                Gate::givens(0, 1, 0.9, 0.3),
+                vec![Control::new(0, l0), Control::new(1, l1)],
+            ))
+            .unwrap();
+            assert_transpile_equivalent(&c, 7 + (l0 * 3 + l1) as u64);
+        }
+    }
+}
+
+#[test]
+fn three_controls_z_rotation() {
+    let dims = Dims::new(vec![2, 3, 2, 4]).unwrap();
+    let mut c = Circuit::new(dims);
+    c.push(Instruction::controlled(
+        3,
+        Gate::z_rotation(1, 3, 2.1),
+        vec![Control::new(0, 1), Control::new(1, 2), Control::new(2, 0)],
+    ))
+    .unwrap();
+    assert_transpile_equivalent(&c, 99);
+}
+
+#[test]
+fn four_controls_fourier_payload() {
+    let dims = Dims::new(vec![2, 2, 3, 2, 3]).unwrap();
+    let mut c = Circuit::new(dims);
+    c.push(Instruction::controlled(
+        4,
+        Gate::fourier(),
+        vec![
+            Control::new(0, 1),
+            Control::new(1, 0),
+            Control::new(2, 2),
+            Control::new(3, 1),
+        ],
+    ))
+    .unwrap();
+    assert_transpile_equivalent(&c, 1234);
+}
+
+#[test]
+fn mixed_sequence_of_instructions() {
+    let dims = Dims::new(vec![3, 2, 4]).unwrap();
+    let mut c = Circuit::new(dims);
+    c.push(Instruction::local(0, Gate::fourier())).unwrap();
+    c.push(Instruction::controlled(
+        2,
+        Gate::givens(1, 3, 0.4, 0.0),
+        vec![Control::new(0, 1), Control::new(1, 1)],
+    ))
+    .unwrap();
+    c.push(Instruction::controlled(
+        1,
+        Gate::shift(1),
+        vec![Control::new(0, 2)],
+    ))
+    .unwrap();
+    c.push(Instruction::controlled(
+        0,
+        Gate::z_rotation(0, 2, -1.1),
+        vec![Control::new(1, 1), Control::new(2, 3)],
+    ))
+    .unwrap();
+    assert_transpile_equivalent(&c, 555);
+}
+
+#[test]
+fn payload_shift_gate_with_two_controls() {
+    let dims = Dims::new(vec![2, 3, 5]).unwrap();
+    let mut c = Circuit::new(dims);
+    c.push(Instruction::controlled(
+        2,
+        Gate::shift(2),
+        vec![Control::new(0, 1), Control::new(1, 2)],
+    ))
+    .unwrap();
+    assert_transpile_equivalent(&c, 2024);
+}
