@@ -43,8 +43,20 @@ fn main() {
         let reduced = tree.reduce();
 
         let variants = [
-            (&tree, SynthesisOptions { product_rule: ProductRule::Off, ..Default::default() }),
-            (&reduced, SynthesisOptions { product_rule: ProductRule::Off, ..Default::default() }),
+            (
+                &tree,
+                SynthesisOptions {
+                    product_rule: ProductRule::Off,
+                    ..Default::default()
+                },
+            ),
+            (
+                &reduced,
+                SynthesisOptions {
+                    product_rule: ProductRule::Off,
+                    ..Default::default()
+                },
+            ),
             (&reduced, SynthesisOptions::paper()),
             (
                 &reduced,

@@ -40,7 +40,13 @@ fn sweep(dims: &Dims, runs: u64) {
     }
     println!(
         "{:>10} {:>10.1} {:>10.1} {:>11} {:>10} {:>9} {:>9}",
-        "exact", exact_nodes.value(), exact_ops.value(), "-", "1.0000", "-", "-"
+        "exact",
+        exact_nodes.value(),
+        exact_ops.value(),
+        "-",
+        "1.0000",
+        "-",
+        "-"
     );
 
     for threshold in [0.999, 0.99, 0.98, 0.95, 0.9] {

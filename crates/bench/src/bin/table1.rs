@@ -37,9 +37,20 @@ fn main() {
     println!("Regenerating Table 1 ({runs} runs per row, approximation target 0.98)\n");
     println!(
         "{:<13} {:>2} {:<18} | {:>8} {:>9} {:>6} {:>5} {:>8} | {:>8} {:>9} {:>6} {:>5} {:>8} {:>5}",
-        "Benchmark", "n", "Qudits",
-        "Nodes", "DistinctC", "Ops", "Ctrl", "Time[s]",
-        "Nodes", "DistinctC", "Ops", "Ctrl", "Time[s]", "Fid"
+        "Benchmark",
+        "n",
+        "Qudits",
+        "Nodes",
+        "DistinctC",
+        "Ops",
+        "Ctrl",
+        "Time[s]",
+        "Nodes",
+        "DistinctC",
+        "Ops",
+        "Ctrl",
+        "Time[s]",
+        "Fid"
     );
     println!("{}", "-".repeat(132));
 

@@ -19,10 +19,9 @@ fn main() {
     for family in [Family::EmbeddedW, Family::Ghz, Family::W, Family::Random] {
         for dims in [dims3(), dims4()] {
             let target = family.state(&dims, 0);
-            let result = prepare(&dims, &target, PrepareOptions::exact())
-                .expect("preparation succeeds");
-            let lowered =
-                transpile::to_two_qudit(&result.circuit).expect("transpilation succeeds");
+            let result =
+                prepare(&dims, &target, PrepareOptions::exact()).expect("preparation succeeds");
+            let lowered = transpile::to_two_qudit(&result.circuit).expect("transpilation succeeds");
 
             // Verify on the smaller register (dense simulation of the
             // larger one with ancillas is slower but still exact).

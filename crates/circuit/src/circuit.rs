@@ -53,16 +53,25 @@ impl fmt::Display for CircuitError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CircuitError::TargetOutOfRange { qudit, register } => {
-                write!(f, "target qudit {qudit} out of range for {register}-qudit register")
+                write!(
+                    f,
+                    "target qudit {qudit} out of range for {register}-qudit register"
+                )
             }
             CircuitError::LevelOutOfRange { level, dim } => {
                 write!(f, "gate level {level} out of range for dimension {dim}")
             }
             CircuitError::GateDimMismatch { gate_dim, dim } => {
-                write!(f, "unitary of dimension {gate_dim} applied to qudit of dimension {dim}")
+                write!(
+                    f,
+                    "unitary of dimension {gate_dim} applied to qudit of dimension {dim}"
+                )
             }
             CircuitError::ControlOutOfRange { qudit, register } => {
-                write!(f, "control qudit {qudit} out of range for {register}-qudit register")
+                write!(
+                    f,
+                    "control qudit {qudit} out of range for {register}-qudit register"
+                )
             }
             CircuitError::ControlLevelOutOfRange { level, dim } => {
                 write!(f, "control level {level} out of range for dimension {dim}")
@@ -229,7 +238,12 @@ impl Circuit {
     pub fn adjoint(&self) -> Circuit {
         Circuit {
             dims: self.dims.clone(),
-            instructions: self.instructions.iter().rev().map(Instruction::adjoint).collect(),
+            instructions: self
+                .instructions
+                .iter()
+                .rev()
+                .map(Instruction::adjoint)
+                .collect(),
         }
     }
 
@@ -237,7 +251,11 @@ impl Circuit {
     /// zeroed statistics.
     #[must_use]
     pub fn stats(&self) -> CircuitStats {
-        let mut counts: Vec<usize> = self.instructions.iter().map(Instruction::control_count).collect();
+        let mut counts: Vec<usize> = self
+            .instructions
+            .iter()
+            .map(Instruction::control_count)
+            .collect();
         counts.sort_unstable();
         let operations = counts.len();
         let controls_median = if counts.is_empty() {
@@ -300,7 +318,12 @@ impl Circuit {
     pub fn render(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
-        let _ = writeln!(out, "circuit over {} ({} instructions)", self.dims, self.len());
+        let _ = writeln!(
+            out,
+            "circuit over {} ({} instructions)",
+            self.dims,
+            self.len()
+        );
         for (i, instr) in self.instructions.iter().enumerate() {
             let _ = writeln!(out, "  {i:4}: {instr}");
         }
@@ -387,7 +410,10 @@ mod tests {
         let err = c.push(Instruction::local(0, u));
         assert_eq!(
             err.unwrap_err(),
-            CircuitError::GateDimMismatch { gate_dim: 2, dim: 3 }
+            CircuitError::GateDimMismatch {
+                gate_dim: 2,
+                dim: 3
+            }
         );
     }
 

@@ -88,7 +88,10 @@ impl Gate {
     /// Panics if `lo >= hi`.
     #[must_use]
     pub fn givens(lo: usize, hi: usize, theta: f64, phi: f64) -> Gate {
-        assert!(lo < hi, "Givens rotation requires lo < hi, got {lo} >= {hi}");
+        assert!(
+            lo < hi,
+            "Givens rotation requires lo < hi, got {lo} >= {hi}"
+        );
         Gate::Givens { lo, hi, theta, phi }
     }
 
@@ -172,13 +175,19 @@ impl Gate {
                 m
             }
             Gate::PhaseLevel { level, angle } => {
-                assert!(*level < d, "phase level {level} out of range for dimension {d}");
+                assert!(
+                    *level < d,
+                    "phase level {level} out of range for dimension {d}"
+                );
                 let mut m = CMatrix::identity(d);
                 m.set(*level, *level, Complex::cis(*angle));
                 m
             }
             Gate::ZRotation { lo, hi, theta } => {
-                assert!(*hi < d, "Z-rotation level {hi} out of range for dimension {d}");
+                assert!(
+                    *hi < d,
+                    "Z-rotation level {hi} out of range for dimension {d}"
+                );
                 let mut m = CMatrix::identity(d);
                 m.set(*lo, *lo, Complex::cis(theta / 2.0));
                 m.set(*hi, *hi, Complex::cis(-theta / 2.0));

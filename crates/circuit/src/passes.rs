@@ -136,8 +136,18 @@ fn merge_once(instructions: Vec<Instruction>, tol: f64) -> Vec<Instruction> {
 fn merge_gates(a: &Gate, b: &Gate) -> Option<Gate> {
     match (a, b) {
         (
-            Gate::Givens { lo: l1, hi: h1, theta: t1, phi: p1 },
-            Gate::Givens { lo: l2, hi: h2, theta: t2, phi: p2 },
+            Gate::Givens {
+                lo: l1,
+                hi: h1,
+                theta: t1,
+                phi: p1,
+            },
+            Gate::Givens {
+                lo: l2,
+                hi: h2,
+                theta: t2,
+                phi: p2,
+            },
         ) if l1 == l2 && h1 == h2 && (p1 - p2).abs() < 1e-15 => Some(Gate::Givens {
             lo: *l1,
             hi: *h1,
@@ -145,16 +155,30 @@ fn merge_gates(a: &Gate, b: &Gate) -> Option<Gate> {
             phi: *p1,
         }),
         (
-            Gate::ZRotation { lo: l1, hi: h1, theta: t1 },
-            Gate::ZRotation { lo: l2, hi: h2, theta: t2 },
+            Gate::ZRotation {
+                lo: l1,
+                hi: h1,
+                theta: t1,
+            },
+            Gate::ZRotation {
+                lo: l2,
+                hi: h2,
+                theta: t2,
+            },
         ) if l1 == l2 && h1 == h2 => Some(Gate::ZRotation {
             lo: *l1,
             hi: *h1,
             theta: t1 + t2,
         }),
         (
-            Gate::PhaseLevel { level: v1, angle: a1 },
-            Gate::PhaseLevel { level: v2, angle: a2 },
+            Gate::PhaseLevel {
+                level: v1,
+                angle: a1,
+            },
+            Gate::PhaseLevel {
+                level: v2,
+                angle: a2,
+            },
         ) if v1 == v2 => Some(Gate::PhaseLevel {
             level: *v1,
             angle: a1 + a2,

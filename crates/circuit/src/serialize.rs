@@ -39,7 +39,10 @@ impl fmt::Display for SerializeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SerializeError::UnsupportedGate { index } => {
-                write!(f, "instruction {index} has no textual form (explicit unitary)")
+                write!(
+                    f,
+                    "instruction {index} has no textual form (explicit unitary)"
+                )
             }
         }
     }
@@ -117,7 +120,10 @@ pub fn to_text(circuit: &Circuit) -> Result<String, SerializeError> {
     for (index, instr) in circuit.iter().enumerate() {
         let body = match &instr.gate {
             Gate::Givens { lo, hi, theta, phi } => {
-                format!("givens q{} lo{lo} hi{hi} theta{theta} phi{phi}", instr.qudit)
+                format!(
+                    "givens q{} lo{lo} hi{hi} theta{theta} phi{phi}",
+                    instr.qudit
+                )
             }
             Gate::ZRotation { lo, hi, theta } => {
                 format!("zrot q{} lo{lo} hi{hi} theta{theta}", instr.qudit)
@@ -172,10 +178,8 @@ pub fn from_text(text: &str) -> Result<Circuit, ParseError> {
 
     let mut circuit = Circuit::new(dims);
     for (line, content) in lines {
-        let instr = parse_instruction(content).map_err(|reason| ParseError::BadLine {
-            line,
-            reason,
-        })?;
+        let instr =
+            parse_instruction(content).map_err(|reason| ParseError::BadLine { line, reason })?;
         circuit.push(instr).map_err(|e| ParseError::Invalid {
             line,
             reason: e.to_string(),
@@ -303,13 +307,19 @@ mod tests {
 
     #[test]
     fn bad_header_is_rejected() {
-        assert_eq!(from_text("qasm 2\ndims 2\n").unwrap_err(), ParseError::BadHeader);
+        assert_eq!(
+            from_text("qasm 2\ndims 2\n").unwrap_err(),
+            ParseError::BadHeader
+        );
         assert_eq!(from_text("").unwrap_err(), ParseError::BadHeader);
     }
 
     #[test]
     fn bad_dims_are_rejected() {
-        assert_eq!(from_text("mdqc 1\ndims\n").unwrap_err(), ParseError::BadDims);
+        assert_eq!(
+            from_text("mdqc 1\ndims\n").unwrap_err(),
+            ParseError::BadDims
+        );
         assert_eq!(
             from_text("mdqc 1\ndims 2 x\n").unwrap_err(),
             ParseError::BadDims

@@ -211,13 +211,20 @@ mod tests {
             d[0] = 2;
             let mut c = Circuit::new(dims(&d));
             let controls: Vec<Control> = (1..=k).map(|q| Control::new(q, 1)).collect();
-            c.push(Instruction::controlled(0, Gate::givens(0, 1, 0.5, 0.0), controls))
-                .unwrap();
+            c.push(Instruction::controlled(
+                0,
+                Gate::givens(0, 1, 0.5, 0.0),
+                controls,
+            ))
+            .unwrap();
             let t = to_two_qudit(&c).unwrap();
             lens.push(t.circuit.len());
         }
         // 10k − 7 + 1 two-qudit gates plus k locals… verify exact linearity.
-        let diffs: Vec<isize> = lens.windows(2).map(|w| w[1] as isize - w[0] as isize).collect();
+        let diffs: Vec<isize> = lens
+            .windows(2)
+            .map(|w| w[1] as isize - w[0] as isize)
+            .collect();
         assert!(diffs.iter().all(|&d| d == diffs[0]), "lens {lens:?}");
     }
 

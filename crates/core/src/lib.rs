@@ -47,6 +47,6 @@ mod synth;
 pub mod verify;
 
 pub use pipeline::{
-    prepare, prepare_sparse, PrepareError, PrepareOptions, PreparationResult, SynthesisReport,
+    prepare, prepare_sparse, PreparationResult, PrepareError, PrepareOptions, SynthesisReport,
 };
 pub use synth::{synthesize, Direction, ProductRule, SynthesisOptions};

@@ -384,7 +384,10 @@ mod tests {
             assert_eq!(exact.report.distinct_c_initial, 3, "dims {v:?}");
             let approx = prepare(&d, &ghz(&d), PrepareOptions::approximated(0.98)).unwrap();
             assert_eq!(approx.report.nodes_final, approx_nodes, "dims {v:?}");
-            assert_eq!(approx.report.operations, ops, "approximation must not change GHZ");
+            assert_eq!(
+                approx.report.operations, ops,
+                "approximation must not change GHZ"
+            );
             assert!((approx.report.fidelity_bound - 1.0).abs() < 1e-12);
         }
     }
@@ -496,7 +499,10 @@ mod tests {
     fn build_errors_propagate() {
         let d = dims(&[2, 2]);
         let err = prepare(&d, &[Complex::ONE], PrepareOptions::exact()).unwrap_err();
-        assert!(matches!(err, PrepareError::Build(BuildError::WrongLength { .. })));
+        assert!(matches!(
+            err,
+            PrepareError::Build(BuildError::WrongLength { .. })
+        ));
     }
 
     #[test]
@@ -521,8 +527,12 @@ mod tests {
     #[test]
     fn sparse_pipeline_matches_dense_pipeline() {
         let d = dims(&[3, 6, 2]);
-        let dense = prepare(&d, &w_state(&d), PrepareOptions::exact().without_zero_subtrees())
-            .unwrap();
+        let dense = prepare(
+            &d,
+            &w_state(&d),
+            PrepareOptions::exact().without_zero_subtrees(),
+        )
+        .unwrap();
         let sparse = prepare_sparse(
             &d,
             &mdq_states::sparse::w_state(&d),
@@ -539,12 +549,10 @@ mod tests {
         // 18 qudits, ~1.1e9 dense amplitudes: only possible sparsely.
         let pattern = [3usize, 4, 2, 5, 3, 2, 4, 3, 2, 3, 4, 2, 5, 3, 2, 3, 4, 2];
         let d = dims(&pattern);
-        let r = prepare_sparse(&d, &mdq_states::sparse::ghz(&d), PrepareOptions::exact())
-            .unwrap();
+        let r = prepare_sparse(&d, &mdq_states::sparse::ghz(&d), PrepareOptions::exact()).unwrap();
         // GHZ: one context per zero-pruned tree node; 2 branches per level
         // below the root ⇒ ops = d_root + 2·Σ_{ℓ>0} d_ℓ.
-        let expected: usize =
-            pattern[0] + 2 * pattern[1..].iter().sum::<usize>();
+        let expected: usize = pattern[0] + 2 * pattern[1..].iter().sum::<usize>();
         assert_eq!(r.report.operations, expected);
         assert_eq!(r.report.controls_max, pattern.len() - 1);
         // Amplitude check on the diagram itself (simulation is impossible).

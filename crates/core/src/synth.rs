@@ -88,7 +88,9 @@ pub fn synthesize(dd: &StateDd, opts: SynthesisOptions) -> Circuit {
     match opts.direction {
         Direction::Disentangle => {
             for instr in disentangler {
-                circuit.push(instr).expect("synthesized instruction is valid");
+                circuit
+                    .push(instr)
+                    .expect("synthesized instruction is valid");
             }
         }
         Direction::Prepare => {
@@ -273,7 +275,7 @@ mod tests {
         let circuit = synthesize(&build(&d, &amps), SynthesisOptions::paper());
         let stats = circuit.stats();
         assert_eq!(stats.controls_max, 2); // depth n−1
-        // Median over per-level op counts (3, 18, 36): level-2 ops dominate.
+                                           // Median over per-level op counts (3, 18, 36): level-2 ops dominate.
         assert_eq!(stats.controls_median, 2.0);
     }
 
@@ -334,7 +336,12 @@ mod tests {
             },
         );
         assert_eq!(full.len(), 19);
-        assert!(skipped.len() < full.len(), "{} vs {}", skipped.len(), full.len());
+        assert!(
+            skipped.len() < full.len(),
+            "{} vs {}",
+            skipped.len(),
+            full.len()
+        );
         // Both prepare the state.
         let mut s = StateVector::ground(d.clone());
         s.apply_circuit(&skipped);
@@ -405,9 +412,7 @@ mod tests {
         // |0…0⟩ chains below excited branches no longer control on their
         // parents.
         assert_eq!(aggressive.len(), paper.len());
-        let total = |c: &mdq_circuit::Circuit| {
-            c.iter().map(|i| i.control_count()).sum::<usize>()
-        };
+        let total = |c: &mdq_circuit::Circuit| c.iter().map(|i| i.control_count()).sum::<usize>();
         assert!(
             total(&aggressive) < total(&paper),
             "{} vs {}",

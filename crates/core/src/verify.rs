@@ -9,7 +9,7 @@ use mdq_num::radix::Dims;
 use mdq_num::Complex;
 use mdq_sim::StateVector;
 
-use crate::pipeline::{prepare, PrepareError, PrepareOptions, PreparationResult};
+use crate::pipeline::{prepare, PreparationResult, PrepareError, PrepareOptions};
 
 /// Applies `circuit` to `|0…0⟩` and returns the fidelity with `target`
 /// (assumed normalized, in mixed-radix order over the circuit's register).
@@ -144,8 +144,7 @@ mod tests {
         let d = dims(&[3, 4, 2]);
         let mut rng = StdRng::seed_from_u64(6);
         let s = random_state(&d, RandomKind::MagnitudePhase, &mut rng);
-        let (_, f) =
-            prepare_and_verify(&d, &s, PrepareOptions::exact().with_reduction()).unwrap();
+        let (_, f) = prepare_and_verify(&d, &s, PrepareOptions::exact().with_reduction()).unwrap();
         assert!((f - 1.0).abs() < 1e-9, "fidelity {f}");
     }
 
@@ -160,12 +159,9 @@ mod tests {
         ] {
             let result = prepare(&d, &target, PrepareOptions::exact()).unwrap();
             let dense = prepared_fidelity(&result.circuit, &target);
-            let target_dd = mdq_dd::StateDd::from_amplitudes(
-                &d,
-                &target,
-                mdq_dd::BuildOptions::default(),
-            )
-            .unwrap();
+            let target_dd =
+                mdq_dd::StateDd::from_amplitudes(&d, &target, mdq_dd::BuildOptions::default())
+                    .unwrap();
             let via_dd = prepared_fidelity_dd(&result.circuit, &target_dd);
             assert!((dense - via_dd).abs() < 1e-9, "{dense} vs {via_dd}");
             assert!((via_dd - 1.0).abs() < 1e-9);
@@ -179,14 +175,10 @@ mod tests {
         let pattern = [3usize, 4, 2, 5, 3, 2, 4, 3, 2, 3, 4, 2, 5, 3, 2, 3, 4, 2];
         let d = dims(&pattern);
         for entries in [sparse::ghz(&d), sparse::embedded_w(&d)] {
-            let result =
-                crate::prepare_sparse(&d, &entries, PrepareOptions::exact()).unwrap();
-            let target = mdq_dd::StateDd::from_sparse(
-                &d,
-                &entries,
-                mdq_dd::BuildOptions::default(),
-            )
-            .unwrap();
+            let result = crate::prepare_sparse(&d, &entries, PrepareOptions::exact()).unwrap();
+            let target =
+                mdq_dd::StateDd::from_sparse(&d, &entries, mdq_dd::BuildOptions::default())
+                    .unwrap();
             let f = prepared_fidelity_dd(&result.circuit, &target);
             assert!((f - 1.0).abs() < 1e-9, "fidelity {f}");
         }

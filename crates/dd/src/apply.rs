@@ -262,8 +262,7 @@ fn normalize_arena(
                 match e.target {
                     NodeRef::Terminal => *e,
                     NodeRef::Node(cid) => {
-                        let (scale, target) =
-                            memo[cid.index()].expect("children precede parents");
+                        let (scale, target) = memo[cid.index()].expect("children precede parents");
                         let w = e.weight * scale;
                         if w.is_zero(tol) {
                             Edge::ZERO
@@ -528,11 +527,7 @@ mod tests {
     }
 
     /// Minimal dense reference implementation for the test above.
-    fn dense_apply(
-        d: &Dims,
-        amps: &[Complex],
-        instr: &Instruction,
-    ) -> Vec<Complex> {
+    fn dense_apply(d: &Dims, amps: &[Complex], instr: &Instruction) -> Vec<Complex> {
         let target = instr.qudit;
         let dt = d.dim(target);
         let strides = d.strides();
@@ -549,9 +544,7 @@ mod tests {
             {
                 continue;
             }
-            let fiber: Vec<Complex> = (0..dt)
-                .map(|k| amps[base + k * strides[target]])
-                .collect();
+            let fiber: Vec<Complex> = (0..dt).map(|k| amps[base + k * strides[target]]).collect();
             let new = m.mul_vec(&fiber);
             for (k, v) in new.into_iter().enumerate() {
                 out[base + k * strides[target]] = v;
@@ -585,7 +578,8 @@ mod tests {
         let d = dims(&[2, 3]);
         let dd = StateDd::ground(&d);
         assert_eq!(
-            dd.apply(&Instruction::local(5, Gate::shift(1))).unwrap_err(),
+            dd.apply(&Instruction::local(5, Gate::shift(1)))
+                .unwrap_err(),
             ApplyError::TargetOutOfRange { qudit: 5 }
         );
         assert_eq!(

@@ -342,12 +342,7 @@ mod tests {
         let (d, amps) = skewed_state();
         let dd = build(&d, &amps);
         let approx = dd.approximate(0.15).unwrap();
-        let total: f64 = approx
-            .dd
-            .to_amplitudes()
-            .iter()
-            .map(|a| a.norm_sqr())
-            .sum();
+        let total: f64 = approx.dd.to_amplitudes().iter().map(|a| a.norm_sqr()).sum();
         assert!((total - 1.0).abs() < 1e-9);
         for node in approx.dd.nodes() {
             let s: f64 = node.edges().iter().map(|e| e.weight.norm_sqr()).sum();
@@ -364,12 +359,9 @@ mod tests {
         let a = Complex::real(1.0 / 2.0_f64.sqrt());
         amps[d.index_of(&[0, 0, 0])] = a;
         amps[d.index_of(&[1, 1, 1])] = a;
-        let full = StateDd::from_amplitudes(
-            &d,
-            &amps,
-            BuildOptions::default().keep_zero_subtrees(true),
-        )
-        .unwrap();
+        let full =
+            StateDd::from_amplitudes(&d, &amps, BuildOptions::default().keep_zero_subtrees(true))
+                .unwrap();
         assert_eq!(full.edge_count(), 58);
         let approx = full.approximate(0.02).unwrap();
         assert_eq!(approx.dd.edge_count(), 20);

@@ -362,9 +362,7 @@ impl StateDd {
                     got: digits.len(),
                 });
             }
-            for (position, (&digit, &dim)) in
-                digits.iter().zip(dims.as_slice()).enumerate()
-            {
+            for (position, (&digit, &dim)) in digits.iter().zip(dims.as_slice()).enumerate() {
                 if digit >= dim {
                     return Err(BuildError::DigitOutOfRange {
                         position,
@@ -545,12 +543,9 @@ mod tests {
     #[test]
     fn prune_zero_subtrees_matches_direct_pruned_build() {
         let (d, amps) = ghz_362();
-        let full = StateDd::from_amplitudes(
-            &d,
-            &amps,
-            BuildOptions::default().keep_zero_subtrees(true),
-        )
-        .unwrap();
+        let full =
+            StateDd::from_amplitudes(&d, &amps, BuildOptions::default().keep_zero_subtrees(true))
+                .unwrap();
         let pruned = full.prune_zero_subtrees();
         assert_eq!(pruned.edge_count(), 20);
         assert_eq!(pruned.node_count(), 5);
@@ -684,19 +679,22 @@ mod tests {
         // 20 mixed-dimensional qudits: the space has ~3.6e9 amplitudes, far
         // beyond a dense vector, but the GHZ diagram has 2 nodes per level
         // beyond the root.
-        let pattern = [3usize, 4, 2, 5, 3, 2, 4, 3, 2, 3, 4, 2, 5, 3, 2, 3, 4, 2, 3, 5];
+        let pattern = [
+            3usize, 4, 2, 5, 3, 2, 4, 3, 2, 3, 4, 2, 5, 3, 2, 3, 4, 2, 3, 5,
+        ];
         let d = dims(&pattern);
         let a = Complex::real(1.0 / 2.0_f64.sqrt());
         let entries = vec![(vec![0; 20], a), (vec![1; 20], a)];
         let dd = StateDd::from_sparse(&d, &entries, BuildOptions::default()).unwrap();
         assert_eq!(dd.node_count(), 1 + 2 * 19);
         assert!(dd.amplitude(&[1; 20]).approx_eq(a, 1e-12));
-        assert!(dd.amplitude(&{
-            let mut v = vec![0; 20];
-            v[7] = 1;
-            v
-        })
-        .is_zero(1e-12));
+        assert!(dd
+            .amplitude(&{
+                let mut v = vec![0; 20];
+                v[7] = 1;
+                v
+            })
+            .is_zero(1e-12));
     }
 
     #[test]

@@ -70,7 +70,6 @@ impl StateDd {
     /// overhead is not modeled.
     #[must_use]
     pub fn memory_bytes(&self) -> usize {
-        
         std::mem::size_of_val(self.nodes())
             + self
                 .nodes()
@@ -128,8 +127,7 @@ mod tests {
     #[test]
     fn ghz_pruned_metrics_match_table_one_approximated() {
         let dims = Dims::new(vec![3, 6, 2]).unwrap();
-        let dd =
-            StateDd::from_amplitudes(&dims, &ghz(&dims), BuildOptions::default()).unwrap();
+        let dd = StateDd::from_amplitudes(&dims, &ghz(&dims), BuildOptions::default()).unwrap();
         assert_eq!(dd.edge_count(), 20); // Table 1, GHZ row, Approximated "Nodes"
         assert_eq!(dd.distinct_complex_count(), 3);
     }

@@ -82,7 +82,9 @@ impl StateDd {
                 out[offset] = weight;
             }
             NodeRef::Node(id) => {
-                let stride: usize = (level + 1..self.dims.len()).map(|l| self.dims.dim(l)).product();
+                let stride: usize = (level + 1..self.dims.len())
+                    .map(|l| self.dims.dim(l))
+                    .product();
                 for (k, edge) in self.node(id).edges().iter().enumerate() {
                     if !edge.is_zero(tol) {
                         self.fill(
@@ -300,12 +302,9 @@ mod tests {
     fn inner_product_works_across_pruned_and_full_trees() {
         let (d, amps) = fig3_state();
         let pruned = build(&d, &amps);
-        let full = StateDd::from_amplitudes(
-            &d,
-            &amps,
-            BuildOptions::default().keep_zero_subtrees(true),
-        )
-        .unwrap();
+        let full =
+            StateDd::from_amplitudes(&d, &amps, BuildOptions::default().keep_zero_subtrees(true))
+                .unwrap();
         assert!((pruned.fidelity(&full) - 1.0).abs() < 1e-12);
     }
 
@@ -313,10 +312,7 @@ mod tests {
     #[should_panic(expected = "different registers")]
     fn inner_product_panics_on_register_mismatch() {
         let a = build(&dims(&[2]), &[Complex::ONE, Complex::ZERO]);
-        let b = build(
-            &dims(&[3]),
-            &[Complex::ONE, Complex::ZERO, Complex::ZERO],
-        );
+        let b = build(&dims(&[3]), &[Complex::ONE, Complex::ZERO, Complex::ZERO]);
         let _ = a.inner_product(&b);
     }
 
@@ -383,7 +379,9 @@ mod tests {
         // A simple LCG keeps the test deterministic without a rand dep.
         let mut state = 0x2545_f491_4f6c_dd1du64;
         let mut uniform = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 11) as f64 / (1u64 << 53) as f64
         };
         let mut counts = [0usize; 6];

@@ -118,9 +118,8 @@ impl StateDd {
             .iter()
             .enumerate()
             .filter_map(|(idx, node)| {
-                node.common_child(tol).and_then(|(_, count)| {
-                    (count >= min_edges).then(|| NodeId::new(idx))
-                })
+                node.common_child(tol)
+                    .and_then(|(_, count)| (count >= min_edges).then(|| NodeId::new(idx)))
             })
             .collect()
     }
@@ -188,12 +187,9 @@ mod tests {
         let a = Complex::real(1.0 / 2.0_f64.sqrt());
         amps[d.index_of(&[0, 0, 0])] = a;
         amps[d.index_of(&[1, 1, 1])] = a;
-        let full = StateDd::from_amplitudes(
-            &d,
-            &amps,
-            BuildOptions::default().keep_zero_subtrees(true),
-        )
-        .unwrap();
+        let full =
+            StateDd::from_amplitudes(&d, &amps, BuildOptions::default().keep_zero_subtrees(true))
+                .unwrap();
         let reduced = full.reduce();
         assert_eq!(reduced.node_count(), 5);
         assert!((reduced.fidelity(&full) - 1.0).abs() < 1e-12);

@@ -57,11 +57,7 @@ pub use tolerance::Tolerance;
 /// ```
 #[must_use]
 pub fn norm(amplitudes: &[Complex]) -> f64 {
-    amplitudes
-        .iter()
-        .map(|a| a.norm_sqr())
-        .sum::<f64>()
-        .sqrt()
+    amplitudes.iter().map(|a| a.norm_sqr()).sum::<f64>().sqrt()
 }
 
 /// Inner product `⟨a|b⟩ = Σ conj(a_i) · b_i` of two amplitude slices.

@@ -115,11 +115,7 @@ impl CMatrix {
     pub fn mul_vec(&self, v: &[Complex]) -> Vec<Complex> {
         assert_eq!(v.len(), self.n, "vector length mismatch");
         (0..self.n)
-            .map(|i| {
-                (0..self.n)
-                    .map(|j| self.get(i, j) * v[j])
-                    .sum::<Complex>()
-            })
+            .map(|i| (0..self.n).map(|j| self.get(i, j) * v[j]).sum::<Complex>())
             .collect()
     }
 
@@ -150,11 +146,7 @@ impl CMatrix {
                 let a = self.get(i1, j1);
                 for i2 in 0..other.n {
                     for j2 in 0..other.n {
-                        m.set(
-                            i1 * other.n + i2,
-                            j1 * other.n + j2,
-                            a * other.get(i2, j2),
-                        );
+                        m.set(i1 * other.n + i2, j1 * other.n + j2, a * other.get(i2, j2));
                     }
                 }
             }
@@ -206,7 +198,10 @@ mod tests {
     use super::*;
 
     fn pauli_x() -> CMatrix {
-        CMatrix::from_rows(&[&[Complex::ZERO, Complex::ONE], &[Complex::ONE, Complex::ZERO]])
+        CMatrix::from_rows(&[
+            &[Complex::ZERO, Complex::ONE],
+            &[Complex::ONE, Complex::ZERO],
+        ])
     }
 
     #[test]

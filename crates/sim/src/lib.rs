@@ -381,8 +381,8 @@ impl StateVector {
     #[must_use]
     pub fn without_ancillas(&self, original: usize) -> (StateVector, f64) {
         assert!(original <= self.dims.len() && original > 0);
-        let dims = Dims::new(self.dims.as_slice()[..original].to_vec())
-            .expect("prefix register is valid");
+        let dims =
+            Dims::new(self.dims.as_slice()[..original].to_vec()).expect("prefix register is valid");
         let extra: usize = self.dims.as_slice()[original..].iter().product();
         let mut amps = vec![Complex::ZERO; dims.space_size()];
         let mut leaked = 0.0;
@@ -442,11 +442,8 @@ mod tests {
 
     #[test]
     fn from_amplitudes_normalizes() {
-        let s = StateVector::from_amplitudes(
-            dims(&[2]),
-            &[Complex::real(3.0), Complex::real(4.0)],
-        )
-        .unwrap();
+        let s = StateVector::from_amplitudes(dims(&[2]), &[Complex::real(3.0), Complex::real(4.0)])
+            .unwrap();
         assert!((s.probability(&[0]) - 0.36).abs() < 1e-12);
     }
 

@@ -56,7 +56,12 @@ use rand::Rng;
 /// local dimension so every component is a valid basis state.
 #[must_use]
 pub fn ghz(dims: &Dims) -> Vec<Complex> {
-    let k = dims.as_slice().iter().copied().min().expect("non-empty register");
+    let k = dims
+        .as_slice()
+        .iter()
+        .copied()
+        .min()
+        .expect("non-empty register");
     let amp = Complex::real(1.0 / (k as f64).sqrt());
     let mut amps = vec![Complex::ZERO; dims.space_size()];
     for level in 0..k {
@@ -168,11 +173,7 @@ pub fn basis_state(dims: &Dims, digits: &[usize]) -> Vec<Complex> {
 /// register, or if a factor has zero norm.
 #[must_use]
 pub fn product_state(dims: &Dims, factors: &[Vec<Complex>]) -> Vec<Complex> {
-    assert_eq!(
-        factors.len(),
-        dims.len(),
-        "need one local factor per qudit"
-    );
+    assert_eq!(factors.len(), dims.len(), "need one local factor per qudit");
     for (i, f) in factors.iter().enumerate() {
         assert_eq!(f.len(), dims.dim(i), "factor {i} has wrong dimension");
         assert!(mdq_num::norm(f) > 1e-12, "factor {i} has zero norm");
@@ -312,9 +313,9 @@ mod tests {
     #[test]
     fn w_state_component_counts() {
         for (v, expected) in [
-            (vec![3usize, 6, 2], 8usize),  // 2+5+1
-            (vec![9, 5, 6, 3], 19),        // 8+4+5+2
-            (vec![4, 7, 4, 4, 3, 5], 21),  // 3+6+3+3+2+4
+            (vec![3usize, 6, 2], 8usize), // 2+5+1
+            (vec![9, 5, 6, 3], 19),       // 8+4+5+2
+            (vec![4, 7, 4, 4, 3, 5], 21), // 3+6+3+3+2+4
         ] {
             let d = dims(&v);
             let w = w_state(&d);

@@ -33,7 +33,12 @@ pub type SparseState = Vec<(Vec<usize>, Complex)>;
 /// Sparse form of [`ghz`](crate::ghz): `k = min(dims)` diagonal components.
 #[must_use]
 pub fn ghz(dims: &Dims) -> SparseState {
-    let k = dims.as_slice().iter().copied().min().expect("non-empty register");
+    let k = dims
+        .as_slice()
+        .iter()
+        .copied()
+        .min()
+        .expect("non-empty register");
     let amp = Complex::real(1.0 / (k as f64).sqrt());
     (0..k).map(|level| (vec![level; dims.len()], amp)).collect()
 }
@@ -168,7 +173,10 @@ mod tests {
             (crate::w_state(&d), w_state(&d)),
             (crate::embedded_w(&d), embedded_w(&d)),
             (crate::dicke(&d, 2), dicke(&d, 2)),
-            (crate::basis_state(&d, &[2, 4, 1]), basis_state(&d, &[2, 4, 1])),
+            (
+                crate::basis_state(&d, &[2, 4, 1]),
+                basis_state(&d, &[2, 4, 1]),
+            ),
             (crate::cyclic(&d, &[1, 0, 0]), cyclic(&d, &[1, 0, 0])),
         ];
         for (i, (dense, sparse)) in pairs.iter().enumerate() {
@@ -202,7 +210,10 @@ mod tests {
         let pattern: Vec<usize> = (0..24).map(|i| 2 + (i % 4)).collect();
         let d = dims(&pattern);
         assert_eq!(ghz(&d).len(), 2);
-        assert_eq!(w_state(&d).len(), pattern.iter().map(|x| x - 1).sum::<usize>());
+        assert_eq!(
+            w_state(&d).len(),
+            pattern.iter().map(|x| x - 1).sum::<usize>()
+        );
         assert_eq!(embedded_w(&d).len(), 24);
     }
 }

@@ -16,7 +16,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rng = StdRng::seed_from_u64(2024);
     let target = random_state(&dims, RandomKind::ReImUniform, &mut rng);
 
-    println!("random state over {dims} ({} amplitudes)\n", dims.space_size());
+    println!(
+        "random state over {dims} ({} amplitudes)\n",
+        dims.space_size()
+    );
     println!(
         "{:>10} {:>8} {:>8} {:>11} {:>10} {:>10}",
         "threshold", "nodes", "ops", "ctrl(med)", "bound", "measured"

@@ -15,7 +15,9 @@ use mdq::num::radix::Dims;
 use mdq::states::sparse;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let pattern = vec![3usize, 4, 2, 5, 3, 2, 4, 3, 2, 3, 4, 2, 5, 3, 2, 3, 4, 2, 3, 5];
+    let pattern = vec![
+        3usize, 4, 2, 5, 3, 2, 4, 3, 2, 3, 4, 2, 5, 3, 2, 3, 4, 2, 3, 5,
+    ];
     let dims = Dims::new(pattern)?;
     let space: f64 = dims.as_slice().iter().map(|&d| d as f64).product();
     println!(

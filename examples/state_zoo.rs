@@ -31,8 +31,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             ("cyclic", states::cyclic(&dims, &cyclic_seed(&dims))),
         ];
         for (name, target) in families {
-            let (result, fidelity) =
-                prepare_and_verify(&dims, &target, PrepareOptions::exact())?;
+            let (result, fidelity) = prepare_and_verify(&dims, &target, PrepareOptions::exact())?;
             println!(
                 "{:<12} {:<14} {:>7} {:>9} {:>6} {:>10.1} {:>10.6}",
                 name,

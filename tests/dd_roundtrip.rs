@@ -1,0 +1,96 @@
+//! Property-based round-trip tests for the decision-diagram layer, driven
+//! through the `mdq` facade: building a diagram from random amplitudes and
+//! reading it back must be lossless (within tolerance), and `reduce()` must
+//! preserve every amplitude while never increasing the node count.
+
+use mdq::dd::{BuildOptions, StateDd};
+use mdq::num::radix::Dims;
+use mdq::num::Complex;
+use proptest::prelude::*;
+
+/// Random mixed-radix registers of 2–4 qudits with local dimensions 2–5.
+fn arb_dims() -> impl Strategy<Value = Dims> {
+    proptest::collection::vec(2usize..6, 2..5).prop_map(|v| Dims::new(v).unwrap())
+}
+
+/// A normalized random amplitude vector for the given register.
+fn arb_state(dims: &Dims) -> impl Strategy<Value = Vec<Complex>> {
+    let n = dims.space_size();
+    proptest::collection::vec((-1.0..1.0f64, -1.0..1.0f64), n..=n).prop_filter_map(
+        "state must have nonzero norm",
+        |parts| {
+            let v: Vec<Complex> = parts
+                .into_iter()
+                .map(|(re, im)| Complex::new(re, im))
+                .collect();
+            let norm = mdq::num::norm(&v);
+            (norm > 1e-6).then(|| v.iter().map(|a| *a / norm).collect::<Vec<_>>())
+        },
+    )
+}
+
+fn arb_dims_and_state() -> impl Strategy<Value = (Dims, Vec<Complex>)> {
+    arb_dims().prop_flat_map(|d| {
+        let s = arb_state(&d);
+        (Just(d), s)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn prop_from_amplitudes_to_amplitudes_round_trips((dims, amps) in arb_dims_and_state()) {
+        let dd = StateDd::from_amplitudes(&dims, &amps, BuildOptions::default()).unwrap();
+        let back = dd.to_amplitudes();
+        prop_assert_eq!(back.len(), amps.len());
+        for (i, (a, b)) in amps.iter().zip(back.iter()).enumerate() {
+            prop_assert!(
+                a.approx_eq(*b, 1e-7),
+                "amplitude {} drifted: {:?} vs {:?}", i, a, b
+            );
+        }
+        prop_assert!(mdq::num::fidelity(&amps, &back) > 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn prop_reduce_preserves_amplitudes_and_node_count((dims, amps) in arb_dims_and_state()) {
+        let dd = StateDd::from_amplitudes(&dims, &amps, BuildOptions::default()).unwrap();
+        let reduced = dd.reduce();
+        prop_assert!(
+            reduced.node_count() <= dd.node_count(),
+            "reduce grew the diagram: {} -> {}", dd.node_count(), reduced.node_count()
+        );
+        let back = reduced.to_amplitudes();
+        for (i, (a, b)) in amps.iter().zip(back.iter()).enumerate() {
+            prop_assert!(
+                a.approx_eq(*b, 1e-7),
+                "amplitude {} changed by reduce: {:?} vs {:?}", i, a, b
+            );
+        }
+    }
+
+    #[test]
+    fn prop_reduce_is_idempotent_on_node_count((dims, amps) in arb_dims_and_state()) {
+        let dd = StateDd::from_amplitudes(&dims, &amps, BuildOptions::default()).unwrap();
+        let once = dd.reduce();
+        let twice = once.reduce();
+        prop_assert_eq!(once.node_count(), twice.node_count());
+    }
+}
+
+/// Structured states reduce far below the full tree; this pins the
+/// round-trip on a case where sharing actually fires: in the uniform
+/// superposition every subtree of a level is identical, so the reduced
+/// diagram collapses to one node per level.
+#[test]
+fn uniform_reduction_shares_aggressively_and_round_trips() {
+    let dims = Dims::new(vec![3, 3, 3]).unwrap();
+    let state = mdq::states::uniform(&dims);
+    let dd = StateDd::from_amplitudes(&dims, &state, BuildOptions::default()).unwrap();
+    let reduced = dd.reduce();
+    assert!(reduced.node_count() < dd.node_count());
+    for (a, b) in state.iter().zip(reduced.to_amplitudes().iter()) {
+        assert!(a.approx_eq(*b, 1e-12));
+    }
+}

@@ -33,15 +33,23 @@ fn workloads() -> Vec<(Dims, Vec<Complex>)> {
     vec![
         (d1.clone(), ghz(&d1)),
         (d1.clone(), w_state(&d1)),
-        (d1.clone(), random_state(&d1, RandomKind::ReImUniform, &mut rng)),
-        (d2.clone(), random_state(&d2, RandomKind::MagnitudePhase, &mut rng)),
+        (
+            d1.clone(),
+            random_state(&d1, RandomKind::ReImUniform, &mut rng),
+        ),
+        (
+            d2.clone(),
+            random_state(&d2, RandomKind::MagnitudePhase, &mut rng),
+        ),
     ]
 }
 
 #[test]
 fn phase_decomposition_preserves_prepared_states() {
     for (d, target) in workloads() {
-        let circuit = prepare(&d, &target, PrepareOptions::exact()).unwrap().circuit;
+        let circuit = prepare(&d, &target, PrepareOptions::exact())
+            .unwrap()
+            .circuit;
         let (decomposed, expanded) = passes::decompose_phases(&circuit);
         assert!(expanded > 0, "synthesis always emits phase rotations");
         // Z rotations count as 1 op but expand to 3 Givens each.
@@ -54,10 +62,15 @@ fn phase_decomposition_preserves_prepared_states() {
 #[test]
 fn rotation_merging_preserves_prepared_states() {
     for (d, target) in workloads() {
-        let circuit = prepare(&d, &target, PrepareOptions::exact()).unwrap().circuit;
+        let circuit = prepare(&d, &target, PrepareOptions::exact())
+            .unwrap()
+            .circuit;
         let (merged, removed) = passes::merge_rotations(&circuit, 1e-12);
         let f = fidelity_from_ground(&merged, &target);
-        assert!((f - 1.0).abs() < 1e-9, "fidelity {f} over {d} ({removed} removed)");
+        assert!(
+            (f - 1.0).abs() < 1e-9,
+            "fidelity {f} over {d} ({removed} removed)"
+        );
         assert!(merged.len() + removed == circuit.len());
     }
 }
@@ -68,7 +81,9 @@ fn merging_removes_identity_rotations_on_sparse_states() {
     // semantics; the merge pass strips them without touching fidelity.
     let d = dims(&[3, 6, 2]);
     let target = ghz(&d);
-    let circuit = prepare(&d, &target, PrepareOptions::exact()).unwrap().circuit;
+    let circuit = prepare(&d, &target, PrepareOptions::exact())
+        .unwrap()
+        .circuit;
     let (merged, removed) = passes::merge_rotations(&circuit, 1e-12);
     assert!(removed > 0);
     assert!(merged.len() < circuit.len());
@@ -79,7 +94,9 @@ fn merging_removes_identity_rotations_on_sparse_states() {
 #[test]
 fn full_pass_chain_preserves_prepared_states() {
     for (d, target) in workloads() {
-        let circuit = prepare(&d, &target, PrepareOptions::exact()).unwrap().circuit;
+        let circuit = prepare(&d, &target, PrepareOptions::exact())
+            .unwrap()
+            .circuit;
         let (decomposed, _) = passes::decompose_phases(&circuit);
         let (merged, _) = passes::merge_rotations(&decomposed, 1e-12);
         let mut cleaned = merged.clone();
@@ -101,7 +118,9 @@ fn full_pass_chain_preserves_prepared_states() {
 fn serialization_round_trips_synthesized_circuits() {
     use mdq::circuit::serialize;
     for (d, target) in workloads() {
-        let circuit = prepare(&d, &target, PrepareOptions::exact()).unwrap().circuit;
+        let circuit = prepare(&d, &target, PrepareOptions::exact())
+            .unwrap()
+            .circuit;
         let text = serialize::to_text(&circuit).unwrap();
         let back = serialize::from_text(&text).unwrap();
         assert_eq!(circuit, back, "round trip over {d}");

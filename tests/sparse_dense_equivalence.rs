@@ -30,7 +30,10 @@ fn sparse_and_dense_pipelines_emit_identical_circuits() {
         let sr = prepare_sparse(&d, sparse, opts).unwrap();
         assert_eq!(dr.circuit, sr.circuit, "family {i}");
         assert_eq!(dr.report.operations, sr.report.operations, "family {i}");
-        assert_eq!(dr.report.nodes_initial, sr.report.nodes_initial, "family {i}");
+        assert_eq!(
+            dr.report.nodes_initial, sr.report.nodes_initial,
+            "family {i}"
+        );
         assert_eq!(
             dr.report.distinct_c_initial, sr.report.distinct_c_initial,
             "family {i}"

@@ -1,0 +1,4 @@
+//! Shared helpers for the integration tests. Not an integration test
+//! itself: cargo only treats direct children of `tests/` as test roots.
+
+pub mod json;

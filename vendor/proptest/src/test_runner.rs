@@ -1,0 +1,134 @@
+//! The case runner and its configuration.
+
+use crate::strategy::Strategy;
+
+/// Runner configuration; only `cases` is honoured by this stub.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the property to pass.
+    pub cases: u32,
+    /// Cap on `prop_assume!` rejections before the run is abandoned.
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` successful cases.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..ProptestConfig::default()
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// An assertion failed; the whole property fails.
+    Fail(String),
+    /// A `prop_assume!` rejected the input; the case is re-drawn.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failure with the given message.
+    #[must_use]
+    pub fn fail(message: String) -> Self {
+        TestCaseError::Fail(message)
+    }
+
+    /// A rejection with the given reason.
+    #[must_use]
+    pub fn reject(reason: String) -> Self {
+        TestCaseError::Reject(reason)
+    }
+}
+
+/// The deterministic bit source driving strategy generation.
+///
+/// A SplitMix64 seeded from the test name, so every run of a given test
+/// sees the same case sequence.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// A generator seeded deterministically from a test's full name.
+    #[must_use]
+    pub fn from_name(name: &str) -> Self {
+        // FNV-1a over the name gives a stable, well-mixed seed.
+        let mut hash = 0xCBF2_9CE4_8422_2325u64;
+        for byte in name.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng { state: hash }
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniform integer in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "empty sampling bound");
+        self.next_u64() % bound
+    }
+}
+
+/// Drives one property: draws inputs from `strategy` until `config.cases`
+/// cases pass, panicking on the first failure.
+///
+/// # Panics
+///
+/// Panics when a case fails or the rejection cap is exceeded.
+pub fn run<S, F>(config: &ProptestConfig, name: &str, strategy: &S, mut case: F)
+where
+    S: Strategy,
+    F: FnMut(S::Value) -> Result<(), TestCaseError>,
+{
+    let mut rng = TestRng::from_name(name);
+    let mut passed = 0u32;
+    let mut rejected = 0u32;
+    while passed < config.cases {
+        let value = strategy.generate(&mut rng);
+        match case(value) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejected += 1;
+                assert!(
+                    rejected <= config.max_global_rejects,
+                    "{name}: too many prop_assume! rejections ({rejected})"
+                );
+            }
+            Err(TestCaseError::Fail(message)) => {
+                panic!("{name}: property failed after {passed} passing case(s): {message}")
+            }
+        }
+    }
+}

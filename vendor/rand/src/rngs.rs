@@ -1,0 +1,31 @@
+//! Concrete generator types.
+
+use crate::{RngCore, SeedableRng};
+
+/// The standard deterministic generator of this stub: a SplitMix64.
+///
+/// Unlike the real `rand::rngs::StdRng` (ChaCha-based), this is not
+/// cryptographically secure and produces a different stream for the same
+/// seed — but it is fully deterministic, passes basic uniformity checks, and
+/// is more than adequate for generating test states.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StdRng {
+    state: u64,
+}
+
+impl RngCore for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        // SplitMix64 (Steele, Lea, Flood — public domain reference constants).
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        StdRng { state: seed }
+    }
+}
