@@ -5,7 +5,7 @@
 //! printed by `--bin scaling`).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use mdq_bench::{dims3, dims4, dims5, Family};
+use mdq_bench::{dims3, dims4, dims5, sparse_bench_dims, sparse_workloads, Family};
 use mdq_core::{prepare, synthesize, PrepareOptions, SynthesisOptions};
 use mdq_dd::{BuildOptions, StateDd};
 use mdq_sim::StateVector;
@@ -24,6 +24,42 @@ fn bench_dd_build(c: &mut Criterion) {
                 });
             });
         }
+    }
+    group.finish();
+}
+
+fn bench_dd_build_sparse(c: &mut Criterion) {
+    // Arena-backed sparse construction on a register far beyond dense reach
+    // (20 qudits, ≈10^10 amplitudes): cost is linear in the support size.
+    let mut group = c.benchmark_group("dd_build_sparse");
+    let dims = sparse_bench_dims();
+    for (name, entries) in sparse_workloads(&dims) {
+        let id = BenchmarkId::new(name, entries.len());
+        group.bench_with_input(id, &entries, |b, entries| {
+            b.iter(|| {
+                StateDd::from_sparse(&dims, black_box(entries), BuildOptions::default())
+                    .expect("diagram builds")
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_dd_apply(c: &mut Criterion) {
+    // Diagram-level circuit application (the verification path): synthesize
+    // each workload's preparation circuit, then replay it on |0…0⟩ through
+    // one shared arena.
+    let mut group = c.benchmark_group("dd_apply");
+    let dims = sparse_bench_dims();
+    for (name, entries) in sparse_workloads(&dims) {
+        let circuit = mdq_core::prepare_sparse(&dims, &entries, PrepareOptions::exact())
+            .expect("preparation succeeds")
+            .circuit;
+        let ground = StateDd::ground(&dims);
+        let id = BenchmarkId::new(name, circuit.len());
+        group.bench_with_input(id, &circuit, |b, circuit| {
+            b.iter(|| ground.apply_circuit(black_box(circuit)).expect("applies"));
+        });
     }
     group.finish();
 }
@@ -106,7 +142,8 @@ fn bench_simulate(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_dd_build, bench_approximate, bench_synthesize,
+    targets = bench_dd_build, bench_dd_build_sparse, bench_dd_apply,
+              bench_approximate, bench_synthesize,
               bench_prepare_end_to_end, bench_simulate
 }
 criterion_main!(benches);

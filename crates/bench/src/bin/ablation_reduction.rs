@@ -38,8 +38,16 @@ fn main() {
     );
 
     for (name, target) in &families {
-        let tree = StateDd::from_amplitudes(&dims, target, BuildOptions::default())
-            .expect("diagram builds");
+        // The unshared tree baseline needs the explicit Table-1 path; the
+        // default build is hash-consed (shared) from the start. Synthesis
+        // never descends zero branches, so the kept zero subtrees do not
+        // change the emitted circuit.
+        let tree = StateDd::from_amplitudes(
+            &dims,
+            target,
+            BuildOptions::default().keep_zero_subtrees(true),
+        )
+        .expect("diagram builds");
         let reduced = tree.reduce();
 
         let variants = [

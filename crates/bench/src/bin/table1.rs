@@ -13,7 +13,7 @@
 
 use std::fmt::Write as _;
 
-use mdq_bench::{table1_rows, Config, Mean};
+use mdq_bench::{flag_value, table1_rows, Config, Mean};
 use mdq_core::{prepare, verify::prepared_fidelity, PrepareOptions};
 
 #[derive(Default, Clone)]
@@ -157,11 +157,4 @@ fn run_row(config: &Config, runs: u64, verify: bool) -> (RowStats, RowStats) {
         }
     }
     (exact, approx)
-}
-
-fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
-    args.iter()
-        .position(|a| a == flag)
-        .and_then(|i| args.get(i + 1))
-        .map(String::as_str)
 }

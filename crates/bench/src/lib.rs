@@ -162,6 +162,40 @@ pub fn table1_rows() -> Vec<Config> {
     rows
 }
 
+/// The register used by the sparse build/apply benchmarks: 20 mixed
+/// qudits, a Hilbert space of ≈10^10 amplitudes — far beyond dense reach,
+/// routine for the arena-backed sparse path.
+#[must_use]
+pub fn sparse_bench_dims() -> Dims {
+    let pattern: Vec<usize> = (0..20).map(|i| 2 + (i % 4)).collect();
+    Dims::new(pattern).expect("valid register")
+}
+
+/// The three sparse workload families of the DD build/apply benchmarks:
+/// GHZ, W, and a seeded random sparse state with 32 support entries.
+#[must_use]
+pub fn sparse_workloads(dims: &Dims) -> Vec<(&'static str, mdq_states::sparse::SparseState)> {
+    let mut rng = StdRng::seed_from_u64(0x5EED);
+    vec![
+        ("ghz", mdq_states::sparse::ghz(dims)),
+        ("w", mdq_states::sparse::w_state(dims)),
+        (
+            "random_sparse",
+            mdq_states::sparse::random_sparse(dims, 32, &mut rng),
+        ),
+    ]
+}
+
+/// Returns the value following `flag` in an argument list (shared CLI
+/// helper of the benchmark binaries).
+#[must_use]
+pub fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
 /// Simple running mean.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Mean {

@@ -47,6 +47,7 @@ mod synth;
 pub mod verify;
 
 pub use pipeline::{
-    prepare, prepare_sparse, PreparationResult, PrepareError, PrepareOptions, SynthesisReport,
+    prepare, prepare_from_dd, prepare_sparse, PreparationResult, PrepareError, PrepareOptions,
+    SynthesisReport,
 };
 pub use synth::{synthesize, Direction, ProductRule, SynthesisOptions};

@@ -207,17 +207,51 @@ pub fn prepare(
     amplitudes: &[Complex],
     opts: PrepareOptions,
 ) -> Result<PreparationResult, PrepareError> {
-    if let Some(t) = opts.fidelity_threshold {
-        if !(t > 0.0 && t <= 1.0) {
-            return Err(PrepareError::InvalidThreshold(t));
-        }
-    }
-
+    validate_threshold(&opts)?;
     let t0 = Instant::now();
     let build_opts = BuildOptions::default()
         .keep_zero_subtrees(opts.keep_zero_subtrees)
         .tolerance(opts.tolerance);
     let initial = StateDd::from_amplitudes(dims, amplitudes, build_opts)?;
+    run_pipeline(initial, opts, t0)
+}
+
+fn validate_threshold(opts: &PrepareOptions) -> Result<(), PrepareError> {
+    if let Some(t) = opts.fidelity_threshold {
+        if !(t > 0.0 && t <= 1.0) {
+            return Err(PrepareError::InvalidThreshold(t));
+        }
+    }
+    Ok(())
+}
+
+/// Runs approximation, reduction and synthesis on an already-built diagram —
+/// the shared back half of [`prepare`] and [`prepare_sparse`], also usable
+/// directly to reuse a diagram (and its arena) across pipeline stages.
+///
+/// Since diagrams are canonical by construction, the historical
+/// build-then-reduce two-step only survives for the `keep_zero_subtrees`
+/// Table-1 trees: on an arena-built diagram the reduce option is skipped
+/// outright (it would be a structural no-op), so one pipeline run allocates
+/// one arena.
+///
+/// # Errors
+///
+/// Returns [`PrepareError`] for an invalid threshold or a failing
+/// approximation step.
+pub fn prepare_from_dd(
+    initial: StateDd,
+    opts: PrepareOptions,
+) -> Result<PreparationResult, PrepareError> {
+    validate_threshold(&opts)?;
+    run_pipeline(initial, opts, Instant::now())
+}
+
+fn run_pipeline(
+    initial: StateDd,
+    opts: PrepareOptions,
+    t0: Instant,
+) -> Result<PreparationResult, PrepareError> {
     let nodes_initial = initial.edge_count();
     let distinct_c_initial = initial.distinct_complex_count();
 
@@ -229,7 +263,13 @@ pub fn prepare(
         }
         None => (initial, 0, 0.0),
     };
-    let dd = if opts.reduce { dd.reduce() } else { dd };
+    // Arena-built diagrams are maximally shared already; an explicit
+    // reduction pass is only meaningful on Table-1 trees.
+    let dd = if opts.reduce && !dd.is_canonical() {
+        dd.reduce()
+    } else {
+        dd
+    };
 
     let circuit = synthesize(&dd, opts.synthesis);
     let time = t1.elapsed();
@@ -290,53 +330,11 @@ pub fn prepare_sparse(
     entries: &[(Vec<usize>, Complex)],
     opts: PrepareOptions,
 ) -> Result<PreparationResult, PrepareError> {
-    if let Some(t) = opts.fidelity_threshold {
-        if !(t > 0.0 && t <= 1.0) {
-            return Err(PrepareError::InvalidThreshold(t));
-        }
-    }
-
+    validate_threshold(&opts)?;
     let t0 = Instant::now();
     let build_opts = BuildOptions::default().tolerance(opts.tolerance);
     let initial = StateDd::from_sparse(dims, entries, build_opts)?;
-    let nodes_initial = initial.edge_count();
-    let distinct_c_initial = initial.distinct_complex_count();
-
-    let t1 = Instant::now();
-    let (dd, removed_nodes, pruned_mass) = match opts.fidelity_threshold {
-        Some(threshold) => {
-            let approx = initial.approximate(1.0 - threshold)?;
-            (approx.dd, approx.removed_nodes, approx.pruned_mass)
-        }
-        None => (initial, 0, 0.0),
-    };
-    let dd = if opts.reduce { dd.reduce() } else { dd };
-
-    let circuit = synthesize(&dd, opts.synthesis);
-    let time = t1.elapsed();
-    let total_time = t0.elapsed();
-
-    let stats = circuit.stats();
-    let report = SynthesisReport {
-        nodes_initial,
-        nodes_final: dd.edge_count(),
-        distinct_c_initial,
-        distinct_c_final: dd.distinct_complex_count(),
-        operations: stats.operations,
-        controls_median: stats.controls_median,
-        controls_mean: stats.controls_mean,
-        controls_max: stats.controls_max,
-        removed_nodes,
-        pruned_mass,
-        fidelity_bound: 1.0 - pruned_mass,
-        time,
-        total_time,
-    };
-    Ok(PreparationResult {
-        circuit,
-        dd,
-        report,
-    })
+    run_pipeline(initial, opts, t0)
 }
 
 #[cfg(test)]
@@ -558,6 +556,37 @@ mod tests {
         // Amplitude check on the diagram itself (simulation is impossible).
         let a = 1.0 / 2.0_f64.sqrt();
         assert!((r.dd.amplitude(&[1; 18]).abs() - a).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prepare_from_dd_matches_prepare() {
+        // Handing an already-built diagram into the pipeline (arena reuse
+        // across stages) must produce the same circuit and metrics as the
+        // end-to-end entry point.
+        let d = dims(&[3, 6, 2]);
+        let target = w_state(&d);
+        let opts = PrepareOptions::exact().without_zero_subtrees();
+        let end_to_end = prepare(&d, &target, opts).unwrap();
+        let dd = mdq_dd::StateDd::from_amplitudes(
+            &d,
+            &target,
+            BuildOptions::default().tolerance(opts.tolerance),
+        )
+        .unwrap();
+        let staged = prepare_from_dd(dd, opts).unwrap();
+        assert_eq!(staged.circuit, end_to_end.circuit);
+        assert_eq!(staged.report.operations, end_to_end.report.operations);
+        assert_eq!(staged.report.nodes_initial, end_to_end.report.nodes_initial);
+    }
+
+    #[test]
+    fn prepare_from_dd_validates_threshold() {
+        let d = dims(&[2]);
+        let dd = mdq_dd::StateDd::ground(&d);
+        assert_eq!(
+            prepare_from_dd(dd, PrepareOptions::approximated(2.0)).unwrap_err(),
+            PrepareError::InvalidThreshold(2.0)
+        );
     }
 
     #[test]

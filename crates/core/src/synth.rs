@@ -12,8 +12,11 @@ pub enum ProductRule {
     Off,
     /// Elide when **all** nonzero edges of a node (at least two of them)
     /// point to the same shared child — the paper's tensor-product pattern.
-    /// This is the default; it requires a [reduced](StateDd::reduce) diagram
-    /// to fire, because only reduction makes identical subtrees shared.
+    /// This is the default; it fires on shared diagrams, which arena-built
+    /// ([canonical](StateDd::is_canonical)) diagrams are by construction.
+    /// On the unreduced Table-1 trees it needs an explicit
+    /// [`StateDd::reduce`] first, because only reduction makes identical
+    /// subtrees shared there.
     #[default]
     SharedChild,
     /// Additionally elide single-successor nodes (one nonzero edge). Sound —

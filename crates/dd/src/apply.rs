@@ -7,19 +7,27 @@
 //! a diagram, so structured circuits can be verified on registers whose
 //! Hilbert space could never be allocated.
 //!
+//! Application works *in the diagram's own arena*: untouched subtrees are
+//! shared with the input by reference (no copy pass), transformed nodes are
+//! interned through the same unique table, and the recursive transform and
+//! weighted-sum steps memoize through a [`ComputeCache`].
+//! [`StateDd::apply_circuit`] threads one arena and one cache through every
+//! instruction of a circuit and compacts the arena once at the end, so a
+//! whole simulation run allocates a single node store.
+//!
 //! The supported instruction shape matches what the synthesizer emits:
 //! every control qudit must be *more significant* than the target (controls
 //! are the diagram path from the root). Arbitrary control layouts are
 //! covered by the dense simulator in `mdq-sim`.
 
-use std::collections::HashMap;
 use std::fmt;
 
 use mdq_num::matrix::CMatrix;
 use mdq_num::radix::Dims;
 use mdq_num::{Complex, Tolerance};
 
-use crate::node::{Edge, Node, NodeId, NodeRef};
+use crate::arena::{ArenaOverflow, ComputeCache, DdArena};
+use crate::node::{Edge, NodeId, NodeRef};
 use crate::StateDd;
 
 /// Errors produced by [`StateDd::apply`].
@@ -49,6 +57,14 @@ pub enum ApplyError {
         /// The control qudit's dimension.
         dim: usize,
     },
+    /// The node arena reached its capacity while interning result nodes
+    /// (the limit configured at build time, or the `u32` index space). The
+    /// diagram is left unchanged semantically — the root still points at
+    /// the pre-instruction state.
+    ArenaOverflow {
+        /// The node limit that was hit.
+        limit: usize,
+    },
 }
 
 impl fmt::Display for ApplyError {
@@ -64,257 +80,150 @@ impl fmt::Display for ApplyError {
             ApplyError::ControlLevelOutOfRange { level, dim } => {
                 write!(f, "control level {level} out of range for dimension {dim}")
             }
+            ApplyError::ArenaOverflow { limit } => {
+                write!(f, "decision-diagram arena is full ({limit} nodes)")
+            }
         }
     }
 }
 
 impl std::error::Error for ApplyError {}
 
-/// Hash-consing key over exact weight bit patterns (the arena holds
-/// unnormalized intermediates, so tolerance-bucketing waits until the final
-/// normalization).
-type RawKey = (usize, Vec<(u64, u64, NodeRef)>);
-
-struct ApplyCtx<'a> {
-    src: &'a StateDd,
-    tol: f64,
-    nodes: Vec<Node>,
-    unique: HashMap<RawKey, NodeId>,
-    copy_memo: HashMap<NodeId, NodeRef>,
-    rec_memo: HashMap<(NodeId, usize), NodeRef>,
+impl From<ArenaOverflow> for ApplyError {
+    fn from(e: ArenaOverflow) -> Self {
+        ApplyError::ArenaOverflow { limit: e.limit }
+    }
 }
 
-impl<'a> ApplyCtx<'a> {
-    fn make_node(&mut self, level: usize, edges: Vec<Edge>) -> NodeRef {
-        if edges.iter().all(|e| e.is_zero(self.tol)) {
-            return NodeRef::Terminal;
-        }
-        let key: RawKey = (
-            level,
-            edges
-                .iter()
-                .map(|e| (e.weight.re.to_bits(), e.weight.im.to_bits(), e.target))
-                .collect(),
-        );
-        let id = *self.unique.entry(key).or_insert_with(|| {
-            let id = NodeId::new(self.nodes.len());
-            self.nodes.push(Node::new(level, edges));
-            id
-        });
-        NodeRef::Node(id)
-    }
+/// The recursive transform of one instruction, operating inside the
+/// diagram's own arena.
+struct ApplyCtx<'a> {
+    arena: &'a mut DdArena,
+    cache: &'a mut ComputeCache,
+    tol: f64,
+    /// Controls sorted by qudit (all above the target level).
+    controls: &'a [(usize, usize)],
+    target: usize,
+    matrix: &'a CMatrix,
+}
 
-    /// Imports a source subtree unchanged into the result arena.
-    fn copy(&mut self, nref: NodeRef) -> NodeRef {
-        let id = match nref {
-            NodeRef::Terminal => return NodeRef::Terminal,
-            NodeRef::Node(id) => id,
-        };
-        if let Some(&done) = self.copy_memo.get(&id) {
-            return done;
+impl ApplyCtx<'_> {
+    /// Weighted sum of subtree edges, all rooted at the same level,
+    /// producing a normalized interned edge. Summing n-ary (instead of
+    /// folding binary additions) never allocates intermediate partial-sum
+    /// nodes, so the arena only ever holds nodes of the final diagram.
+    fn sum_edges(&mut self, terms: Vec<Edge>) -> Result<Edge, ArenaOverflow> {
+        let tol = self.tol;
+        let mut terms: Vec<Edge> = terms.into_iter().filter(|e| !e.is_zero(tol)).collect();
+        match terms.len() {
+            0 => return Ok(Edge::ZERO),
+            1 => return Ok(terms[0]),
+            _ => {}
         }
-        let node = self.src.node(id);
-        let level = node.level();
-        let edges: Vec<Edge> = node
-            .edges()
+        if terms[0].target.is_terminal() {
+            // Below the last level only terminal targets occur.
+            debug_assert!(terms.iter().all(|e| e.target.is_terminal()));
+            let w = terms.iter().fold(Complex::ZERO, |acc, e| acc + e.weight);
+            return Ok(if w.is_zero(tol) {
+                Edge::ZERO
+            } else {
+                Edge::new(w, NodeRef::Terminal)
+            });
+        }
+        // Memoize on the exact sorted term list (addition is commutative).
+        terms.sort_by_key(|e| (e.target, e.weight.re.to_bits(), e.weight.im.to_bits()));
+        let key: Vec<(u64, u64, NodeRef)> = terms
             .iter()
-            .map(|e| {
-                if e.is_zero(self.tol) {
-                    Edge::ZERO
-                } else {
-                    Edge::new(e.weight, self.copy(e.target))
-                }
-            })
+            .map(|e| (e.weight.re.to_bits(), e.weight.im.to_bits(), e.target))
             .collect();
-        let new = self.make_node(level, edges);
-        self.copy_memo.insert(id, new);
-        new
-    }
-
-    /// Sum of two (unnormalized) weighted subtrees rooted at the same level.
-    fn add(&mut self, a: Edge, b: Edge) -> Edge {
-        if a.is_zero(self.tol) {
-            return b;
+        if let Some(&done) = self.cache.sum.get(&key) {
+            return Ok(done);
         }
-        if b.is_zero(self.tol) {
-            return a;
-        }
-        match (a.target, b.target) {
-            (NodeRef::Terminal, NodeRef::Terminal) => {
-                let w = a.weight + b.weight;
-                if w.is_zero(self.tol) {
-                    Edge::ZERO
-                } else {
-                    Edge::new(w, NodeRef::Terminal)
+        let first = terms[0].target.id().expect("internal summands");
+        let (level, d) = {
+            let node = self.arena.node(first);
+            (node.level(), node.dimension())
+        };
+        let mut edges = Vec::with_capacity(d);
+        for k in 0..d {
+            let mut sub = Vec::with_capacity(terms.len());
+            for t in &terms {
+                let id = t.target.id().expect("summands share the level");
+                let e = self.arena.node(id).edges()[k];
+                if !e.is_zero(tol) {
+                    sub.push(Edge::new(t.weight * e.weight, e.target));
                 }
             }
-            (NodeRef::Node(na), NodeRef::Node(nb)) => {
-                let (level, ea, eb) = {
-                    let na = &self.nodes[na.index()];
-                    let nb = &self.nodes[nb.index()];
-                    debug_assert_eq!(na.level(), nb.level());
-                    (na.level(), na.edges().to_vec(), nb.edges().to_vec())
-                };
-                let mut edges = Vec::with_capacity(ea.len());
-                for (x, y) in ea.into_iter().zip(eb) {
-                    let xs = Edge::new(a.weight * x.weight, x.target);
-                    let ys = Edge::new(b.weight * y.weight, y.target);
-                    edges.push(self.add(xs, ys));
-                }
-                let node = self.make_node(level, edges);
-                if node.is_terminal() {
-                    Edge::ZERO
-                } else {
-                    Edge::new(Complex::ONE, node)
-                }
-            }
-            // Mixed terminal/internal cannot happen for equal levels.
-            _ => unreachable!("subtree addition at mismatched depths"),
+            edges.push(self.sum_edges(sub)?);
         }
+        let out = self.arena.intern_normalized(level, edges)?;
+        self.cache.sum.insert(key, out);
+        Ok(out)
     }
 
     /// Transforms the subtree of `id` by the instruction, with `ctrl_idx`
-    /// controls (sorted by qudit) still pending.
-    fn rec(
-        &mut self,
-        id: NodeId,
-        ctrl_idx: usize,
-        controls: &[(usize, usize)],
-        target: usize,
-        matrix: &CMatrix,
-    ) -> NodeRef {
-        if let Some(&done) = self.rec_memo.get(&(id, ctrl_idx)) {
-            return done;
+    /// controls (sorted by qudit) still pending. Returns the normalized
+    /// upward edge of the transformed subtree; untouched children are
+    /// shared with the source by reference.
+    fn rec(&mut self, id: NodeId, ctrl_idx: usize) -> Result<Edge, ArenaOverflow> {
+        if let Some(&done) = self.cache.rec.get(&(id, ctrl_idx)) {
+            return Ok(done);
         }
-        let node = self.src.node(id);
-        let level = node.level();
-        let src_edges = node.edges().to_vec();
+        let (level, src_edges) = {
+            let node = self.arena.node(id);
+            (node.level(), node.edges().to_vec())
+        };
 
-        let new = if level == target {
+        let new = if level == self.target {
             // All controls consumed (they sit above the target).
             let d = src_edges.len();
             let mut edges = Vec::with_capacity(d);
             for j in 0..d {
-                let mut acc = Edge::ZERO;
+                let mut terms = Vec::with_capacity(d);
                 for (k, e) in src_edges.iter().enumerate() {
-                    let coeff = matrix.get(j, k);
+                    let coeff = self.matrix.get(j, k);
                     if coeff.is_zero(self.tol) || e.is_zero(self.tol) {
                         continue;
                     }
-                    let term = Edge::new(coeff * e.weight, self.copy(e.target));
-                    acc = self.add(acc, term);
+                    terms.push(Edge::new(coeff * e.weight, e.target));
                 }
-                edges.push(acc);
+                edges.push(self.sum_edges(terms)?);
             }
-            self.make_node(level, edges)
+            self.arena.intern_normalized(level, edges)?
         } else {
-            let pending = controls.get(ctrl_idx).copied();
-            let edges: Vec<Edge> = src_edges
-                .iter()
-                .enumerate()
-                .map(|(k, e)| {
-                    if e.is_zero(self.tol) {
-                        return Edge::ZERO;
-                    }
-                    let child = match e.target {
-                        NodeRef::Terminal => NodeRef::Terminal,
-                        NodeRef::Node(cid) => match pending {
-                            Some((cq, cl)) if cq == level => {
-                                if k == cl {
-                                    self.rec(cid, ctrl_idx + 1, controls, target, matrix)
-                                } else {
-                                    self.copy(e.target)
-                                }
-                            }
-                            _ => self.rec(cid, ctrl_idx, controls, target, matrix),
-                        },
-                    };
-                    Edge::new(e.weight, child)
-                })
-                .collect();
-            self.make_node(level, edges)
-        };
-        self.rec_memo.insert((id, ctrl_idx), new);
-        new
-    }
-}
-
-/// Renormalizes an unnormalized arena into a canonical [`StateDd`].
-fn normalize_arena(
-    dims: &Dims,
-    tolerance: Tolerance,
-    arena: Vec<Node>,
-    root: NodeRef,
-    root_weight: Complex,
-) -> StateDd {
-    let tol = tolerance.value();
-    let mut nodes: Vec<Node> = Vec::new();
-    let mut memo: Vec<Option<(Complex, NodeRef)>> = vec![None; arena.len()];
-
-    for (idx, node) in arena.iter().enumerate() {
-        let mut edges: Vec<Edge> = node
-            .edges()
-            .iter()
-            .map(|e| {
-                if e.is_zero(tol) {
-                    return Edge::ZERO;
+            let pending = self.controls.get(ctrl_idx).copied();
+            let mut edges = Vec::with_capacity(src_edges.len());
+            for (k, e) in src_edges.iter().enumerate() {
+                if e.is_zero(self.tol) {
+                    edges.push(Edge::ZERO);
+                    continue;
                 }
-                match e.target {
+                let edge = match e.target {
+                    // Cannot occur above the target level in a well-formed
+                    // diagram; kept as an identity for robustness.
                     NodeRef::Terminal => *e,
-                    NodeRef::Node(cid) => {
-                        let (scale, target) = memo[cid.index()].expect("children precede parents");
-                        let w = e.weight * scale;
-                        if w.is_zero(tol) {
-                            Edge::ZERO
-                        } else {
-                            Edge::new(w, target)
+                    NodeRef::Node(cid) => match pending {
+                        Some((cq, cl)) if cq == level && k != cl => {
+                            // Control not satisfied: the whole subtree is
+                            // untouched and shared as-is.
+                            *e
                         }
-                    }
-                }
-            })
-            .collect();
-        let norm_sqr: f64 = edges.iter().map(|e| e.weight.norm_sqr()).sum();
-        let norm = norm_sqr.sqrt();
-        if norm <= tol {
-            memo[idx] = Some((Complex::ZERO, NodeRef::Terminal));
-            continue;
-        }
-        for e in &mut edges {
-            e.weight = e.weight / norm;
-        }
-        let phase = edges
-            .iter()
-            .find(|e| !e.is_zero(tol))
-            .map_or(0.0, |e| e.weight.arg());
-        let unphase = Complex::cis(-phase);
-        for e in &mut edges {
-            e.weight *= unphase;
-            if e.is_zero(tol) {
-                e.weight = Complex::ZERO;
+                        Some((cq, _)) if cq == level => {
+                            let child = self.rec(cid, ctrl_idx + 1)?;
+                            Edge::new(e.weight * child.weight, child.target)
+                        }
+                        _ => {
+                            let child = self.rec(cid, ctrl_idx)?;
+                            Edge::new(e.weight * child.weight, child.target)
+                        }
+                    },
+                };
+                edges.push(edge);
             }
-        }
-        let id = NodeId::new(nodes.len());
-        nodes.push(Node::new(node.level(), edges));
-        memo[idx] = Some((Complex::from_polar(norm, phase), NodeRef::Node(id)));
-    }
-
-    let (scale, root) = match root {
-        NodeRef::Terminal => (Complex::ZERO, NodeRef::Terminal),
-        NodeRef::Node(id) => memo[id.index()].expect("root visited"),
-    };
-    let total = root_weight * scale;
-    let root_weight = if total.is_zero(tol) {
-        Complex::ZERO
-    } else {
-        // Unitary gates preserve the norm; keep only the phase.
-        Complex::cis(total.arg())
-    };
-    StateDd {
-        dims: dims.clone(),
-        tolerance,
-        nodes,
-        root,
-        root_weight,
+            self.arena.intern_normalized(level, edges)?
+        };
+        self.cache.rec.insert((id, ctrl_idx), new);
+        Ok(new)
     }
 }
 
@@ -335,22 +244,16 @@ impl StateDd {
     /// ```
     #[must_use]
     pub fn ground(dims: &Dims) -> StateDd {
-        let mut nodes: Vec<Node> = Vec::new();
+        let mut arena = DdArena::new(Tolerance::default());
         let mut below = NodeRef::Terminal;
         for level in (0..dims.len()).rev() {
             let mut edges = vec![Edge::ZERO; dims.dim(level)];
             edges[0] = Edge::new(Complex::ONE, below);
-            let id = NodeId::new(nodes.len());
-            nodes.push(Node::new(level, edges));
-            below = NodeRef::Node(id);
+            below = arena
+                .intern(level, edges)
+                .expect("ground diagram has one node per level");
         }
-        StateDd {
-            dims: dims.clone(),
-            tolerance: Tolerance::default(),
-            nodes,
-            root: below,
-            root_weight: Complex::ONE,
-        }
+        StateDd::from_parts(dims.clone(), arena, below, Complex::ONE, true)
     }
 
     /// Applies one circuit instruction to the diagram, returning the new
@@ -358,13 +261,50 @@ impl StateDd {
     ///
     /// All control qudits must be more significant than the target (which
     /// holds for every instruction the synthesizer emits); see
-    /// [`ApplyError::ControlNotAboveTarget`].
+    /// [`ApplyError::ControlNotAboveTarget`]. The result shares every
+    /// untouched subtree with `self` structurally and is canonical.
     ///
     /// # Errors
     ///
     /// Returns [`ApplyError`] for out-of-range targets, below-target
-    /// controls, or out-of-range control levels.
+    /// controls, out-of-range control levels, or arena exhaustion.
     pub fn apply(&self, instruction: &mdq_circuit::Instruction) -> Result<StateDd, ApplyError> {
+        let mut out = self.clone();
+        let mut cache = ComputeCache::new();
+        out.apply_mut_with(instruction, &mut cache)?;
+        Ok(out.compacted())
+    }
+
+    /// Applies one instruction in place, interning the transformed nodes
+    /// into the diagram's own arena.
+    ///
+    /// Repeated in-place applications accumulate superseded nodes in the
+    /// arena (they are dropped by the next compaction); prefer
+    /// [`StateDd::apply_circuit`] for whole circuits, which compacts
+    /// automatically.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ApplyError`] as [`StateDd::apply`] does; on error the
+    /// represented state is unchanged.
+    pub fn apply_mut(&mut self, instruction: &mdq_circuit::Instruction) -> Result<(), ApplyError> {
+        let mut cache = ComputeCache::new();
+        self.apply_mut_with(instruction, &mut cache)
+    }
+
+    /// [`StateDd::apply_mut`] with a caller-provided [`ComputeCache`], so a
+    /// sequence of in-place applications can reuse one set of memo tables —
+    /// the cache is cleared (capacity retained) at the start of every call.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ApplyError`] as [`StateDd::apply`] does; on error the
+    /// represented state is unchanged.
+    pub fn apply_mut_with(
+        &mut self,
+        instruction: &mdq_circuit::Instruction,
+        cache: &mut ComputeCache,
+    ) -> Result<(), ApplyError> {
         let target = instruction.qudit;
         if target >= self.dims.len() {
             return Err(ApplyError::TargetOutOfRange { qudit: target });
@@ -388,29 +328,44 @@ impl StateDd {
         }
         controls.sort_unstable();
         let matrix = instruction.gate.matrix(self.dims.dim(target));
+        let tol = self.tolerance().value();
 
-        let mut ctx = ApplyCtx {
-            src: self,
-            tol: self.tolerance.value(),
-            nodes: Vec::new(),
-            unique: HashMap::new(),
-            copy_memo: HashMap::new(),
-            rec_memo: HashMap::new(),
+        cache.begin_op();
+        let root_edge = match self.root {
+            NodeRef::Terminal => Edge::ZERO,
+            NodeRef::Node(id) => {
+                let mut ctx = ApplyCtx {
+                    arena: &mut self.arena,
+                    cache,
+                    tol,
+                    controls: &controls,
+                    target,
+                    matrix: &matrix,
+                };
+                ctx.rec(id, 0)?
+            }
         };
-        let root = match self.root {
-            NodeRef::Terminal => NodeRef::Terminal,
-            NodeRef::Node(id) => ctx.rec(id, 0, &controls, target, &matrix),
-        };
-        Ok(normalize_arena(
-            &self.dims,
-            self.tolerance,
-            ctx.nodes,
-            root,
-            self.root_weight,
-        ))
+        if root_edge.is_zero(tol) {
+            self.root = NodeRef::Terminal;
+            self.root_weight = Complex::ZERO;
+        } else {
+            self.root = root_edge.target;
+            // Unitary gates preserve the norm; keep only the phase.
+            let total = self.root_weight * root_edge.weight;
+            self.root_weight = Complex::cis(total.arg());
+        }
+        // The canonicity flag is preserved, not promoted: on a tree input
+        // the control-unsatisfied branches share the tree's unshared
+        // duplicate subtrees by reference, so the result only becomes
+        // canonical once `compacted()` re-interns everything (which both
+        // `apply` and `apply_circuit` do).
+        Ok(())
     }
 
-    /// Applies a whole circuit to the diagram (see [`StateDd::apply`]).
+    /// Applies a whole circuit to the diagram (see [`StateDd::apply`]),
+    /// threading one arena and one compute cache through every instruction
+    /// and compacting the node store when it grows past twice the live
+    /// size — one pipeline run, one arena.
     ///
     /// # Errors
     ///
@@ -427,10 +382,16 @@ impl StateDd {
             "circuit register differs from diagram register"
         );
         let mut state = self.clone();
+        let mut cache = ComputeCache::new();
+        let mut live = state.arena.len().max(64);
         for instr in circuit.iter() {
-            state = state.apply(instr)?;
+            state.apply_mut_with(instr, &mut cache)?;
+            if state.arena.len() > 2 * live {
+                state = state.compacted();
+                live = state.arena.len().max(64);
+            }
         }
-        Ok(state)
+        Ok(state.compacted())
     }
 }
 
@@ -451,6 +412,7 @@ mod tests {
         assert!((dd.amplitude(&[0, 0]).abs() - 1.0).abs() < 1e-12);
         assert!(dd.amplitude(&[2, 1]).is_zero(1e-12));
         assert_eq!(dd.node_count(), 2);
+        assert!(dd.is_canonical());
     }
 
     #[test]
@@ -554,6 +516,60 @@ mod tests {
     }
 
     #[test]
+    fn apply_mut_matches_apply() {
+        let d = dims(&[3, 3]);
+        let mut state = StateDd::ground(&d);
+        let fresh = state
+            .apply(&Instruction::local(0, Gate::fourier()))
+            .unwrap();
+        state
+            .apply_mut(&Instruction::local(0, Gate::fourier()))
+            .unwrap();
+        assert!((state.fidelity(&fresh) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn apply_shares_untouched_subtrees_in_one_arena() {
+        // A local gate on the most significant qudit must not rebuild the
+        // lower levels: the result reuses them in the same arena, so the
+        // compacted node count stays minimal.
+        let d = dims(&[3, 3, 3]);
+        let mut c = Circuit::new(d.clone());
+        c.push(Instruction::local(0, Gate::fourier())).unwrap();
+        let state = StateDd::ground(&d).apply_circuit(&c).unwrap();
+        // Uniform ⊗ |0⟩ ⊗ |0⟩: three nodes, one per level.
+        assert_eq!(state.node_count(), 3);
+        assert!(state.is_canonical());
+        assert!(state.check_canonical());
+    }
+
+    #[test]
+    fn apply_mut_on_tree_does_not_claim_canonicity() {
+        // A control-unsatisfied branch shares the tree's unshared duplicate
+        // subtrees by reference, so the in-place result must keep the
+        // non-canonical flag (reduce() then performs a real merge); the
+        // compacting apply() re-interns everything and is canonical.
+        let d = dims(&[3, 2]);
+        let a = Complex::real(1.0 / 6.0_f64.sqrt());
+        let tree = StateDd::from_amplitudes(
+            &d,
+            &[a; 6],
+            BuildOptions::default().keep_zero_subtrees(true),
+        )
+        .unwrap();
+        let instr = Instruction::controlled(1, Gate::fourier(), vec![Control::new(0, 2)]);
+        let mut in_place = tree.clone();
+        in_place.apply_mut(&instr).unwrap();
+        assert!(!in_place.is_canonical());
+        let reduced = in_place.reduce();
+        assert!(reduced.is_canonical());
+        let compacting = tree.apply(&instr).unwrap();
+        assert!(compacting.is_canonical());
+        assert!(compacting.check_canonical());
+        assert!((in_place.fidelity(&compacting) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
     fn apply_rejects_below_target_controls() {
         let d = dims(&[2, 2]);
         let dd = StateDd::ground(&d);
@@ -591,6 +607,22 @@ mod tests {
             .unwrap_err(),
             ApplyError::ControlLevelOutOfRange { level: 2, dim: 2 }
         );
+    }
+
+    #[test]
+    fn apply_surfaces_arena_overflow() {
+        let d = dims(&[2, 2]);
+        let a = Complex::real(0.5);
+        // 3 nodes fit exactly; applying a Fourier gate needs to intern new
+        // nodes beyond the cap.
+        let dd =
+            StateDd::from_amplitudes(&d, &[a, a, a, -a], BuildOptions::default().node_limit(3))
+                .unwrap();
+        assert_eq!(dd.node_count(), 3);
+        let err = dd
+            .apply(&Instruction::local(1, Gate::fourier()))
+            .unwrap_err();
+        assert!(matches!(err, ApplyError::ArenaOverflow { limit: 3 }));
     }
 
     #[test]

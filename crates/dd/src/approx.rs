@@ -12,7 +12,8 @@ use std::fmt;
 
 use mdq_num::Complex;
 
-use crate::node::{Edge, Node, NodeId, NodeRef};
+use crate::arena::DdArena;
+use crate::node::{Edge, NodeId, NodeRef};
 use crate::StateDd;
 
 /// Errors produced by [`StateDd::approximate`].
@@ -96,7 +97,7 @@ impl StateDd {
         let root_id = self.root.id();
 
         // Candidates in ascending contribution order; the root never goes.
-        let mut order: Vec<usize> = (0..self.nodes.len())
+        let mut order: Vec<usize> = (0..self.node_count())
             .filter(|&i| Some(NodeId::new(i)) != root_id)
             .collect();
         order.sort_by(|&a, &b| {
@@ -105,11 +106,19 @@ impl StateDd {
                 .expect("contributions are finite")
         });
 
-        let mut removed = vec![false; self.nodes.len()];
+        let mut removed = vec![false; self.node_count()];
         let mut remaining = budget;
         let mut removed_nodes = 0;
         for idx in order {
             let c = contributions[idx];
+            if c == 0.0 && self.is_canonical() {
+                // Canonical diagrams carry no zero-mass *reachable* nodes;
+                // a zero contribution marks a superseded node left behind
+                // by `apply_mut`. Flag it so the rebuild drops it, but do
+                // not report it as an approximation removal.
+                removed[idx] = true;
+                continue;
+            }
             if c > remaining {
                 // Contributions are sorted ascending, but ancestors of
                 // already-removed nodes keep their full mass; simply stop at
@@ -125,6 +134,18 @@ impl StateDd {
             removed[idx] = true;
             removed_nodes += 1;
             remaining -= c;
+        }
+
+        if removed_nodes == 0 && self.is_canonical() && removed.iter().all(|&r| !r) {
+            // Canonical diagrams have no zero-mass reachable nodes to shed,
+            // so an empty removal set means the rebuild would be the
+            // identity: reuse the arena instead of reallocating one.
+            return Ok(Approximation {
+                dd: self.clone(),
+                removed_nodes: 0,
+                pruned_mass: 0.0,
+                fidelity_lower_bound: 1.0,
+            });
         }
 
         let (dd, survived_mass) = self.rebuild_without(&removed);
@@ -148,7 +169,7 @@ impl StateDd {
         // Parents are created after children, so scan the tail of the arena.
         let target = NodeRef::Node(NodeId::new(idx));
         let mut parents = self
-            .nodes
+            .nodes()
             .iter()
             .enumerate()
             .skip(idx + 1)
@@ -160,18 +181,23 @@ impl StateDd {
     /// Rebuilds the diagram with the flagged nodes replaced by zero edges,
     /// renormalizing every surviving node bottom-up. Returns the rebuilt
     /// diagram and the surviving squared-magnitude mass.
+    ///
+    /// Canonical inputs are rebuilt through the interning path (survivors
+    /// stay maximally shared — zeroing branches can only create *more*
+    /// sharing); Table-1 trees are rebuilt unshared so their structural
+    /// metrics keep tree semantics.
     fn rebuild_without(&self, removed: &[bool]) -> (StateDd, f64) {
-        let tol = self.tolerance.value();
-        let mut nodes: Vec<Node> = Vec::new();
+        let tol = self.tolerance().value();
+        let mut arena = DdArena::with_node_limit(self.tolerance(), self.arena().node_limit());
         // memo: old index -> Some((scale, new ref)) once rebuilt.
-        let mut memo: Vec<Option<(Complex, NodeRef)>> = vec![None; self.nodes.len()];
+        let mut memo: Vec<Option<(Complex, NodeRef)>> = vec![None; self.node_count()];
 
-        for (idx, node) in self.nodes.iter().enumerate() {
+        for (idx, node) in self.nodes().iter().enumerate() {
             if removed[idx] {
                 memo[idx] = Some((Complex::ZERO, NodeRef::Terminal));
                 continue;
             }
-            let mut edges: Vec<Edge> = node
+            let edges: Vec<Edge> = node
                 .edges()
                 .iter()
                 .map(|e| {
@@ -193,20 +219,36 @@ impl StateDd {
                     }
                 })
                 .collect();
-            let norm_sqr: f64 = edges.iter().map(|e| e.weight.norm_sqr()).sum();
-            let norm = norm_sqr.sqrt();
-            if norm <= tol {
-                memo[idx] = Some((Complex::ZERO, NodeRef::Terminal));
-                continue;
-            }
-            for e in &mut edges {
-                e.weight = e.weight / norm;
-            }
-            let id = NodeId::new(nodes.len());
-            nodes.push(Node::new(node.level(), edges));
+            let up = if self.is_canonical() {
+                arena
+                    .intern_normalized(node.level(), edges)
+                    .expect("approximation never exceeds the source arena size")
+            } else {
+                // Unshared tree path: renormalize in place, drop zero-mass
+                // nodes (this is what shrinks the Table-1 trees "for free").
+                let mut edges = edges;
+                let norm_sqr: f64 = edges.iter().map(|e| e.weight.norm_sqr()).sum();
+                let norm = norm_sqr.sqrt();
+                if norm <= tol {
+                    Edge::ZERO
+                } else {
+                    for e in &mut edges {
+                        e.weight = e.weight / norm;
+                    }
+                    let target = arena
+                        .alloc_unshared(node.level(), edges)
+                        .expect("approximation never exceeds the source arena size");
+                    Edge::new(Complex::real(norm), target)
+                }
+            };
             // Children were unit-normalized before, so the rescale factor
-            // for parents is exactly the surviving norm.
-            memo[idx] = Some((Complex::real(norm), NodeRef::Node(id)));
+            // for parents is exactly the surviving norm (plus any pulled
+            // phase on the canonical path).
+            memo[idx] = Some(if up.is_zero(tol) {
+                (Complex::ZERO, NodeRef::Terminal)
+            } else {
+                (up.weight, up.target)
+            });
         }
 
         let (root_scale, root) = match self.root {
@@ -219,13 +261,8 @@ impl StateDd {
         } else {
             Complex::cis((self.root_weight * root_scale).arg())
         };
-        let dd = StateDd {
-            dims: self.dims.clone(),
-            tolerance: self.tolerance,
-            nodes,
-            root,
-            root_weight,
-        };
+        let canonical = self.is_canonical();
+        let dd = StateDd::from_parts(self.dims().clone(), arena, root, root_weight, canonical);
         (dd, root_scale.norm_sqr())
     }
 }
@@ -242,6 +279,12 @@ mod tests {
 
     fn build(d: &Dims, amps: &[Complex]) -> StateDd {
         StateDd::from_amplitudes(d, amps, BuildOptions::default()).unwrap()
+    }
+
+    /// The unreduced tree build — the Table-1 reproduction path, where every
+    /// branch keeps a private node so per-branch pruning is possible.
+    fn tree(d: &Dims, amps: &[Complex]) -> StateDd {
+        StateDd::from_amplitudes(d, amps, BuildOptions::default().keep_zero_subtrees(true)).unwrap()
     }
 
     fn skewed_state() -> (Dims, Vec<Complex>) {
@@ -285,7 +328,7 @@ mod tests {
     #[test]
     fn prunes_smallest_branch_within_budget() {
         let (d, amps) = skewed_state();
-        let dd = build(&d, &amps);
+        let dd = tree(&d, &amps);
         // Budget 0.15 allows removing the 0.1 branch but not the 0.4 one.
         let approx = dd.approximate(0.15).unwrap();
         assert!(approx.pruned_mass > 0.09 && approx.pruned_mass < 0.15);
@@ -299,7 +342,7 @@ mod tests {
     #[test]
     fn fidelity_equals_one_minus_pruned_mass() {
         let (d, amps) = skewed_state();
-        let dd = build(&d, &amps);
+        let dd = tree(&d, &amps);
         for budget in [0.05, 0.12, 0.3, 0.6] {
             let approx = dd.approximate(budget).unwrap();
             let f = dd.fidelity(&approx.dd);
@@ -329,7 +372,7 @@ mod tests {
     #[test]
     fn large_budget_reduces_diagram_size() {
         let (d, amps) = skewed_state();
-        let dd = build(&d, &amps);
+        let dd = tree(&d, &amps);
         let approx = dd.approximate(0.55).unwrap();
         assert!(approx.removed_nodes >= 2);
         assert!(approx.dd.edge_count() < dd.edge_count());
@@ -340,7 +383,7 @@ mod tests {
     #[test]
     fn approximated_diagram_stays_normalized() {
         let (d, amps) = skewed_state();
-        let dd = build(&d, &amps);
+        let dd = tree(&d, &amps);
         let approx = dd.approximate(0.15).unwrap();
         let total: f64 = approx.dd.to_amplitudes().iter().map(|a| a.norm_sqr()).sum();
         assert!((total - 1.0).abs() < 1e-9);

@@ -1,17 +1,27 @@
-//! Construction of decision diagrams from dense amplitude vectors.
+//! Construction of decision diagrams from dense amplitude vectors and
+//! sparse support lists.
 //!
 //! The recursive splitting procedure of the paper's §4.1: the vector is cut
 //! into `d` equal parts at the most significant qudit, each part becomes a
 //! successor, and normalization factors propagate from the terminal edges
 //! upwards so that every node's out-edge weights have squared magnitudes
 //! summing to one.
+//!
+//! Both builders intern every completed subtree through the shared
+//! [`DdArena`], so identical subtrees (up to the tolerance) are shared the
+//! moment they are built — the resulting diagrams are canonical and
+//! [`StateDd::reduce`] is a structural no-op on them. The unreduced Table-1
+//! tree (every position a distinct node, zero subtrees materialized) stays
+//! available behind [`BuildOptions::keep_zero_subtrees`], which bypasses
+//! the unique table.
 
 use std::fmt;
 
 use mdq_num::radix::Dims;
 use mdq_num::{Complex, Tolerance};
 
-use crate::node::{Edge, Node, NodeId, NodeRef};
+use crate::arena::{ArenaOverflow, DdArena};
+use crate::node::{Edge, NodeRef};
 use crate::StateDd;
 
 /// Errors produced by [`StateDd::from_amplitudes`] and
@@ -48,6 +58,12 @@ pub enum BuildError {
         /// The qudit's dimension.
         dim: usize,
     },
+    /// The node arena reached its capacity (the configured
+    /// [`BuildOptions::node_limit`] or the `u32` index space).
+    ArenaOverflow {
+        /// The node limit that was hit.
+        limit: usize,
+    },
 }
 
 impl fmt::Display for BuildError {
@@ -71,11 +87,20 @@ impl fmt::Display for BuildError {
                 f,
                 "sparse entry digit {digit} at position {position} exceeds dimension {dim}"
             ),
+            BuildError::ArenaOverflow { limit } => {
+                write!(f, "decision-diagram arena is full ({limit} nodes)")
+            }
         }
     }
 }
 
 impl std::error::Error for BuildError {}
+
+impl From<ArenaOverflow> for BuildError {
+    fn from(e: ArenaOverflow) -> Self {
+        BuildError::ArenaOverflow { limit: e.limit }
+    }
+}
 
 /// Options controlling diagram construction.
 ///
@@ -90,15 +115,18 @@ impl std::error::Error for BuildError {}
 pub struct BuildOptions {
     keep_zero_subtrees: bool,
     tolerance: Tolerance,
+    node_limit: Option<usize>,
 }
 
 impl BuildOptions {
-    /// Default options: zero subtrees pruned, default tolerance.
+    /// Default options: zero subtrees pruned, default tolerance, no node
+    /// cap beyond the `u32` index space.
     #[must_use]
     pub fn new() -> Self {
         Self {
             keep_zero_subtrees: false,
             tolerance: Tolerance::default(),
+            node_limit: None,
         }
     }
 
@@ -107,7 +135,8 @@ impl BuildOptions {
     ///
     /// Keeping them reproduces the paper's unreduced tree, whose edge count
     /// is the "Nodes" column for exact synthesis in Table 1 (e.g. 58 for the
-    /// `[3,6,2]` register regardless of the state).
+    /// `[3,6,2]` register regardless of the state). The tree path allocates
+    /// every node unshared — hash-consing is reserved for the default path.
     #[must_use]
     pub fn keep_zero_subtrees(mut self, keep: bool) -> Self {
         self.keep_zero_subtrees = keep;
@@ -132,6 +161,29 @@ impl BuildOptions {
     pub fn tolerance_value(&self) -> Tolerance {
         self.tolerance
     }
+
+    /// Caps the arena at `limit` nodes; builds exceeding it fail with
+    /// [`BuildError::ArenaOverflow`] instead of exhausting memory, and the
+    /// limit is inherited by every diagram derived from the built one.
+    #[must_use]
+    pub fn node_limit(mut self, limit: usize) -> Self {
+        self.node_limit = Some(limit);
+        self
+    }
+
+    /// Returns the configured node cap, if any.
+    #[must_use]
+    pub fn node_limit_value(&self) -> Option<usize> {
+        self.node_limit
+    }
+
+    /// A fresh arena honouring the tolerance and node limit.
+    pub(crate) fn arena(&self) -> DdArena {
+        match self.node_limit {
+            Some(limit) => DdArena::with_node_limit(self.tolerance, limit),
+            None => DdArena::new(self.tolerance),
+        }
+    }
 }
 
 impl Default for BuildOptions {
@@ -143,40 +195,31 @@ impl Default for BuildOptions {
 struct Builder<'a> {
     dims: &'a Dims,
     opts: BuildOptions,
-    nodes: Vec<Node>,
+    arena: DdArena,
 }
 
 impl<'a> Builder<'a> {
-    fn alloc(&mut self, node: Node) -> NodeId {
-        let id = NodeId::new(self.nodes.len());
-        self.nodes.push(node);
-        id
-    }
-
-    /// Normalizes and allocates a node from raw successor edges, returning
-    /// the upward edge (norm and pulled-up phase on the weight).
-    fn finish_node(&mut self, level: usize, mut edges: Vec<Edge>) -> Edge {
+    /// Normalizes and stores a node from raw successor edges, returning the
+    /// upward edge (norm and pulled-up phase on the weight). The default
+    /// path interns through the unique table; the `keep_zero_subtrees` tree
+    /// path allocates every node unshared, materializing zero subtrees.
+    fn finish_node(&mut self, level: usize, mut edges: Vec<Edge>) -> Result<Edge, ArenaOverflow> {
+        if !self.opts.keep_zero_subtrees {
+            return self.arena.intern_normalized(level, edges);
+        }
         let tol = self.opts.tolerance.value();
         let norm_sqr: f64 = edges.iter().map(|e| e.weight.norm_sqr()).sum();
         let norm = norm_sqr.sqrt();
         if norm <= tol {
-            // All-zero subvector.
-            if self.opts.keep_zero_subtrees {
-                // Materialize the zero node (and, below the last level, its
-                // recursively built zero children are already in `edges`).
-                let zeroed = edges
-                    .into_iter()
-                    .map(|e| Edge::new(Complex::ZERO, e.target))
-                    .collect();
-                let id = self.alloc(Node::new(level, zeroed));
-                return Edge::new(Complex::ZERO, NodeRef::Node(id));
-            }
-            return Edge::ZERO;
+            // All-zero subvector: materialize the zero node (below the last
+            // level its recursively built zero children are in `edges`).
+            let zeroed = edges
+                .into_iter()
+                .map(|e| Edge::new(Complex::ZERO, e.target))
+                .collect();
+            let target = self.arena.alloc_unshared(level, zeroed)?;
+            return Ok(Edge::new(Complex::ZERO, target));
         }
-
-        // Normalize: divide by the real norm, then pull the phase of the
-        // first nonzero weight out of the node so that structurally equal
-        // subtrees (up to a global factor) become identical nodes.
         for e in &mut edges {
             e.weight = e.weight / norm;
         }
@@ -191,13 +234,13 @@ impl<'a> Builder<'a> {
                 e.weight = Complex::ZERO;
             }
         }
-        let id = self.alloc(Node::new(level, edges));
-        Edge::new(Complex::from_polar(norm, phase), NodeRef::Node(id))
+        let target = self.arena.alloc_unshared(level, edges)?;
+        Ok(Edge::new(Complex::from_polar(norm, phase), target))
     }
 
     /// Builds the subtree for `slice` rooted at `level`, returning the
     /// upward edge (normalization weight and target).
-    fn build(&mut self, level: usize, slice: &[Complex]) -> Edge {
+    fn build(&mut self, level: usize, slice: &[Complex]) -> Result<Edge, ArenaOverflow> {
         let d = self.dims.dim(level);
         let chunk = slice.len() / d;
         let last_level = level + 1 == self.dims.len();
@@ -208,7 +251,7 @@ impl<'a> Builder<'a> {
             let edge = if last_level {
                 Edge::new(part[0], NodeRef::Terminal)
             } else {
-                self.build(level + 1, part)
+                self.build(level + 1, part)?
             };
             edges.push(edge);
         }
@@ -226,7 +269,7 @@ impl<'a> Builder<'a> {
         offset: usize,
         entries: &[(usize, Complex)],
         strides: &[usize],
-    ) -> Edge {
+    ) -> Result<Edge, ArenaOverflow> {
         let d = self.dims.dim(level);
         let stride = strides[level];
         let last_level = level + 1 == self.dims.len();
@@ -243,7 +286,7 @@ impl<'a> Builder<'a> {
             } else if last_level {
                 Edge::new(part[0].1, NodeRef::Terminal)
             } else {
-                self.build_sparse(level + 1, offset + k * stride, part, strides)
+                self.build_sparse(level + 1, offset + k * stride, part, strides)?
             };
             edges.push(edge);
         }
@@ -258,12 +301,16 @@ impl StateDd {
     /// of `dims` most significant (see [`Dims::index_of`]). The input does
     /// not have to be normalized; the resulting diagram always represents
     /// the normalized state (the overall scale is discarded, the global
-    /// phase is kept on the root edge).
+    /// phase is kept on the root edge). Unless
+    /// [`keep_zero_subtrees`](BuildOptions::keep_zero_subtrees) is set, the
+    /// result is canonical: identical subtrees are shared at build time and
+    /// [`StateDd::reduce`] is a structural no-op.
     ///
     /// # Errors
     ///
     /// Returns [`BuildError`] if the length does not match
-    /// `dims.space_size()`, an amplitude is not finite, or the norm is zero.
+    /// `dims.space_size()`, an amplitude is not finite, the norm is zero,
+    /// or the configured node limit is exceeded.
     ///
     /// # Examples
     ///
@@ -299,20 +346,20 @@ impl StateDd {
         let mut builder = Builder {
             dims,
             opts,
-            nodes: Vec::new(),
+            arena: opts.arena(),
         };
-        let root_edge = builder.build(0, amplitudes);
+        let root_edge = builder.build(0, amplitudes)?;
         debug_assert!(!root_edge.is_zero(opts.tolerance.value()));
         // The up-weight magnitude is the input norm; keep only the phase so
         // the diagram represents the normalized state.
         let root_weight = Complex::cis(root_edge.weight.arg());
-        Ok(StateDd {
-            dims: dims.clone(),
-            tolerance: opts.tolerance,
-            nodes: builder.nodes,
-            root: root_edge.target,
+        Ok(StateDd::from_parts(
+            dims.clone(),
+            builder.arena,
+            root_edge.target,
             root_weight,
-        })
+            !opts.keep_zero_subtrees,
+        ))
     }
 
     /// Builds a decision diagram from a *sparse* list of
@@ -322,16 +369,20 @@ impl StateDd {
     /// This makes structured states practical far beyond what a dense
     /// vector permits: a GHZ state over 20 qudits (a space of billions of
     /// amplitudes) builds in microseconds because its diagram has one node
-    /// per level. Amplitudes of repeated basis states are summed; entries
+    /// per level. The peak node count — the arena never holds anything but
+    /// the interned diagram — is polynomial in the number of nonzero
+    /// entries. Amplitudes of repeated basis states are summed; entries
     /// that cancel to zero are dropped. The state is normalized as in
     /// [`StateDd::from_amplitudes`]. Zero branches are always pruned
     /// (`keep_zero_subtrees` is ignored — the unreduced tree is
-    /// exponentially large by definition).
+    /// exponentially large by definition), so sparse-built diagrams are
+    /// always canonical.
     ///
     /// # Errors
     ///
     /// Returns [`BuildError`] if an entry has the wrong digit count, a digit
-    /// out of range, a non-finite amplitude, or the total norm is zero.
+    /// out of range, a non-finite amplitude, the total norm is zero, or the
+    /// configured node limit is exceeded.
     ///
     /// # Examples
     ///
@@ -392,76 +443,37 @@ impl StateDd {
             return Err(BuildError::ZeroNorm);
         }
 
+        let opts = opts.keep_zero_subtrees(false);
         let mut builder = Builder {
             dims,
-            opts: opts.keep_zero_subtrees(false),
-            nodes: Vec::new(),
+            opts,
+            arena: opts.arena(),
         };
         let strides = dims.strides();
-        let root_edge = builder.build_sparse(0, 0, &dedup, &strides);
+        let root_edge = builder.build_sparse(0, 0, &dedup, &strides)?;
         let root_weight = Complex::cis(root_edge.weight.arg());
-        Ok(StateDd {
-            dims: dims.clone(),
-            tolerance: opts.tolerance_value(),
-            nodes: builder.nodes,
-            root: root_edge.target,
+        Ok(StateDd::from_parts(
+            dims.clone(),
+            builder.arena,
+            root_edge.target,
             root_weight,
-        })
+            true,
+        ))
     }
 
     /// Rebuilds the diagram with all-zero branches collapsed to single zero
-    /// edges pointing at the terminal.
+    /// edges pointing at the terminal, interning every surviving node — the
+    /// result is canonical.
     ///
-    /// On a diagram built with
-    /// [`keep_zero_subtrees`](BuildOptions::keep_zero_subtrees) this realizes
-    /// the transition from the paper's structural tree to the pruned tree the
-    /// synthesizer actually traverses.
+    /// Since the arena refactor, interning subsumes zero-branch pruning, so
+    /// this is exactly [`StateDd::reduce`]: on a diagram built with
+    /// [`keep_zero_subtrees`](BuildOptions::keep_zero_subtrees) it realizes
+    /// the transition from the paper's structural tree to the shared diagram
+    /// the synthesizer actually traverses; on an arena-built diagram it is
+    /// equivalent to a clone.
     #[must_use]
     pub fn prune_zero_subtrees(&self) -> StateDd {
-        let tol = self.tolerance.value();
-        let mut nodes = Vec::new();
-        let mut memo: Vec<Option<NodeRef>> = vec![None; self.nodes.len()];
-
-        // Bottom-up order: children precede parents in the arena.
-        for (idx, node) in self.nodes.iter().enumerate() {
-            let edges: Vec<Edge> = node
-                .edges()
-                .iter()
-                .map(|e| {
-                    if e.is_zero(tol) {
-                        Edge::ZERO
-                    } else {
-                        let target = match e.target {
-                            NodeRef::Terminal => NodeRef::Terminal,
-                            NodeRef::Node(id) => {
-                                memo[id.index()].expect("child built before parent")
-                            }
-                        };
-                        Edge::new(e.weight, target)
-                    }
-                })
-                .collect();
-            if edges.iter().all(|e| e.is_zero(tol)) {
-                // Zero node disappears entirely.
-                memo[idx] = Some(NodeRef::Terminal);
-            } else {
-                let id = NodeId::new(nodes.len());
-                nodes.push(Node::new(node.level(), edges));
-                memo[idx] = Some(NodeRef::Node(id));
-            }
-        }
-
-        let root = match self.root {
-            NodeRef::Terminal => NodeRef::Terminal,
-            NodeRef::Node(id) => memo[id.index()].expect("root visited"),
-        };
-        StateDd {
-            dims: self.dims.clone(),
-            tolerance: self.tolerance,
-            nodes,
-            root,
-            root_weight: self.root_weight,
-        }
+        self.reduce()
     }
 }
 
@@ -512,6 +524,31 @@ mod tests {
     }
 
     #[test]
+    fn node_limit_surfaces_as_build_error() {
+        let d = dims(&[2, 2, 2]);
+        let amps: Vec<Complex> = (0..8).map(|i| Complex::real(1.0 + i as f64)).collect();
+        let err = StateDd::from_amplitudes(&d, &amps, BuildOptions::default().node_limit(2));
+        assert_eq!(err.unwrap_err(), BuildError::ArenaOverflow { limit: 2 });
+        let entries: Vec<(Vec<usize>, Complex)> = (0..8)
+            .map(|i| (d.digits_of(i), Complex::real(1.0 + i as f64)))
+            .collect();
+        let err = StateDd::from_sparse(&d, &entries, BuildOptions::default().node_limit(2));
+        assert_eq!(err.unwrap_err(), BuildError::ArenaOverflow { limit: 2 });
+    }
+
+    #[test]
+    fn node_limit_is_inherited_by_the_built_diagram() {
+        let d = dims(&[2]);
+        let dd = StateDd::from_amplitudes(
+            &d,
+            &[Complex::ONE, Complex::ZERO],
+            BuildOptions::default().node_limit(17),
+        )
+        .unwrap();
+        assert_eq!(dd.arena().node_limit(), 17);
+    }
+
+    #[test]
     fn unnormalized_input_is_normalized() {
         let d = dims(&[2]);
         let amps = [Complex::real(3.0), Complex::real(4.0)];
@@ -528,6 +565,7 @@ mod tests {
         // Table 1: the unreduced tree for [3,6,2] has 58 edges.
         assert_eq!(dd.edge_count(), 58);
         assert_eq!(dd.node_count(), d.full_tree_node_count());
+        assert!(!dd.is_canonical());
     }
 
     #[test]
@@ -538,6 +576,7 @@ mod tests {
         assert_eq!(dd.edge_count(), 20);
         // root + two level-1 nodes + two level-2 nodes
         assert_eq!(dd.node_count(), 5);
+        assert!(dd.is_canonical());
     }
 
     #[test]
@@ -549,6 +588,7 @@ mod tests {
         let pruned = full.prune_zero_subtrees();
         assert_eq!(pruned.edge_count(), 20);
         assert_eq!(pruned.node_count(), 5);
+        assert!(pruned.is_canonical());
         for (a, b) in full.to_amplitudes().iter().zip(pruned.to_amplitudes()) {
             assert!(a.approx_eq(b, 1e-12));
         }
@@ -565,7 +605,7 @@ mod tests {
     }
 
     #[test]
-    fn phase_canonicalization_pulls_phase_to_parent() {
+    fn phase_canonicalization_shares_children_at_build_time() {
         // (|0⟩ ⊗ |+⟩ + |1⟩ ⊗ e^{iφ}|+⟩)/√2: both children equal up to phase.
         let d = dims(&[2, 2]);
         let phi = 1.234;
@@ -573,14 +613,13 @@ mod tests {
         let h = Complex::real(0.5);
         let amps = [h, h, h * p, h * p];
         let dd = StateDd::from_amplitudes(&d, &amps, BuildOptions::default()).unwrap();
-        // After canonicalization the two level-1 nodes are structurally equal…
+        // After phase pulling the two level-1 subtrees are identical, so the
+        // hash-consing build interns them as one shared node.
+        assert_eq!(dd.node_count(), 2);
         let root = dd.node(dd.root().1.id().unwrap());
-        let c0 = dd.node(root.edges()[0].target.id().unwrap());
-        let c1 = dd.node(root.edges()[1].target.id().unwrap());
-        assert_eq!(c0, c1);
-        // …and the reduced diagram shares them.
-        let reduced = dd.reduce();
-        assert_eq!(reduced.node_count(), 2);
+        assert_eq!(root.edges()[0].target, root.edges()[1].target);
+        // Reduction has nothing left to do.
+        assert_eq!(dd.reduce().node_count(), 2);
     }
 
     #[test]
@@ -687,6 +726,9 @@ mod tests {
         let entries = vec![(vec![0; 20], a), (vec![1; 20], a)];
         let dd = StateDd::from_sparse(&d, &entries, BuildOptions::default()).unwrap();
         assert_eq!(dd.node_count(), 1 + 2 * 19);
+        // Peak memory equals the final diagram: the arena never held any
+        // other node, so the build is linear in the support size.
+        assert_eq!(dd.arena().len(), 1 + 2 * 19);
         assert!(dd.amplitude(&[1; 20]).approx_eq(a, 1e-12));
         assert!(dd
             .amplitude(&{

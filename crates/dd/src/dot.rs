@@ -2,14 +2,58 @@
 
 use std::fmt::Write as _;
 
+use mdq_num::Complex;
+
 use crate::node::NodeRef;
 use crate::StateDd;
+
+/// Formats an edge weight for DOT labels: components within `tol` of zero
+/// are dropped and the rest is rounded to five decimals, so labels are free
+/// of floating-point noise and identical across build paths.
+fn fmt_weight(w: Complex, tol: f64) -> String {
+    fn fmt_component(x: f64) -> String {
+        if x.abs() < 1e-5 {
+            // Below the rounded precision but above the tolerance: render
+            // in scientific notation instead of collapsing to "0" on an
+            // edge that is still drawn.
+            return format!("{x:e}");
+        }
+        let mut s = format!("{x:.5}");
+        while s.ends_with('0') {
+            s.pop();
+        }
+        if s.ends_with('.') {
+            s.pop();
+        }
+        if s == "-0" {
+            s = "0".to_owned();
+        }
+        s
+    }
+    let re = if w.re.abs() <= tol { 0.0 } else { w.re };
+    let im = if w.im.abs() <= tol { 0.0 } else { w.im };
+    match (re == 0.0, im == 0.0) {
+        (true, true) => "0".to_owned(),
+        (false, true) => fmt_component(re),
+        (true, false) => format!("{}i", fmt_component(im)),
+        (false, false) if im < 0.0 => {
+            format!("{}-{}i", fmt_component(re), fmt_component(-im))
+        }
+        (false, false) => format!("{}+{}i", fmt_component(re), fmt_component(im)),
+    }
+}
 
 impl StateDd {
     /// Renders the diagram in Graphviz DOT format.
     ///
     /// Zero-weight edges are omitted; edge labels show the successor index
     /// and the weight. Render with e.g. `dot -Tpdf`.
+    ///
+    /// Node names are assigned by a depth-first walk from the root in edge
+    /// order — **not** by arena index — so the output is deterministic for a
+    /// given state regardless of how the diagram was produced (dense build,
+    /// sparse build, circuit application, …) and DOT dumps are diffable
+    /// across runs.
     ///
     /// # Examples
     ///
@@ -26,38 +70,80 @@ impl StateDd {
     #[must_use]
     pub fn to_dot(&self) -> String {
         let tol = self.tolerance().value();
+        let order = self.display_order();
+        let mut pos = vec![usize::MAX; self.node_count()];
+        for (display, &idx) in order.iter().enumerate() {
+            pos[idx] = display;
+        }
         let mut out = String::new();
         out.push_str("digraph statedd {\n  rankdir=TB;\n");
         out.push_str("  entry [shape=point];\n  terminal [shape=box,label=\"1\"];\n");
-        for (idx, node) in self.nodes().iter().enumerate() {
+        for (display, &idx) in order.iter().enumerate() {
+            let node = &self.nodes()[idx];
             let _ = writeln!(
                 out,
-                "  n{idx} [shape=circle,label=\"q{}\"];",
+                "  n{display} [shape=circle,label=\"q{}\"];",
                 self.dims().len() - 1 - node.level()
             );
         }
         let (w, root) = self.root();
         if let NodeRef::Node(id) = root {
-            let _ = writeln!(out, "  entry -> n{} [label=\"{w}\"];", id.index());
+            let _ = writeln!(
+                out,
+                "  entry -> n{} [label=\"{}\"];",
+                pos[id.index()],
+                fmt_weight(w, tol)
+            );
         }
-        for (idx, node) in self.nodes().iter().enumerate() {
+        for (display, &idx) in order.iter().enumerate() {
+            let node = &self.nodes()[idx];
             for (k, edge) in node.edges().iter().enumerate() {
                 if edge.is_zero(tol) {
                     continue;
                 }
                 let target = match edge.target {
                     NodeRef::Terminal => "terminal".to_owned(),
-                    NodeRef::Node(id) => format!("n{}", id.index()),
+                    NodeRef::Node(id) => format!("n{}", pos[id.index()]),
                 };
                 let _ = writeln!(
                     out,
-                    "  n{idx} -> {target} [label=\"{k}: {}\"];",
-                    edge.weight
+                    "  n{display} -> {target} [label=\"{k}: {}\"];",
+                    fmt_weight(edge.weight, tol)
                 );
             }
         }
         out.push_str("}\n");
         out
+    }
+
+    /// Arena indices in pre-order of a depth-first walk from the root
+    /// following edges in successor order — a stable presentation order
+    /// independent of interning order. Unreachable nodes are omitted.
+    fn display_order(&self) -> Vec<usize> {
+        let tol = self.tolerance().value();
+        let mut order = Vec::with_capacity(self.node_count());
+        let mut seen = vec![false; self.node_count()];
+        let mut stack: Vec<usize> = Vec::new();
+        if let (_, NodeRef::Node(root)) = self.root() {
+            stack.push(root.index());
+            seen[root.index()] = true;
+        }
+        while let Some(idx) = stack.pop() {
+            order.push(idx);
+            // Push children in reverse edge order so they pop in edge order.
+            for edge in self.nodes()[idx].edges().iter().rev() {
+                if edge.is_zero(tol) {
+                    continue;
+                }
+                if let NodeRef::Node(child) = edge.target {
+                    if !seen[child.index()] {
+                        seen[child.index()] = true;
+                        stack.push(child.index());
+                    }
+                }
+            }
+        }
+        order
     }
 
     /// Renders the diagram as an indented text tree, one line per edge,
@@ -139,6 +225,49 @@ mod tests {
         // three leaf nodes have 4 nonzero edges total across 3 nodes).
         assert!(edge_lines >= 6);
         assert!(!dot.contains("label=\"1: 0\""));
+    }
+
+    #[test]
+    fn dot_snapshot_is_stable() {
+        // Full snapshot of the Fig. 3 diagram: any change to node naming,
+        // ordering, or labels must be a conscious decision.
+        let expected = "\
+digraph statedd {
+  rankdir=TB;
+  entry [shape=point];
+  terminal [shape=box,label=\"1\"];
+  n0 [shape=circle,label=\"q1\"];
+  n1 [shape=circle,label=\"q0\"];
+  n2 [shape=circle,label=\"q0\"];
+  entry -> n0 [label=\"1\"];
+  n0 -> n1 [label=\"0: 0.57735\"];
+  n0 -> n2 [label=\"1: -0.57735\"];
+  n0 -> n2 [label=\"2: 0.57735\"];
+  n1 -> terminal [label=\"0: 1\"];
+  n2 -> terminal [label=\"1: 1\"];
+}
+";
+        assert_eq!(fig3().to_dot(), expected);
+    }
+
+    #[test]
+    fn dot_is_deterministic_across_build_paths() {
+        // The same state built densely and sparsely must render to the same
+        // DOT text, independent of interning order.
+        let d = Dims::new(vec![3, 6, 2]).unwrap();
+        let entries: Vec<(Vec<usize>, Complex)> = vec![
+            (vec![0, 0, 1], Complex::real(0.5)),
+            (vec![0, 3, 0], Complex::real(-0.5)),
+            (vec![2, 0, 0], Complex::real(0.5)),
+            (vec![1, 5, 1], Complex::real(0.5)),
+        ];
+        let sparse = StateDd::from_sparse(&d, &entries, BuildOptions::default()).unwrap();
+        let mut dense = vec![Complex::ZERO; d.space_size()];
+        for (digits, amp) in &entries {
+            dense[d.index_of(digits)] = *amp;
+        }
+        let dense = StateDd::from_amplitudes(&d, &dense, BuildOptions::default()).unwrap();
+        assert_eq!(sparse.to_dot(), dense.to_dot());
     }
 
     #[test]

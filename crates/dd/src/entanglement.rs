@@ -20,8 +20,11 @@ impl StateDd {
     /// subtrees* rooted at level `ℓ` (counting the distinct nonzero
     /// `(weight-class, target)` continuations), in the diagram as stored.
     ///
-    /// On a [reduced](StateDd::reduce) diagram this is the decision-diagram
-    /// bound on the Schmidt rank across the cut `q_{top}…|…q_{bottom}`:
+    /// On a shared diagram — which arena-built
+    /// ([canonical](StateDd::is_canonical)) diagrams are by construction;
+    /// Table-1 trees need [`StateDd::reduce`] first — this is the
+    /// decision-diagram bound on the Schmidt rank across the cut
+    /// `q_{top}…|…q_{bottom}`:
     /// 1 for product cuts, `k` for a GHZ state with `k` components, and at
     /// most `min(dim of either side)` in general.
     ///

@@ -9,20 +9,34 @@
 //! edge weights multiply along a root-to-terminal path to the amplitude of
 //! the corresponding basis state.
 //!
-//! The main type is [`StateDd`]. It supports:
+//! The main type is [`StateDd`]. Every diagram lives in a hash-consed
+//! [`DdArena`]: a central unique table (see [`unique`]) canonicalizes edge
+//! weights through a tolerance-bucketed
+//! [`ComplexTable`](mdq_num::ComplexTable) and shares structurally
+//! identical subtrees at intern time, so diagrams produced by
+//! [`StateDd::from_amplitudes`], [`StateDd::from_sparse`],
+//! [`StateDd::ground`], [`StateDd::apply`] and [`StateDd::approximate`] are
+//! **canonical by construction** — [`StateDd::reduce`] on them is a
+//! structural no-op. The only exception is the explicit
+//! [`keep_zero_subtrees`](BuildOptions::keep_zero_subtrees) path, which
+//! reproduces the paper's unreduced Table-1 trees with every node distinct
+//! (reduction then performs real sharing).
+//!
+//! [`StateDd`] supports:
 //!
 //! * construction from a dense amplitude vector with bottom-up
-//!   normalization ([`StateDd::from_amplitudes`]), either keeping zero
-//!   branches (the paper's unreduced tree whose edge count is the "Nodes"
-//!   column of Table 1) or pruning them;
+//!   normalization ([`StateDd::from_amplitudes`]) or from a sparse
+//!   `(digits, amplitude)` support list ([`StateDd::from_sparse`]) whose
+//!   cost is linear in the support size, never the Hilbert-space size;
 //! * amplitude queries and reconstruction of the dense vector;
 //! * the evaluation metrics of the paper (edge count, node count, distinct
 //!   complex values);
 //! * fidelity-driven **approximation** ([`StateDd::approximate`]), the
 //!   qudit generalization of Hillmich et al. (TQC 2022);
-//! * **reduction** ([`StateDd::reduce`]): hash-consing of identical subtrees
-//!   into shared nodes, enabling the tensor-product ("product node")
-//!   detection that lets the synthesizer drop control qudits;
+//! * **reduction** ([`StateDd::reduce`]): a canonicity assertion on
+//!   arena-built diagrams, a real hash-consing pass on Table-1 trees;
+//! * circuit application ([`StateDd::apply_circuit`]) that threads one
+//!   arena and one [`ComputeCache`] through every instruction;
 //! * fidelity and inner products between diagrams, sampling, and DOT export.
 //!
 //! # Examples
@@ -42,9 +56,10 @@
 //! let dd = StateDd::from_amplitudes(&dims, &amps, BuildOptions::default())?;
 //! assert!(dd.amplitude(&[1, 1]).approx_eq(Complex::real(-a), 1e-12));
 //!
-//! // The reduced diagram shares the identical |1⟩ successors of levels 1 and 2.
-//! let reduced = dd.reduce();
-//! assert!(reduced.node_count() < dims.full_tree_node_count());
+//! // The identical |1⟩ successors are shared at build time already…
+//! assert!(dd.node_count() < dims.full_tree_node_count());
+//! // …so reduction has nothing left to do.
+//! assert_eq!(dd.reduce().node_count(), dd.node_count());
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
@@ -53,6 +68,7 @@
 
 mod apply;
 mod approx;
+pub mod arena;
 mod build;
 mod dot;
 mod entanglement;
@@ -60,9 +76,11 @@ mod metrics;
 mod node;
 mod query;
 mod reduce;
+pub mod unique;
 
 pub use apply::ApplyError;
 pub use approx::{ApproxError, Approximation};
+pub use arena::{ArenaOverflow, ComputeCache, DdArena};
 pub use build::{BuildError, BuildOptions};
 pub use dot::render_summary;
 pub use metrics::DdMetrics;
@@ -82,14 +100,19 @@ use mdq_num::{Complex, Tolerance};
 ///
 /// Instances are produced by [`StateDd::from_amplitudes`] and transformed by
 /// [`StateDd::prune_zero_subtrees`], [`StateDd::reduce`] and
-/// [`StateDd::approximate`]; all transformations return new diagrams.
+/// [`StateDd::approximate`]; all transformations return new diagrams. The
+/// node storage is a hash-consed [`DdArena`], so every diagram except the
+/// explicit `keep_zero_subtrees` trees is canonical (maximally shared) by
+/// construction.
 #[derive(Debug, Clone)]
 pub struct StateDd {
     dims: Dims,
-    tolerance: Tolerance,
-    nodes: Vec<Node>,
+    arena: DdArena,
     root: NodeRef,
     root_weight: Complex,
+    /// Whether the diagram was built through the hash-consing intern path
+    /// (true) or as an unshared Table-1 tree (false).
+    canonical: bool,
 }
 
 impl StateDd {
@@ -102,7 +125,7 @@ impl StateDd {
     /// The tolerance used for zero tests and weight canonicalization.
     #[must_use]
     pub fn tolerance(&self) -> Tolerance {
-        self.tolerance
+        self.arena.tolerance()
     }
 
     /// The incoming edge of the root node.
@@ -120,7 +143,7 @@ impl StateDd {
     /// Panics if the id does not belong to this diagram.
     #[must_use]
     pub fn node(&self, id: NodeId) -> &Node {
-        &self.nodes[id.index()]
+        self.arena.node(id)
     }
 
     /// All nodes of the diagram, in bottom-up creation order (children come
@@ -128,7 +151,131 @@ impl StateDd {
     /// topological order).
     #[must_use]
     pub fn nodes(&self) -> &[Node] {
-        &self.nodes
+        self.arena.nodes()
+    }
+
+    /// The arena holding this diagram's nodes and canonicalization tables.
+    #[must_use]
+    pub fn arena(&self) -> &DdArena {
+        &self.arena
+    }
+
+    /// Whether the diagram was built through the hash-consing intern path
+    /// and is therefore canonical (maximally shared, no all-zero nodes) by
+    /// construction. False only for the
+    /// [`keep_zero_subtrees`](BuildOptions::keep_zero_subtrees) Table-1
+    /// trees; [`StateDd::reduce`] turns those into canonical diagrams.
+    #[must_use]
+    pub fn is_canonical(&self) -> bool {
+        self.canonical
+    }
+
+    /// Internal constructor shared by every producer.
+    pub(crate) fn from_parts(
+        dims: Dims,
+        arena: DdArena,
+        root: NodeRef,
+        root_weight: Complex,
+        canonical: bool,
+    ) -> Self {
+        StateDd {
+            dims,
+            arena,
+            root,
+            root_weight,
+            canonical,
+        }
+    }
+
+    /// Re-interns every selected node into `arena` bottom-up, remapping
+    /// edge targets through the returned per-index memo (zero edges become
+    /// [`Edge::ZERO`]). The shared core of [`StateDd::reduce`],
+    /// [`StateDd::check_canonical`] and [`StateDd::compacted`]; indices for
+    /// which `keep` returns false are skipped and stay `None` in the memo.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arena` cannot hold the re-interned nodes, which cannot
+    /// happen when its node limit is at least the source arena's.
+    pub(crate) fn reintern_into(
+        &self,
+        arena: &mut DdArena,
+        keep: impl Fn(usize) -> bool,
+    ) -> Vec<Option<NodeRef>> {
+        let tol = self.tolerance().value();
+        let mut memo: Vec<Option<NodeRef>> = vec![None; self.arena.len()];
+        for (idx, node) in self.arena.nodes().iter().enumerate() {
+            if !keep(idx) {
+                continue;
+            }
+            let edges: Vec<Edge> = node
+                .edges()
+                .iter()
+                .map(|e| {
+                    if e.is_zero(tol) {
+                        Edge::ZERO
+                    } else {
+                        let target = match e.target {
+                            NodeRef::Terminal => NodeRef::Terminal,
+                            NodeRef::Node(id) => {
+                                memo[id.index()].expect("children precede parents")
+                            }
+                        };
+                        Edge::new(e.weight, target)
+                    }
+                })
+                .collect();
+            memo[idx] = Some(
+                arena
+                    .intern(node.level(), edges)
+                    .expect("re-interning never exceeds the source arena size"),
+            );
+        }
+        memo
+    }
+
+    /// Rebuilds the diagram into a minimal arena holding exactly the nodes
+    /// reachable from the root, preserving bottom-up order. Used by
+    /// [`StateDd::apply_circuit`] after threading one arena through a whole
+    /// circuit; a no-op (by move) when the arena is already minimal.
+    #[must_use]
+    pub(crate) fn compacted(self) -> StateDd {
+        let mut reachable = vec![false; self.arena.len()];
+        self.mark_reachable(&mut reachable);
+        if reachable.iter().all(|&r| r) {
+            return self;
+        }
+        let mut arena = DdArena::with_node_limit(self.tolerance(), self.arena.node_limit());
+        let memo = self.reintern_into(&mut arena, |idx| reachable[idx]);
+        let root = match self.root {
+            NodeRef::Terminal => NodeRef::Terminal,
+            NodeRef::Node(id) => memo[id.index()].expect("root is reachable"),
+        };
+        StateDd::from_parts(self.dims, arena, root, self.root_weight, true)
+    }
+
+    fn mark_reachable(&self, reachable: &mut [bool]) {
+        let tol = self.tolerance().value();
+        let mut stack: Vec<NodeId> = Vec::new();
+        if let NodeRef::Node(root) = self.root {
+            if !reachable[root.index()] {
+                reachable[root.index()] = true;
+                stack.push(root);
+            }
+        }
+        while let Some(id) = stack.pop() {
+            for edge in self.arena.node(id).edges() {
+                if edge.is_zero(tol) {
+                    continue;
+                }
+                if let NodeRef::Node(child) = edge.target {
+                    if !reachable[child.index()] {
+                        reachable[child.index()] = true;
+                        stack.push(child);
+                    }
+                }
+            }
+        }
     }
 }
 

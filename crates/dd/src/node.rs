@@ -9,8 +9,17 @@ use mdq_num::Complex;
 pub struct NodeId(u32);
 
 impl NodeId {
+    /// Converts an index already known to be in range (an existing arena
+    /// position). Growth paths go through [`NodeId::try_new`] so that arena
+    /// exhaustion surfaces as an error instead of a panic.
     pub(crate) fn new(index: usize) -> Self {
-        NodeId(u32::try_from(index).expect("decision diagram arena overflow"))
+        NodeId(u32::try_from(index).expect("index exceeds existing arena bounds"))
+    }
+
+    /// Fallible conversion used when allocating new nodes; `None` when the
+    /// `u32` index space is exhausted.
+    pub(crate) fn try_new(index: usize) -> Option<Self> {
+        u32::try_from(index).ok().map(NodeId)
     }
 
     /// The raw arena index.
@@ -27,7 +36,7 @@ impl fmt::Display for NodeId {
 }
 
 /// Target of an edge: either the shared terminal or an internal node.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum NodeRef {
     /// The unique terminal node (no successors).
     Terminal,

@@ -72,7 +72,7 @@ impl StateDd {
     }
 
     fn fill(&self, at: NodeRef, weight: Complex, level: usize, offset: usize, out: &mut [Complex]) {
-        let tol = self.tolerance.value();
+        let tol = self.tolerance().value();
         if weight.is_zero(tol) {
             return;
         }
@@ -135,7 +135,7 @@ impl StateDd {
                 if let Some(&v) = memo.get(&(a, b)) {
                     return v;
                 }
-                let tol = self.tolerance.value();
+                let tol = self.tolerance().value();
                 let mut acc = Complex::ZERO;
                 let ea = self.node(na).edges();
                 let eb = other.node(nb).edges();
@@ -171,17 +171,17 @@ impl StateDd {
     /// squared product of edge weights, accumulated top-down.
     #[must_use]
     pub fn contributions(&self) -> Vec<f64> {
-        let mut contrib = vec![0.0; self.nodes.len()];
+        let mut contrib = vec![0.0; self.node_count()];
         if let NodeRef::Node(root) = self.root {
             contrib[root.index()] = self.root_weight.norm_sqr();
         }
         // Reverse creation order is top-down topological.
-        for idx in (0..self.nodes.len()).rev() {
+        for idx in (0..self.node_count()).rev() {
             let c = contrib[idx];
             if c == 0.0 {
                 continue;
             }
-            for edge in self.nodes[idx].edges() {
+            for edge in self.nodes()[idx].edges() {
                 if let NodeRef::Node(child) = edge.target {
                     contrib[child.index()] += c * edge.weight.norm_sqr();
                 }
@@ -332,14 +332,14 @@ mod tests {
         let contrib = dd.contributions();
         let root = dd.node(dd.root().1.id().unwrap());
         // Level-1 children carry 1/3 and 2/3 of the mass: |00⟩ under edge 0;
-        // |11⟩,|21⟩ under edges 1 and 2 (which share one child after
-        // canonicalization only in the reduced form; the tree has two).
+        // |11⟩,|21⟩ under edges 1 and 2, which the hash-consing build merges
+        // into one shared node accumulating the full 2/3.
         let c0 = root.edges()[0].target.id().unwrap();
         assert!((contrib[c0.index()] - 1.0 / 3.0).abs() < 1e-12);
         let c1 = root.edges()[1].target.id().unwrap();
         let c2 = root.edges()[2].target.id().unwrap();
-        let total = contrib[c1.index()] + contrib[c2.index()];
-        assert!((total - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(c1, c2, "identical subtrees are shared at build time");
+        assert!((contrib[c1.index()] - 2.0 / 3.0).abs() < 1e-12);
     }
 
     #[test]

@@ -6,26 +6,30 @@
 //! and observes that when *all* nonzero edges of a node point to the same
 //! child, the node encodes a tensor product between its qudit and the
 //! remaining levels, so the synthesizer does not need to control on it.
+//!
+//! Since the arena refactor, the default builders intern every node through
+//! the shared unique table, so their diagrams are already maximally shared
+//! and [`StateDd::reduce`] is a structural no-op on them. The pass below
+//! only does real work on the unreduced Table-1 trees
+//! ([`keep_zero_subtrees`](crate::BuildOptions::keep_zero_subtrees)).
 
-use std::collections::HashMap;
-
-use mdq_num::ComplexTable;
-
-use crate::node::{Edge, Node, NodeId, NodeRef};
+use crate::arena::DdArena;
+use crate::node::{NodeId, NodeRef};
 use crate::StateDd;
-
-/// Canonical signature of a node used as the hash-consing key: the level and
-/// the canonical id of every (weight, target) pair.
-type NodeKey = (usize, Vec<(u32, NodeRef)>);
 
 impl StateDd {
     /// Returns an equivalent diagram in which structurally identical
     /// subtrees are shared (represented by a single node).
     ///
     /// Weights are canonicalized through a tolerance-bucketed
-    /// [`ComplexTable`], so subtrees equal up to the diagram tolerance merge
-    /// as well. The represented state is unchanged; the node count can only
-    /// shrink. Reduction is idempotent.
+    /// [`ComplexTable`](mdq_num::ComplexTable), so subtrees equal up to the
+    /// diagram tolerance merge as well. The represented state is unchanged;
+    /// the node count can only shrink. Reduction is idempotent.
+    ///
+    /// On an arena-built ([canonical](StateDd::is_canonical)) diagram this
+    /// is a **no-op**: the builders intern through the same unique table, so
+    /// there is nothing left to merge — the method asserts canonicity (in
+    /// debug builds) and returns a clone.
     ///
     /// # Examples
     ///
@@ -34,7 +38,8 @@ impl StateDd {
     /// use mdq_num::{radix::Dims, Complex};
     ///
     /// // (|00⟩ − |11⟩ + |21⟩)/√3 (Fig. 3): the |1⟩-successors of the two
-    /// // upper branches are identical and get shared.
+    /// // upper branches are identical and shared at build time already, so
+    /// // reduction changes nothing.
     /// let dims = Dims::new(vec![3, 2])?;
     /// let a = 1.0 / 3.0_f64.sqrt();
     /// let mut amps = vec![Complex::ZERO; 6];
@@ -42,61 +47,50 @@ impl StateDd {
     /// amps[3] = Complex::real(-a);
     /// amps[5] = Complex::real(a);
     /// let dd = StateDd::from_amplitudes(&dims, &amps, BuildOptions::default())?;
-    /// assert_eq!(dd.reduce().node_count(), dd.node_count() - 1);
+    /// assert_eq!(dd.reduce().node_count(), dd.node_count());
+    ///
+    /// // The unreduced Table-1 tree is where reduction does real work.
+    /// let tree = StateDd::from_amplitudes(
+    ///     &dims,
+    ///     &amps,
+    ///     BuildOptions::default().keep_zero_subtrees(true),
+    /// )?;
+    /// assert!(tree.reduce().node_count() < tree.node_count());
     /// # Ok::<(), Box<dyn std::error::Error>>(())
     /// ```
     #[must_use]
     pub fn reduce(&self) -> StateDd {
-        let tol = self.tolerance.value();
-        let mut table = ComplexTable::new(self.tolerance);
-        let mut unique: HashMap<NodeKey, NodeId> = HashMap::new();
-        let mut memo: Vec<Option<NodeRef>> = vec![None; self.nodes.len()];
-        let mut nodes: Vec<Node> = Vec::new();
-
-        // Bottom-up (children precede parents in the arena).
-        for (idx, node) in self.nodes.iter().enumerate() {
-            let mut edges = Vec::with_capacity(node.dimension());
-            let mut key_parts = Vec::with_capacity(node.dimension());
-            let mut all_zero = true;
-            for e in node.edges() {
-                let (weight, target) = if e.is_zero(tol) {
-                    (mdq_num::Complex::ZERO, NodeRef::Terminal)
-                } else {
-                    all_zero = false;
-                    let target = match e.target {
-                        NodeRef::Terminal => NodeRef::Terminal,
-                        NodeRef::Node(id) => memo[id.index()].expect("child before parent"),
-                    };
-                    (table.canonicalize(e.weight), target)
-                };
-                let canon_id = table.insert(weight);
-                key_parts.push((canon_id.index() as u32, target));
-                edges.push(Edge::new(weight, target));
-            }
-            if all_zero {
-                memo[idx] = Some(NodeRef::Terminal);
-                continue;
-            }
-            let key: NodeKey = (node.level(), key_parts);
-            let id = *unique.entry(key).or_insert_with(|| {
-                let id = NodeId::new(nodes.len());
-                nodes.push(Node::new(node.level(), edges));
-                id
-            });
-            memo[idx] = Some(NodeRef::Node(id));
+        if self.is_canonical() {
+            debug_assert!(
+                self.check_canonical(),
+                "arena-built diagram lost canonicity"
+            );
+            return self.clone();
         }
+        // Bottom-up re-intern of every node (children precede parents).
+        let mut arena = DdArena::with_node_limit(self.tolerance(), self.arena().node_limit());
+        let memo = self.reintern_into(&mut arena, |_| true);
 
-        let root = match self.root {
+        let (root_weight, root) = self.root();
+        let root = match root {
             NodeRef::Terminal => NodeRef::Terminal,
             NodeRef::Node(id) => memo[id.index()].expect("root visited"),
         };
-        StateDd {
-            dims: self.dims.clone(),
-            tolerance: self.tolerance,
-            nodes,
-            root,
-            root_weight: self.root_weight,
-        }
+        StateDd::from_parts(self.dims().clone(), arena, root, root_weight, true)
+    }
+
+    /// Verifies the sharing invariant structurally: re-interning every node
+    /// into a fresh arena merges nothing, i.e. no two stored nodes are
+    /// structurally identical within the tolerance and no all-zero nodes
+    /// exist. (Reachability is *not* checked — [`StateDd::apply_mut`]
+    /// deliberately leaves superseded nodes in the arena until the next
+    /// compaction, and those are signature-distinct.) Used by debug
+    /// assertions and tests.
+    #[must_use]
+    pub fn check_canonical(&self) -> bool {
+        let mut probe = DdArena::new(self.tolerance());
+        let _ = self.reintern_into(&mut probe, |_| true);
+        probe.len() == self.nodes().len()
     }
 
     /// Ids of nodes whose nonzero edges all point to one shared internal
@@ -109,12 +103,13 @@ impl StateDd {
     /// single-successor nodes — correct, but not done by the paper; see the
     /// ablation benchmark.)
     ///
-    /// Meaningful on reduced diagrams ([`StateDd::reduce`]); on trees every
-    /// child is a distinct node and only `min_edges = 1` patterns appear.
+    /// Arena-built diagrams are shared by construction, so the pattern fires
+    /// without an explicit reduction step; on Table-1 trees every child is a
+    /// distinct node and only `min_edges = 1` patterns appear.
     #[must_use]
     pub fn product_nodes(&self, min_edges: usize) -> Vec<NodeId> {
-        let tol = self.tolerance.value();
-        self.nodes
+        let tol = self.tolerance().value();
+        self.nodes()
             .iter()
             .enumerate()
             .filter_map(|(idx, node)| {
@@ -140,8 +135,9 @@ mod tests {
     }
 
     #[test]
-    fn reduce_shares_identical_subtrees() {
-        // Fig. 3 state: two identical |1⟩-successor nodes merge.
+    fn build_shares_identical_subtrees_reduce_is_noop() {
+        // Fig. 3 state: the two identical |1⟩-successor nodes are merged at
+        // build time, so the diagram starts at 3 nodes and reduce keeps it.
         let d = dims(&[3, 2]);
         let a = 1.0 / 3.0_f64.sqrt();
         let mut amps = vec![Complex::ZERO; 6];
@@ -149,10 +145,33 @@ mod tests {
         amps[d.index_of(&[1, 1])] = Complex::real(-a);
         amps[d.index_of(&[2, 1])] = Complex::real(a);
         let dd = build(&d, &amps);
-        assert_eq!(dd.node_count(), 4);
+        assert_eq!(dd.node_count(), 3);
+        assert!(dd.check_canonical());
         let reduced = dd.reduce();
         assert_eq!(reduced.node_count(), 3);
         for (x, y) in dd.to_amplitudes().iter().zip(reduced.to_amplitudes()) {
+            assert!(x.approx_eq(y, 1e-12));
+        }
+    }
+
+    #[test]
+    fn reduce_shares_identical_subtrees_of_trees() {
+        // The same state built as an unreduced tree: reduce does real work.
+        let d = dims(&[3, 2]);
+        let a = 1.0 / 3.0_f64.sqrt();
+        let mut amps = vec![Complex::ZERO; 6];
+        amps[d.index_of(&[0, 0])] = Complex::real(a);
+        amps[d.index_of(&[1, 1])] = Complex::real(-a);
+        amps[d.index_of(&[2, 1])] = Complex::real(a);
+        let tree =
+            StateDd::from_amplitudes(&d, &amps, BuildOptions::default().keep_zero_subtrees(true))
+                .unwrap();
+        assert_eq!(tree.node_count(), d.full_tree_node_count());
+        assert!(!tree.is_canonical());
+        let reduced = tree.reduce();
+        assert_eq!(reduced.node_count(), 3);
+        assert!(reduced.is_canonical());
+        for (x, y) in tree.to_amplitudes().iter().zip(reduced.to_amplitudes()) {
             assert!(x.approx_eq(y, 1e-12));
         }
     }
@@ -171,13 +190,15 @@ mod tests {
     }
 
     #[test]
-    fn reduce_collapses_uniform_state_to_one_node_per_level() {
+    fn uniform_state_builds_as_one_node_per_level() {
         let d = dims(&[3, 4, 2]);
         let n = d.space_size();
         let a = Complex::real(1.0 / (n as f64).sqrt());
-        let reduced = build(&d, &vec![a; n]).reduce();
-        // A uniform product state has exactly one node per level.
-        assert_eq!(reduced.node_count(), d.len());
+        // A uniform product state has exactly one node per level — already
+        // at build time, no reduction pass needed.
+        let dd = build(&d, &vec![a; n]);
+        assert_eq!(dd.node_count(), d.len());
+        assert_eq!(dd.reduce().node_count(), d.len());
     }
 
     #[test]
@@ -200,15 +221,13 @@ mod tests {
         let d = dims(&[3, 4, 2]);
         let n = d.space_size();
         let a = Complex::real(1.0 / (n as f64).sqrt());
-        let reduced = build(&d, &vec![a; n]).reduce();
+        let dd = build(&d, &vec![a; n]);
         // Levels 0 and 1 are product nodes (all edges to the shared child);
-        // level 2 points at the terminal and is excluded.
-        let products = reduced.product_nodes(2);
+        // level 2 points at the terminal and is excluded. No reduce() call
+        // needed: sharing exists by construction.
+        let products = dd.product_nodes(2);
         assert_eq!(products.len(), 2);
-        let levels: Vec<usize> = products
-            .iter()
-            .map(|id| reduced.node(*id).level())
-            .collect();
+        let levels: Vec<usize> = products.iter().map(|id| dd.node(*id).level()).collect();
         assert!(levels.contains(&0) && levels.contains(&1));
     }
 
@@ -220,8 +239,8 @@ mod tests {
         for k in 0..3 {
             amps[d.index_of(&[k, k])] = a;
         }
-        let reduced = build(&d, &amps).reduce();
-        assert!(reduced.product_nodes(2).is_empty());
+        let dd = build(&d, &amps);
+        assert!(dd.product_nodes(2).is_empty());
     }
 
     #[test]
@@ -238,17 +257,33 @@ mod tests {
     }
 
     #[test]
-    fn reduce_merges_subtrees_within_tolerance() {
+    fn build_merges_subtrees_within_tolerance() {
         let d = dims(&[2, 2]);
         let h = 0.5;
-        // Two branches whose children differ by 1e-12 — inside tolerance.
+        // Two branches whose children differ by 1e-12 — inside tolerance, so
+        // the unique table merges them at intern time.
         let amps = [
             Complex::real(h),
             Complex::real(h),
             Complex::real(h),
             Complex::real(h + 1e-12),
         ];
-        let reduced = build(&d, &amps).reduce();
-        assert_eq!(reduced.node_count(), 2);
+        let dd = build(&d, &amps);
+        assert_eq!(dd.node_count(), 2);
+        assert_eq!(dd.reduce().node_count(), 2);
+    }
+
+    #[test]
+    fn check_canonical_detects_unshared_trees() {
+        let d = dims(&[2, 2]);
+        let a = Complex::real(0.5);
+        let tree = StateDd::from_amplitudes(
+            &d,
+            &[a, a, a, a],
+            BuildOptions::default().keep_zero_subtrees(true),
+        )
+        .unwrap();
+        assert!(!tree.check_canonical());
+        assert!(tree.reduce().check_canonical());
     }
 }

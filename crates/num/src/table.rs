@@ -41,6 +41,10 @@ pub struct ComplexTable {
     tolerance: Tolerance,
     values: Vec<Complex>,
     buckets: HashMap<(i64, i64), Vec<u32>>,
+    /// Exact-bit-pattern fast path: hash-consing workloads insert the same
+    /// handful of weights (0, 1, 1/√d, …) millions of times, and an exact
+    /// hit skips the 3×3 bucket probe entirely.
+    exact: HashMap<(u64, u64), u32>,
 }
 
 impl ComplexTable {
@@ -51,6 +55,7 @@ impl ComplexTable {
             tolerance,
             values: Vec::new(),
             buckets: HashMap::new(),
+            exact: HashMap::new(),
         }
     }
 
@@ -82,14 +87,30 @@ impl ComplexTable {
     /// Inserts a value, returning the canonical id of an existing entry
     /// within tolerance if one exists.
     pub fn insert(&mut self, v: Complex) -> CanonicalId {
-        if let Some(id) = self.lookup(v) {
-            return id;
+        let bits = (v.re.to_bits(), v.im.to_bits());
+        if let Some(&id) = self.exact.get(&bits) {
+            return CanonicalId(id);
         }
-        let id = u32::try_from(self.values.len()).expect("complex table overflow");
-        self.values.push(v);
-        let cell = self.cell(v);
-        self.buckets.entry(cell).or_default().push(id);
-        CanonicalId(id)
+        let id = match self.lookup(v) {
+            Some(id) => id,
+            None => {
+                let id = u32::try_from(self.values.len()).expect("complex table overflow");
+                self.values.push(v);
+                let cell = self.cell(v);
+                self.buckets.entry(cell).or_default().push(id);
+                CanonicalId(id)
+            }
+        };
+        // The cache is bounded proportionally to the canonical store:
+        // long-running users (a circuit threading one table through many
+        // instructions) see a stream of one-off bit patterns that all
+        // canonicalize to a few representatives, and without the cap the
+        // cache would grow with every pattern ever seen.
+        if self.exact.len() >= 4 * self.values.len() + 1024 {
+            self.exact.clear();
+        }
+        self.exact.insert(bits, id.0);
+        id
     }
 
     /// Finds the canonical id for a value already in the table, if any.

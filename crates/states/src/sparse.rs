@@ -26,9 +26,39 @@
 
 use mdq_num::radix::Dims;
 use mdq_num::Complex;
+use rand::Rng;
 
 /// A sparse state: basis-state digits and their amplitudes.
 pub type SparseState = Vec<(Vec<usize>, Complex)>;
+
+/// A random sparse state with (at most) `support` distinct basis states and
+/// uniformly drawn complex amplitudes — the "random sparse" workload of the
+/// build/apply benchmarks, scaling to registers whose dense vector could
+/// never be allocated.
+///
+/// Digits are drawn per qudit, so the cost is `O(support · n)` regardless of
+/// the Hilbert-space size. Entries landing on the same basis state are
+/// summed by the diagram builder (making the effective support smaller);
+/// the amplitudes are left unnormalized, as `StateDd::from_sparse`
+/// normalizes anyway.
+///
+/// # Panics
+///
+/// Panics if `support` is zero.
+pub fn random_sparse<R: Rng + ?Sized>(dims: &Dims, support: usize, rng: &mut R) -> SparseState {
+    assert!(support > 0, "support must be positive");
+    (0..support)
+        .map(|_| {
+            let digits: Vec<usize> = dims
+                .as_slice()
+                .iter()
+                .map(|&d| rng.gen_range(0..d))
+                .collect();
+            let amp = Complex::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0));
+            (digits, amp)
+        })
+        .collect()
+}
 
 /// Sparse form of [`ghz`](crate::ghz): `k = min(dims)` diagonal components.
 #[must_use]
@@ -202,6 +232,26 @@ mod tests {
         assert_eq!(dicke(&d, 3).len(), 20); // C(6,3)
         assert_eq!(dicke(&d, 0).len(), 1);
         assert_eq!(dicke(&d, 6).len(), 1);
+    }
+
+    #[test]
+    fn random_sparse_is_seeded_and_in_range() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let pattern: Vec<usize> = (0..30).map(|i| 2 + (i % 5)).collect();
+        let d = dims(&pattern);
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = random_sparse(&d, 12, &mut rng);
+        assert_eq!(a.len(), 12);
+        for (digits, _) in &a {
+            assert_eq!(digits.len(), d.len());
+            for (&digit, &dim) in digits.iter().zip(d.as_slice()) {
+                assert!(digit < dim);
+            }
+        }
+        let mut rng = StdRng::seed_from_u64(3);
+        let b = random_sparse(&d, 12, &mut rng);
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -22,7 +22,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("state: (|00⟩ − |11⟩ + |21⟩)/√3 over a qutrit–qubit register {dims}\n");
 
-    let tree = StateDd::from_amplitudes(&dims, &amps, BuildOptions::default())?;
+    // The unreduced tree needs the explicit Table-1 reproduction path: the
+    // default build hash-conses and would share subtrees immediately.
+    let tree = StateDd::from_amplitudes(
+        &dims,
+        &amps,
+        BuildOptions::default().keep_zero_subtrees(true),
+    )?;
     println!("== tree form (before reduction) ==");
     println!("{}", tree.to_text());
     println!("{}\n", mdq::dd::render_summary(&tree));

@@ -1,7 +1,9 @@
-//! Property-based round-trip tests for the decision-diagram layer, driven
-//! through the `mdq` facade: building a diagram from random amplitudes and
-//! reading it back must be lossless (within tolerance), and `reduce()` must
-//! preserve every amplitude while never increasing the node count.
+//! Property-based round-trip and canonicity tests for the decision-diagram
+//! layer, driven through the `mdq` facade: building a diagram from random
+//! amplitudes and reading it back must be lossless (within tolerance);
+//! arena-built diagrams must be canonical — `reduce()` is a structural
+//! no-op on them — and structurally equal states built from dense vs.
+//! sparse inputs must produce identical diagrams.
 
 use mdq::dd::{BuildOptions, StateDd};
 use mdq::num::radix::Dims;
@@ -36,6 +38,30 @@ fn arb_dims_and_state() -> impl Strategy<Value = (Dims, Vec<Complex>)> {
     })
 }
 
+/// A random *sparse* state: a handful of basis states with random
+/// amplitudes, described both densely and as a support list.
+fn arb_sparse_state() -> impl Strategy<Value = (Dims, Vec<(Vec<usize>, Complex)>)> {
+    arb_dims().prop_flat_map(|d| {
+        let n = d.space_size();
+        let support = proptest::collection::vec((0..n, (-1.0..1.0f64, -1.0..1.0f64)), 1..8)
+            .prop_filter_map("support must have nonzero norm", move |entries| {
+                let v: Vec<(usize, Complex)> = entries
+                    .into_iter()
+                    .map(|(i, (re, im))| (i, Complex::new(re, im)))
+                    .collect();
+                let norm: f64 = v.iter().map(|(_, a)| a.norm_sqr()).sum::<f64>().sqrt();
+                (norm > 1e-6).then_some(v)
+            });
+        (Just(d), support).prop_map(|(d, v)| {
+            let entries = v
+                .into_iter()
+                .map(|(i, a)| (d.digits_of(i), a))
+                .collect::<Vec<_>>();
+            (d, entries)
+        })
+    })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -54,13 +80,16 @@ proptest! {
     }
 
     #[test]
-    fn prop_reduce_preserves_amplitudes_and_node_count((dims, amps) in arb_dims_and_state()) {
+    fn prop_arena_builds_are_canonical((dims, amps) in arb_dims_and_state()) {
+        // The hash-consing build interns every subtree, so reduction is a
+        // structural no-op: same node count, same edge count, and every
+        // amplitude unchanged.
         let dd = StateDd::from_amplitudes(&dims, &amps, BuildOptions::default()).unwrap();
+        prop_assert!(dd.is_canonical());
+        prop_assert!(dd.check_canonical(), "unique table left duplicates");
         let reduced = dd.reduce();
-        prop_assert!(
-            reduced.node_count() <= dd.node_count(),
-            "reduce grew the diagram: {} -> {}", dd.node_count(), reduced.node_count()
-        );
+        prop_assert_eq!(reduced.node_count(), dd.node_count());
+        prop_assert_eq!(reduced.edge_count(), dd.edge_count());
         let back = reduced.to_amplitudes();
         for (i, (a, b)) in amps.iter().zip(back.iter()).enumerate() {
             prop_assert!(
@@ -68,6 +97,44 @@ proptest! {
                 "amplitude {} changed by reduce: {:?} vs {:?}", i, a, b
             );
         }
+    }
+
+    #[test]
+    fn prop_tree_reduce_reaches_the_canonical_size((dims, amps) in arb_dims_and_state()) {
+        // Reducing the unreduced Table-1 tree must land on exactly the
+        // diagram the canonical build produces directly.
+        let canonical = StateDd::from_amplitudes(&dims, &amps, BuildOptions::default()).unwrap();
+        let tree = StateDd::from_amplitudes(
+            &dims,
+            &amps,
+            BuildOptions::default().keep_zero_subtrees(true),
+        ).unwrap();
+        let reduced = tree.reduce();
+        prop_assert!(reduced.is_canonical());
+        prop_assert_eq!(reduced.node_count(), canonical.node_count());
+        prop_assert_eq!(reduced.edge_count(), canonical.edge_count());
+        for (i, (a, b)) in amps.iter().zip(reduced.to_amplitudes().iter()).enumerate() {
+            prop_assert!(
+                a.approx_eq(*b, 1e-7),
+                "amplitude {} changed by reduce: {:?} vs {:?}", i, a, b
+            );
+        }
+    }
+
+    #[test]
+    fn prop_dense_and_sparse_builds_agree((dims, entries) in arb_sparse_state()) {
+        // Structurally equal states must intern to structurally equal
+        // diagrams regardless of the construction path.
+        let sparse = StateDd::from_sparse(&dims, &entries, BuildOptions::default()).unwrap();
+        let mut dense = vec![Complex::ZERO; dims.space_size()];
+        for (digits, amp) in &entries {
+            dense[dims.index_of(digits)] += *amp;
+        }
+        let dense = StateDd::from_amplitudes(&dims, &dense, BuildOptions::default()).unwrap();
+        prop_assert_eq!(sparse.node_count(), dense.node_count());
+        prop_assert_eq!(sparse.edge_count(), dense.edge_count());
+        prop_assert!(sparse.is_canonical() && dense.is_canonical());
+        prop_assert!((sparse.fidelity(&dense) - 1.0).abs() < 1e-9);
     }
 
     #[test]
@@ -79,18 +146,35 @@ proptest! {
     }
 }
 
-/// Structured states reduce far below the full tree; this pins the
+/// Structured states share far below the full tree; this pins the
 /// round-trip on a case where sharing actually fires: in the uniform
-/// superposition every subtree of a level is identical, so the reduced
-/// diagram collapses to one node per level.
+/// superposition every subtree of a level is identical, so the canonical
+/// build collapses to one node per level — without an explicit `reduce()`.
 #[test]
-fn uniform_reduction_shares_aggressively_and_round_trips() {
+fn uniform_build_shares_aggressively_and_round_trips() {
     let dims = Dims::new(vec![3, 3, 3]).unwrap();
     let state = mdq::states::uniform(&dims);
     let dd = StateDd::from_amplitudes(&dims, &state, BuildOptions::default()).unwrap();
-    let reduced = dd.reduce();
-    assert!(reduced.node_count() < dd.node_count());
-    for (a, b) in state.iter().zip(reduced.to_amplitudes().iter()) {
+    assert_eq!(dd.node_count(), dims.len());
+    assert_eq!(dd.reduce().node_count(), dims.len());
+    for (a, b) in state.iter().zip(dd.to_amplitudes().iter()) {
         assert!(a.approx_eq(*b, 1e-12));
     }
+}
+
+/// Acceptance regression: a 20-qudit GHZ state (≈3.6 billion dense
+/// amplitudes) must build sparsely with a peak node count polynomial in the
+/// support size — the arena holds exactly the interned diagram, nothing
+/// transient.
+#[test]
+fn sparse_build_peak_nodes_polynomial_in_support() {
+    let pattern: Vec<usize> = (0..20).map(|i| 2 + (i % 4)).collect();
+    let dims = Dims::new(pattern).unwrap();
+    let a = Complex::real(1.0 / 2.0_f64.sqrt());
+    let entries = vec![(vec![0; 20], a), (vec![1; 20], a)];
+    let dd = StateDd::from_sparse(&dims, &entries, BuildOptions::default()).unwrap();
+    assert_eq!(dd.node_count(), 1 + 2 * 19);
+    // Peak allocation equals the final diagram size.
+    assert_eq!(dd.arena().len(), dd.node_count());
+    assert!(dd.check_canonical());
 }
