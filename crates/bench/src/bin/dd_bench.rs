@@ -12,7 +12,9 @@
 //!   circuit on `|0…0⟩` through one shared arena (`apply_circuit`);
 //! * `peak_nodes` — the maximum arena size while applying instruction by
 //!   instruction without compaction (the true transient footprint);
-//! * `final_nodes` / `operations` — diagram and circuit sizes.
+//! * `final_nodes` / `operations` — diagram and circuit sizes;
+//! * `distinct_weights` / `weight_lookups` / `weight_insertions` — the
+//!   weight-table pressure of one build (`ComplexTable` statistics).
 //!
 //! Flags:
 //! * `--smoke`    — one iteration per workload (CI keep-alive mode);
@@ -36,6 +38,11 @@ struct WorkloadResult {
     peak_nodes: usize,
     final_nodes: usize,
     operations: usize,
+    /// Weight-table pressure of one build: distinct canonical weights,
+    /// total lookups, and insertions (see `ComplexTableStats`).
+    distinct_weights: usize,
+    weight_lookups: u64,
+    weight_insertions: u64,
 }
 
 fn main() {
@@ -52,8 +59,16 @@ fn main() {
 
     println!("DD build/apply benchmark ({runs} runs per workload)\n");
     println!(
-        "{:<22} {:>8} {:>12} {:>12} {:>10} {:>11} {:>6}",
-        "workload", "support", "build[ns]", "apply[ns]", "peak", "final", "ops"
+        "{:<22} {:>8} {:>12} {:>12} {:>10} {:>11} {:>6} {:>8} {:>10}",
+        "workload",
+        "support",
+        "build[ns]",
+        "apply[ns]",
+        "peak",
+        "final",
+        "ops",
+        "weights",
+        "wlookups"
     );
 
     let mut results = Vec::new();
@@ -61,14 +76,16 @@ fn main() {
         for (name, entries) in sparse_workloads(&dims) {
             let r = run_workload(name, &dims, &entries, runs);
             println!(
-                "{:<22} {:>8} {:>12.0} {:>12.0} {:>10} {:>11} {:>6}",
+                "{:<22} {:>8} {:>12.0} {:>12.0} {:>10} {:>11} {:>6} {:>8} {:>10}",
                 format!("{}/{}", r.name, dims.len()),
                 r.support,
                 r.build_ns,
                 r.apply_ns,
                 r.peak_nodes,
                 r.final_nodes,
-                r.operations
+                r.operations,
+                r.distinct_weights,
+                r.weight_lookups
             );
             results.push(r);
         }
@@ -116,6 +133,7 @@ fn run_workload(
         peak = peak.max(state.arena().len());
     }
 
+    let weights = dd.arena().weight_stats();
     WorkloadResult {
         name: name.to_owned(),
         dims: dims.to_string(),
@@ -125,6 +143,9 @@ fn run_workload(
         peak_nodes: peak,
         final_nodes: dd.node_count(),
         operations: circuit.len(),
+        distinct_weights: weights.len,
+        weight_lookups: weights.lookups,
+        weight_insertions: weights.insertions,
     }
 }
 
@@ -139,7 +160,8 @@ fn emit_json(runs: u64, results: &[WorkloadResult]) -> String {
             out,
             "    {{\"name\": \"{}\", \"dims\": \"{}\", \"support\": {}, \
              \"build_ns\": {:.0}, \"apply_ns\": {:.0}, \"peak_nodes\": {}, \
-             \"final_nodes\": {}, \"operations\": {}}}{comma}",
+             \"final_nodes\": {}, \"operations\": {}, \"distinct_weights\": {}, \
+             \"weight_lookups\": {}, \"weight_insertions\": {}}}{comma}",
             r.name,
             r.dims,
             r.support,
@@ -147,7 +169,10 @@ fn emit_json(runs: u64, results: &[WorkloadResult]) -> String {
             r.apply_ns,
             r.peak_nodes,
             r.final_nodes,
-            r.operations
+            r.operations,
+            r.distinct_weights,
+            r.weight_lookups,
+            r.weight_insertions
         );
     }
     out.push_str("  ]\n}\n");

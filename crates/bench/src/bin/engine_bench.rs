@@ -1,0 +1,225 @@
+//! Throughput/latency benchmark for the `mdq-engine` batch-preparation
+//! engine, emitting `BENCH_engine.json` so the engine has a perf trajectory
+//! to compare against.
+//!
+//! Run with: `cargo run -p mdq-bench --release --bin engine_bench`
+//!
+//! A mixed workload (dense GHZ/W on Table-1 registers, sparse GHZ/W and
+//! random-sparse states on a 14-qudit register, randomized dense states,
+//! exact and 98 %-approximated options) is executed:
+//!
+//! * **cold**, once per worker count (fresh engine, empty cache) —
+//!   `jobs_per_sec` and p50/p99 per-job latency vs. worker count;
+//! * **sequentially** through the one-shot `prepare` functions — the
+//!   no-engine baseline;
+//! * **warm**, resubmitting the whole batch to an already-warm engine —
+//!   cache hit counts, warm throughput, and a bit-identical comparison of
+//!   every served circuit against the cold run.
+//!
+//! Flags:
+//! * `--smoke`    — tiny batch, worker counts {1, 2} (CI keep-alive mode);
+//! * `--jobs N`   — batch size (default 48);
+//! * `--out PATH` — output path (default `BENCH_engine.json`).
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+use mdq_bench::{dims3, dims4, flag_value};
+use mdq_core::PrepareOptions;
+use mdq_engine::{BatchEngine, EngineConfig, PrepareRequest};
+use mdq_num::radix::Dims;
+use mdq_states::{ghz, random_state, w_state, RandomKind};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The per-worker-count cold-run measurements.
+struct ColdRun {
+    workers: usize,
+    jobs_per_sec: f64,
+    p50_us: f64,
+    p99_us: f64,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let jobs: usize = if smoke {
+        8
+    } else {
+        flag_value(&args, "--jobs")
+            .map(|v| v.parse().expect("--jobs takes an integer"))
+            .unwrap_or(48)
+    };
+    let worker_counts: &[usize] = if smoke { &[1, 2] } else { &[1, 2, 4] };
+    let out_path = flag_value(&args, "--out").unwrap_or("BENCH_engine.json");
+
+    let requests = mixed_workload(jobs);
+    println!(
+        "engine benchmark: {} jobs (mixed GHZ/W/random, dense+sparse)\n",
+        requests.len()
+    );
+
+    // Sequential baseline: the one-shot pipeline, no engine, no cache.
+    let t = Instant::now();
+    for request in &requests {
+        request.prepare_sequential().expect("pipeline runs");
+    }
+    let sequential_jobs_per_sec = requests.len() as f64 / t.elapsed().as_secs_f64();
+    println!(
+        "{:<28} {:>12.1} jobs/s",
+        "sequential baseline", sequential_jobs_per_sec
+    );
+
+    let mut cold_runs = Vec::new();
+    for &workers in worker_counts {
+        let engine = BatchEngine::new(EngineConfig::default().with_workers(workers));
+        let t = Instant::now();
+        let results = engine.run(&requests);
+        let wall = t.elapsed();
+        let mut latencies: Vec<Duration> = results
+            .iter()
+            .map(|r| r.as_ref().expect("job succeeds").elapsed)
+            .collect();
+        latencies.sort_unstable();
+        let run = ColdRun {
+            workers,
+            jobs_per_sec: requests.len() as f64 / wall.as_secs_f64(),
+            p50_us: percentile_us(&latencies, 0.50),
+            p99_us: percentile_us(&latencies, 0.99),
+        };
+        println!(
+            "{:<28} {:>12.1} jobs/s   p50 {:>8.0} µs   p99 {:>8.0} µs",
+            format!("cold, {workers} worker(s)"),
+            run.jobs_per_sec,
+            run.p50_us,
+            run.p99_us
+        );
+        cold_runs.push(run);
+    }
+
+    // Warm resubmission: same engine, same batch, twice — the second pass is
+    // served entirely from the fingerprint cache and must be bit-identical.
+    let engine =
+        BatchEngine::new(EngineConfig::default().with_workers(*worker_counts.last().unwrap()));
+    let cold = engine.run(&requests);
+    let t = Instant::now();
+    let warm = engine.run(&requests);
+    let warm_wall = t.elapsed();
+    let mut identical = true;
+    let mut warm_hits = 0u64;
+    for (c, w) in cold.iter().zip(&warm) {
+        let (c, w) = (
+            c.as_ref().expect("cold job succeeds"),
+            w.as_ref().expect("warm job succeeds"),
+        );
+        identical &= c.circuit == w.circuit;
+        warm_hits += u64::from(w.from_cache);
+    }
+    let stats = engine.stats();
+    let warm_jobs_per_sec = requests.len() as f64 / warm_wall.as_secs_f64();
+    println!(
+        "{:<28} {:>12.1} jobs/s   {} hits / {} jobs, bit-identical: {}",
+        "warm (cache replay)",
+        warm_jobs_per_sec,
+        warm_hits,
+        requests.len(),
+        identical
+    );
+    assert!(warm_hits > 0, "warm resubmission must hit the cache");
+    assert!(identical, "cache replays must be bit-identical");
+
+    let speedup = cold_runs.last().unwrap().jobs_per_sec / cold_runs[0].jobs_per_sec;
+    println!(
+        "\nthroughput at {} workers vs 1: {:.2}x (hardware: {} core(s) visible)",
+        cold_runs.last().unwrap().workers,
+        speedup,
+        std::thread::available_parallelism().map_or(1, usize::from)
+    );
+
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"schema\": \"mdq-engine-bench-v1\",");
+    let _ = writeln!(out, "  \"jobs\": {},", requests.len());
+    let _ = writeln!(
+        out,
+        "  \"visible_cores\": {},",
+        std::thread::available_parallelism().map_or(1, usize::from)
+    );
+    let _ = writeln!(
+        out,
+        "  \"sequential_jobs_per_sec\": {sequential_jobs_per_sec:.1},"
+    );
+    out.push_str("  \"worker_counts\": [\n");
+    for (i, run) in cold_runs.iter().enumerate() {
+        let comma = if i + 1 == cold_runs.len() { "" } else { "," };
+        let _ = writeln!(
+            out,
+            "    {{\"workers\": {}, \"jobs_per_sec\": {:.1}, \"p50_us\": {:.1}, \
+             \"p99_us\": {:.1}}}{comma}",
+            run.workers, run.jobs_per_sec, run.p50_us, run.p99_us
+        );
+    }
+    out.push_str("  ],\n");
+    let _ = writeln!(
+        out,
+        "  \"cache\": {{\"hits\": {}, \"misses\": {}, \"entries\": {}, \
+         \"warm_jobs_per_sec\": {warm_jobs_per_sec:.1}, \"bit_identical\": {identical}}}",
+        stats.cache.hits, stats.cache.misses, stats.cache.entries
+    );
+    out.push_str("}\n");
+    std::fs::write(out_path, out).expect("writing benchmark JSON");
+    println!("JSON written to {out_path}");
+}
+
+/// `jobs` requests cycling through a mixed template list; randomized
+/// templates draw a fresh seed per instance so the cold cache mostly
+/// misses, while every 8th job duplicates the first (exercising in-batch
+/// hits the way a real request stream repeats popular states).
+fn mixed_workload(jobs: usize) -> Vec<PrepareRequest> {
+    let d3 = dims3();
+    let d4 = dims4();
+    let sparse_dims = Dims::new((0..14).map(|i| 2 + (i % 4)).collect()).expect("valid register");
+    let exact = PrepareOptions::exact().without_zero_subtrees();
+    let approx = PrepareOptions::approximated(0.98).without_zero_subtrees();
+
+    let mut requests = Vec::with_capacity(jobs);
+    for job in 0..jobs {
+        let mut rng = StdRng::seed_from_u64(0xE1_61_4E + job as u64);
+        let request = match job % 8 {
+            0 => PrepareRequest::dense(d3.clone(), ghz(&d3), exact),
+            1 => PrepareRequest::dense(d3.clone(), w_state(&d3), approx),
+            2 => PrepareRequest::sparse(
+                sparse_dims.clone(),
+                mdq_states::sparse::ghz(&sparse_dims),
+                exact,
+            ),
+            3 => PrepareRequest::dense(
+                d3.clone(),
+                random_state(&d3, RandomKind::ReImUniform, &mut rng),
+                exact,
+            ),
+            4 => PrepareRequest::sparse(
+                sparse_dims.clone(),
+                mdq_states::sparse::random_sparse(&sparse_dims, 24, &mut rng),
+                exact,
+            ),
+            5 => PrepareRequest::dense(d4.clone(), w_state(&d4), approx),
+            6 => PrepareRequest::sparse(
+                sparse_dims.clone(),
+                mdq_states::sparse::w_state(&sparse_dims),
+                exact,
+            ),
+            // The repeated popular request of the stream.
+            _ => PrepareRequest::dense(d3.clone(), ghz(&d3), exact),
+        };
+        requests.push(request);
+    }
+    requests
+}
+
+fn percentile_us(sorted: &[Duration], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((sorted.len() as f64 * q).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1].as_secs_f64() * 1e6
+}

@@ -14,6 +14,10 @@
 //!   state vector → decision diagram → (optional) approximation →
 //!   synthesized circuit, with a [`SynthesisReport`] carrying exactly the
 //!   metrics of Table 1 (Nodes, DistinctC, Operations, #Controls, Time).
+//! * [`Preparer`] — the reusable pipeline object behind the batch engine:
+//!   it owns per-worker scratch (a resettable arena and compute cache)
+//!   recycled across jobs, with [`prepare`] and friends as thin one-shot
+//!   wrappers producing bit-identical circuits.
 //! * [`baseline`] — a dense recursive disentangler that never builds a
 //!   diagram, used to quantify what the DD representation buys.
 //! * [`verify`] — synthesize-then-simulate helpers returning the reached
@@ -48,6 +52,17 @@ pub mod verify;
 
 pub use pipeline::{
     prepare, prepare_from_dd, prepare_sparse, PreparationResult, PrepareError, PrepareOptions,
-    SynthesisReport,
+    Preparer, SynthesisReport,
 };
 pub use synth::{synthesize, Direction, ProductRule, SynthesisOptions};
+
+// Compile-time Send/Sync audit: preparers, options and results cross worker
+// threads in the batch-preparation engine (`mdq-engine`).
+const fn assert_send_sync<T: Send + Sync>() {}
+const _: () = {
+    assert_send_sync::<Preparer>();
+    assert_send_sync::<PrepareOptions>();
+    assert_send_sync::<PreparationResult>();
+    assert_send_sync::<SynthesisReport>();
+    assert_send_sync::<PrepareError>();
+};

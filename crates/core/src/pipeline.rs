@@ -1,13 +1,24 @@
 //! The three-step preparation pipeline of the paper's Figure 2:
 //! state → decision diagram → (approximation) → circuit.
+//!
+//! The pipeline comes in two shapes:
+//!
+//! * the free functions [`prepare`], [`prepare_sparse`] and
+//!   [`prepare_from_dd`] — one-shot entry points allocating fresh scratch
+//!   state per call;
+//! * the [`Preparer`] — a reusable pipeline object owning per-worker
+//!   scratch (a resettable [`DdArena`] and a [`ComputeCache`]) that is
+//!   recycled across jobs, the building block of the `mdq-engine` batch
+//!   engine. The free functions are thin wrappers over a throwaway
+//!   `Preparer`, so both shapes produce bit-identical circuits.
 
 use std::fmt;
 use std::time::{Duration, Instant};
 
 use mdq_circuit::Circuit;
-use mdq_dd::{ApproxError, BuildError, BuildOptions, StateDd};
+use mdq_dd::{ApplyError, ApproxError, BuildError, BuildOptions, ComputeCache, DdArena, StateDd};
 use mdq_num::radix::Dims;
-use mdq_num::{Complex, Tolerance};
+use mdq_num::{Complex, ComplexTableStats, Tolerance};
 
 use crate::synth::{synthesize, SynthesisOptions};
 
@@ -57,7 +68,7 @@ impl From<ApproxError> for PrepareError {
 }
 
 /// Options for the [`prepare`] pipeline.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PrepareOptions {
     /// Target state fidelity. `None` synthesizes exactly (Table 1 "Exact");
     /// `Some(0.98)` reproduces the "Approximated 98 %" columns.
@@ -207,13 +218,7 @@ pub fn prepare(
     amplitudes: &[Complex],
     opts: PrepareOptions,
 ) -> Result<PreparationResult, PrepareError> {
-    validate_threshold(&opts)?;
-    let t0 = Instant::now();
-    let build_opts = BuildOptions::default()
-        .keep_zero_subtrees(opts.keep_zero_subtrees)
-        .tolerance(opts.tolerance);
-    let initial = StateDd::from_amplitudes(dims, amplitudes, build_opts)?;
-    run_pipeline(initial, opts, t0)
+    Preparer::new().prepare(dims, amplitudes, opts)
 }
 
 fn validate_threshold(opts: &PrepareOptions) -> Result<(), PrepareError> {
@@ -243,8 +248,222 @@ pub fn prepare_from_dd(
     initial: StateDd,
     opts: PrepareOptions,
 ) -> Result<PreparationResult, PrepareError> {
-    validate_threshold(&opts)?;
-    run_pipeline(initial, opts, Instant::now())
+    Preparer::new().prepare_from_dd(initial, opts)
+}
+
+/// Runs the preparation pipeline on a *sparse* `(digits, amplitude)` state
+/// description, never materializing the dense vector.
+///
+/// This scales structured states (GHZ, W, basis, Dicke, …) to registers far
+/// beyond dense reach: the cost is linear in the support size and the
+/// diagram size, independent of the Hilbert-space size. The
+/// `keep_zero_subtrees` option is ignored (the unreduced tree is
+/// exponentially large by definition), so the reported initial "Nodes"
+/// metric is the zero-pruned tree.
+///
+/// # Errors
+///
+/// Returns [`PrepareError`] as [`prepare`] does.
+///
+/// # Examples
+///
+/// ```
+/// use mdq_core::{prepare_sparse, PrepareOptions};
+/// use mdq_num::radix::Dims;
+/// use mdq_states::sparse;
+///
+/// // GHZ over 16 qudits: ~43 million dense amplitudes, 2 sparse entries.
+/// let dims = Dims::new(vec![3, 4, 2, 5, 3, 2, 4, 3, 2, 3, 4, 2, 5, 3, 2, 3])?;
+/// let result = prepare_sparse(&dims, &sparse::ghz(&dims), PrepareOptions::exact())?;
+/// assert!(result.report.operations < 100);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn prepare_sparse(
+    dims: &Dims,
+    entries: &[(Vec<usize>, Complex)],
+    opts: PrepareOptions,
+) -> Result<PreparationResult, PrepareError> {
+    Preparer::new().prepare_sparse(dims, entries, opts)
+}
+
+/// A reusable preparation pipeline owning per-worker scratch state.
+///
+/// A `Preparer` holds a resettable [`DdArena`] and a [`ComputeCache`] that
+/// are recycled across jobs: each [`Preparer::prepare`] call builds its
+/// diagram into the reclaimed arena (retaining the grown node store and
+/// canonicalization indices instead of reallocating them per request), and
+/// [`Preparer::recycle`] takes the arena back out of a finished result.
+/// This is the mechanism behind the throughput of persistent unique/compute
+/// tables in mature DD packages, applied *across requests*: the batch
+/// engine (`mdq-engine`) keeps one `Preparer` per worker thread.
+///
+/// Results are bit-identical to the one-shot free functions — [`prepare`]
+/// and friends are in fact thin wrappers over a throwaway `Preparer`.
+///
+/// # Examples
+///
+/// ```
+/// use mdq_core::{Preparer, PrepareOptions};
+/// use mdq_num::radix::Dims;
+/// use mdq_states::{ghz, w_state};
+///
+/// let dims = Dims::new(vec![3, 6, 2])?;
+/// let mut preparer = Preparer::new();
+/// // One worker, many jobs, one arena.
+/// for state in [ghz(&dims), w_state(&dims)] {
+///     let result = preparer.prepare(&dims, &state, PrepareOptions::exact())?;
+///     let (circuit, _report) = preparer.recycle(result);
+///     assert!(!circuit.is_empty());
+/// }
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct Preparer {
+    /// The reclaimed arena of the previous job, if any.
+    scratch: Option<DdArena>,
+    /// Memo tables for diagram replays ([`Preparer::replay`]).
+    cache: ComputeCache,
+    /// Resource cap applied to every build (service deployments).
+    node_limit: Option<usize>,
+}
+
+impl Preparer {
+    /// Creates a preparer with empty scratch state.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Caps every diagram this preparer builds at `limit` nodes; jobs
+    /// exceeding it fail with [`PrepareError::Build`] instead of exhausting
+    /// memory — the per-worker resource cap for service deployments.
+    #[must_use]
+    pub fn with_node_limit(mut self, limit: usize) -> Self {
+        self.node_limit = Some(limit);
+        self
+    }
+
+    /// The configured per-job node cap, if any.
+    #[must_use]
+    pub fn node_limit(&self) -> Option<usize> {
+        self.node_limit
+    }
+
+    /// Usage counters of the scratch arena's weight table (cumulative over
+    /// the jobs whose arena this preparer has reclaimed), or `None` while no
+    /// arena is held. Telemetry for engine statistics.
+    #[must_use]
+    pub fn weight_stats(&self) -> Option<ComplexTableStats> {
+        self.scratch.as_ref().map(DdArena::weight_stats)
+    }
+
+    fn build_options(&self, opts: &PrepareOptions) -> BuildOptions {
+        let mut build = BuildOptions::default().tolerance(opts.tolerance);
+        if let Some(limit) = self.node_limit {
+            build = build.node_limit(limit);
+        }
+        build
+    }
+
+    /// The scratch arena if one is held (reset happens inside the `_in`
+    /// builders), or a fresh arena matching the build options.
+    fn take_arena(&mut self, build: &BuildOptions) -> DdArena {
+        self.scratch
+            .take()
+            .unwrap_or_else(|| match build.node_limit_value() {
+                Some(limit) => DdArena::with_node_limit(build.tolerance_value(), limit),
+                None => DdArena::new(build.tolerance_value()),
+            })
+    }
+
+    /// [`prepare`] executed on this preparer's recycled scratch arena.
+    ///
+    /// Inputs are validated *before* the scratch arena is handed to the
+    /// builder, so a malformed request fails without costing this preparer
+    /// its warmed arena (only arena exhaustion mid-build can).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PrepareError`] as [`prepare`] does.
+    pub fn prepare(
+        &mut self,
+        dims: &Dims,
+        amplitudes: &[Complex],
+        opts: PrepareOptions,
+    ) -> Result<PreparationResult, PrepareError> {
+        validate_threshold(&opts)?;
+        let t0 = Instant::now();
+        let build_opts = self
+            .build_options(&opts)
+            .keep_zero_subtrees(opts.keep_zero_subtrees);
+        // The builder re-validates internally; the duplicated O(n) scan is
+        // accepted — it is orders of magnitude below build + synthesis, and
+        // keeping `from_amplitudes_in` fallible-by-value stays simpler than
+        // threading the arena through error returns.
+        StateDd::validate_amplitudes(dims, amplitudes, build_opts)?;
+        let arena = self.take_arena(&build_opts);
+        let initial = StateDd::from_amplitudes_in(dims, amplitudes, build_opts, arena)?;
+        run_pipeline(initial, opts, t0)
+    }
+
+    /// [`prepare_sparse`] executed on this preparer's recycled scratch
+    /// arena, with the same validate-before-seeding contract as
+    /// [`Preparer::prepare`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PrepareError`] as [`prepare_sparse`] does.
+    pub fn prepare_sparse(
+        &mut self,
+        dims: &Dims,
+        entries: &[(Vec<usize>, Complex)],
+        opts: PrepareOptions,
+    ) -> Result<PreparationResult, PrepareError> {
+        validate_threshold(&opts)?;
+        let t0 = Instant::now();
+        let build_opts = self.build_options(&opts);
+        StateDd::validate_sparse(dims, entries, build_opts)?;
+        let arena = self.take_arena(&build_opts);
+        let initial = StateDd::from_sparse_in(dims, entries, build_opts, arena)?;
+        run_pipeline(initial, opts, t0)
+    }
+
+    /// [`prepare_from_dd`] on an already-built diagram (no arena seeding —
+    /// the diagram brings its own).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PrepareError`] as [`prepare_from_dd`] does.
+    pub fn prepare_from_dd(
+        &mut self,
+        initial: StateDd,
+        opts: PrepareOptions,
+    ) -> Result<PreparationResult, PrepareError> {
+        validate_threshold(&opts)?;
+        run_pipeline(initial, opts, Instant::now())
+    }
+
+    /// Takes a finished result apart, reclaiming its diagram's arena as this
+    /// preparer's scratch (reset, capacity retained) and returning the parts
+    /// a serving layer actually ships: the circuit and its metrics.
+    pub fn recycle(&mut self, result: PreparationResult) -> (Circuit, SynthesisReport) {
+        let mut arena = result.dd.into_arena();
+        arena.reset();
+        self.scratch = Some(arena);
+        (result.circuit, result.report)
+    }
+
+    /// Replays a preparation circuit on the ground-state diagram through
+    /// this preparer's [`ComputeCache`] — the decision-diagram verification
+    /// path, with the memo tables reused across replays.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ApplyError`] if an instruction cannot be applied to a
+    /// diagram (e.g. below-target controls) or the arena overflows.
+    pub fn replay(&mut self, circuit: &Circuit) -> Result<StateDd, ApplyError> {
+        StateDd::ground(circuit.dims()).apply_circuit_with(circuit, &mut self.cache)
+    }
 }
 
 fn run_pipeline(
@@ -296,45 +515,6 @@ fn run_pipeline(
         dd,
         report,
     })
-}
-
-/// Runs the preparation pipeline on a *sparse* `(digits, amplitude)` state
-/// description, never materializing the dense vector.
-///
-/// This scales structured states (GHZ, W, basis, Dicke, …) to registers far
-/// beyond dense reach: the cost is linear in the support size and the
-/// diagram size, independent of the Hilbert-space size. The
-/// `keep_zero_subtrees` option is ignored (the unreduced tree is
-/// exponentially large by definition), so the reported initial "Nodes"
-/// metric is the zero-pruned tree.
-///
-/// # Errors
-///
-/// Returns [`PrepareError`] as [`prepare`] does.
-///
-/// # Examples
-///
-/// ```
-/// use mdq_core::{prepare_sparse, PrepareOptions};
-/// use mdq_num::radix::Dims;
-/// use mdq_states::sparse;
-///
-/// // GHZ over 16 qudits: ~43 million dense amplitudes, 2 sparse entries.
-/// let dims = Dims::new(vec![3, 4, 2, 5, 3, 2, 4, 3, 2, 3, 4, 2, 5, 3, 2, 3])?;
-/// let result = prepare_sparse(&dims, &sparse::ghz(&dims), PrepareOptions::exact())?;
-/// assert!(result.report.operations < 100);
-/// # Ok::<(), Box<dyn std::error::Error>>(())
-/// ```
-pub fn prepare_sparse(
-    dims: &Dims,
-    entries: &[(Vec<usize>, Complex)],
-    opts: PrepareOptions,
-) -> Result<PreparationResult, PrepareError> {
-    validate_threshold(&opts)?;
-    let t0 = Instant::now();
-    let build_opts = BuildOptions::default().tolerance(opts.tolerance);
-    let initial = StateDd::from_sparse(dims, entries, build_opts)?;
-    run_pipeline(initial, opts, t0)
 }
 
 #[cfg(test)]
@@ -587,6 +767,143 @@ mod tests {
             prepare_from_dd(dd, PrepareOptions::approximated(2.0)).unwrap_err(),
             PrepareError::InvalidThreshold(2.0)
         );
+    }
+
+    #[test]
+    fn preparer_reuse_is_bit_identical_to_one_shot() {
+        // One preparer, many jobs on a recycled arena: every circuit must be
+        // bit-identical to the corresponding one-shot free-function run.
+        let mut preparer = Preparer::new();
+        let mut rng = StdRng::seed_from_u64(7);
+        let d3 = dims(&[3, 6, 2]);
+        let d2 = dims(&[4, 3]);
+        let jobs: Vec<(Dims, Vec<Complex>, PrepareOptions)> = vec![
+            (d3.clone(), ghz(&d3), PrepareOptions::exact()),
+            (d3.clone(), w_state(&d3), PrepareOptions::approximated(0.98)),
+            (
+                d2.clone(),
+                random_state(&d2, RandomKind::ReImUniform, &mut rng),
+                PrepareOptions::exact().without_zero_subtrees(),
+            ),
+            (d3.clone(), embedded_w(&d3), PrepareOptions::exact()),
+        ];
+        for (dims, state, opts) in &jobs {
+            let one_shot = prepare(dims, state, *opts).unwrap();
+            let reused = preparer.prepare(dims, state, *opts).unwrap();
+            assert_eq!(reused.circuit, one_shot.circuit);
+            assert_eq!(reused.report.operations, one_shot.report.operations);
+            assert_eq!(reused.report.nodes_initial, one_shot.report.nodes_initial);
+            let (circuit, report) = preparer.recycle(reused);
+            assert_eq!(circuit, one_shot.circuit);
+            assert_eq!(report.nodes_final, one_shot.report.nodes_final);
+        }
+        // After recycling, the preparer holds a scratch arena with telemetry.
+        let stats = preparer.weight_stats().expect("scratch arena reclaimed");
+        assert!(stats.lookups > 0);
+        assert_eq!(stats.len, 0, "reset scratch arena is empty");
+    }
+
+    #[test]
+    fn preparer_sparse_matches_free_function() {
+        let d = dims(&[3, 6, 2]);
+        let entries = mdq_states::sparse::w_state(&d);
+        let mut preparer = Preparer::new();
+        // Warm the arena with an unrelated dense job first.
+        let warm = preparer
+            .prepare(
+                &d,
+                &ghz(&d),
+                PrepareOptions::exact().without_zero_subtrees(),
+            )
+            .unwrap();
+        preparer.recycle(warm);
+        let reused = preparer
+            .prepare_sparse(&d, &entries, PrepareOptions::exact())
+            .unwrap();
+        let one_shot = prepare_sparse(&d, &entries, PrepareOptions::exact()).unwrap();
+        assert_eq!(reused.circuit, one_shot.circuit);
+        assert_eq!(reused.report.nodes_initial, one_shot.report.nodes_initial);
+    }
+
+    #[test]
+    fn preparer_node_limit_caps_builds() {
+        let d = dims(&[3, 6, 2]);
+        let mut preparer = Preparer::new().with_node_limit(2);
+        assert_eq!(preparer.node_limit(), Some(2));
+        let err = preparer
+            .prepare(
+                &d,
+                &w_state(&d),
+                PrepareOptions::exact().without_zero_subtrees(),
+            )
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            PrepareError::Build(BuildError::ArenaOverflow { limit: 2 })
+        ));
+    }
+
+    #[test]
+    fn preparer_keeps_scratch_arena_across_failed_jobs() {
+        let d = dims(&[3, 6, 2]);
+        let mut preparer = Preparer::new();
+        let warm = preparer
+            .prepare(
+                &d,
+                &ghz(&d),
+                PrepareOptions::exact().without_zero_subtrees(),
+            )
+            .unwrap();
+        preparer.recycle(warm);
+        let lookups_before = preparer.weight_stats().unwrap().lookups;
+        // Malformed jobs (wrong length, bad digits) fail during
+        // pre-validation and must not cost the preparer its warmed arena.
+        let err = preparer
+            .prepare(&d, &[Complex::ONE], PrepareOptions::exact())
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            PrepareError::Build(BuildError::WrongLength { .. })
+        ));
+        let err = preparer
+            .prepare_sparse(&d, &[(vec![0], Complex::ONE)], PrepareOptions::exact())
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            PrepareError::Build(BuildError::WrongDigitCount { .. })
+        ));
+        let stats = preparer.weight_stats().expect("scratch arena survived");
+        assert_eq!(stats.lookups, lookups_before, "arena untouched by failures");
+        // The surviving arena still serves the next good job.
+        let again = preparer
+            .prepare(
+                &d,
+                &ghz(&d),
+                PrepareOptions::exact().without_zero_subtrees(),
+            )
+            .unwrap();
+        let one_shot = prepare(
+            &d,
+            &ghz(&d),
+            PrepareOptions::exact().without_zero_subtrees(),
+        )
+        .unwrap();
+        assert_eq!(again.circuit, one_shot.circuit);
+    }
+
+    #[test]
+    fn preparer_replay_reaches_target_state() {
+        let d = dims(&[3, 4, 2]);
+        let target = mdq_states::sparse::ghz(&d);
+        let mut preparer = Preparer::new();
+        let result = preparer
+            .prepare_sparse(&d, &target, PrepareOptions::exact())
+            .unwrap();
+        let replayed = preparer.replay(&result.circuit).unwrap();
+        assert!((replayed.fidelity(&result.dd) - 1.0).abs() < 1e-9);
+        // Second replay reuses the preparer's memo tables.
+        let again = preparer.replay(&result.circuit).unwrap();
+        assert!((again.fidelity(&result.dd) - 1.0).abs() < 1e-9);
     }
 
     #[test]

@@ -38,7 +38,7 @@ pub enum Direction {
 }
 
 /// Options for [`synthesize`].
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct SynthesisOptions {
     /// Control-elision rule for tensor-product nodes.
     pub product_rule: ProductRule,

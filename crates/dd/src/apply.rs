@@ -376,16 +376,36 @@ impl StateDd {
     ///
     /// Panics if the circuit is defined over a different register.
     pub fn apply_circuit(&self, circuit: &mdq_circuit::Circuit) -> Result<StateDd, ApplyError> {
+        let mut cache = ComputeCache::new();
+        self.apply_circuit_with(circuit, &mut cache)
+    }
+
+    /// [`StateDd::apply_circuit`] with a caller-provided [`ComputeCache`],
+    /// so a worker replaying many circuits (e.g. verification jobs in the
+    /// batch engine) reuses one set of memo tables across all of them.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ApplyError`]; the circuit's register must match
+    /// the diagram's.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit is defined over a different register.
+    pub fn apply_circuit_with(
+        &self,
+        circuit: &mdq_circuit::Circuit,
+        cache: &mut ComputeCache,
+    ) -> Result<StateDd, ApplyError> {
         assert_eq!(
             circuit.dims(),
             &self.dims,
             "circuit register differs from diagram register"
         );
         let mut state = self.clone();
-        let mut cache = ComputeCache::new();
         let mut live = state.arena.len().max(64);
         for instr in circuit.iter() {
-            state.apply_mut_with(instr, &mut cache)?;
+            state.apply_mut_with(instr, cache)?;
             if state.arena.len() > 2 * live {
                 state = state.compacted();
                 live = state.arena.len().max(64);

@@ -26,7 +26,7 @@
 use std::collections::HashMap;
 use std::fmt;
 
-use mdq_num::{Complex, ComplexTable, Tolerance};
+use mdq_num::{Complex, ComplexTable, ComplexTableStats, Tolerance};
 
 use crate::node::{Edge, Node, NodeId, NodeRef};
 use crate::unique::{NodeSignature, UniqueTable};
@@ -133,6 +133,39 @@ impl DdArena {
     #[must_use]
     pub fn distinct_weights(&self) -> usize {
         self.weights.len()
+    }
+
+    /// Usage counters of the weight table — the pressure this arena's
+    /// workloads put on the canonical complex store. Counters are cumulative
+    /// across [`DdArena::reset`], so a recycled per-worker arena reports the
+    /// traffic of every job it served.
+    #[must_use]
+    pub fn weight_stats(&self) -> ComplexTableStats {
+        self.weights.stats()
+    }
+
+    /// Empties the arena while retaining the allocated capacity of the node
+    /// store and both canonicalization indices — the recycling path that
+    /// lets one worker reuse a single arena across many preparation jobs
+    /// instead of re-growing hash maps from scratch per request.
+    ///
+    /// The tolerance and node limit are unchanged; see [`DdArena::reset_for`]
+    /// to reconfigure them at the same time.
+    pub fn reset(&mut self) {
+        self.nodes.clear();
+        self.unique.clear();
+        self.weights.clear();
+    }
+
+    /// [`DdArena::reset`] plus reconfiguration of the tolerance and node
+    /// limit, for recycling an arena into a job with different numerical
+    /// settings.
+    pub fn reset_for(&mut self, tolerance: Tolerance, node_limit: usize) {
+        self.tolerance = tolerance;
+        self.node_limit = node_limit.min(u32::MAX as usize);
+        self.nodes.clear();
+        self.unique.clear();
+        self.weights.reset(tolerance);
     }
 
     fn push(&mut self, node: Node) -> Result<NodeId, ArenaOverflow> {
@@ -416,6 +449,49 @@ mod tests {
             arena.alloc_unshared(0, vec![Edge::ZERO]).unwrap_err(),
             ArenaOverflow { limit: 2 }
         );
+    }
+
+    #[test]
+    fn reset_empties_arena_but_keeps_configuration() {
+        let mut arena = DdArena::with_node_limit(tol(), 100);
+        arena
+            .intern(0, vec![Edge::new(c(0.7), NodeRef::Terminal), Edge::ZERO])
+            .unwrap();
+        assert_eq!(arena.len(), 1);
+        arena.reset();
+        assert!(arena.is_empty());
+        assert_eq!(arena.node_limit(), 100);
+        assert_eq!(arena.tolerance(), tol());
+        // Interning after a reset starts a fresh id space.
+        let r = arena
+            .intern(0, vec![Edge::new(c(0.3), NodeRef::Terminal), Edge::ZERO])
+            .unwrap();
+        assert_eq!(r.id().unwrap().index(), 0);
+        // Weight-table counters survive the reset (cumulative telemetry).
+        assert!(arena.weight_stats().lookups >= 2);
+    }
+
+    #[test]
+    fn reset_for_reconfigures_tolerance_and_limit() {
+        let mut arena = DdArena::new(tol());
+        arena
+            .intern(0, vec![Edge::new(c(0.7), NodeRef::Terminal), Edge::ZERO])
+            .unwrap();
+        arena.reset_for(Tolerance::new(1e-3), 5);
+        assert!(arena.is_empty());
+        assert_eq!(arena.tolerance(), Tolerance::new(1e-3));
+        assert_eq!(arena.node_limit(), 5);
+        // The new tolerance governs weight canonicalization.
+        let a = arena
+            .intern(0, vec![Edge::new(c(0.5), NodeRef::Terminal), Edge::ZERO])
+            .unwrap();
+        let b = arena
+            .intern(
+                0,
+                vec![Edge::new(c(0.5 + 1e-5), NodeRef::Terminal), Edge::ZERO],
+            )
+            .unwrap();
+        assert_eq!(a, b);
     }
 
     #[test]

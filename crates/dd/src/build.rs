@@ -294,7 +294,123 @@ impl<'a> Builder<'a> {
     }
 }
 
+/// The shared front half of the sparse builders: validates every entry
+/// (digit count, digit range, finiteness, in entry order), flattens to
+/// sorted `(flat index, amplitude)` pairs with duplicates summed and
+/// tolerance-zero amplitudes dropped, and rejects an all-zero total norm —
+/// exactly the checks [`StateDd::from_sparse`] reports as [`BuildError`]s.
+fn flatten_sparse(
+    dims: &Dims,
+    entries: &[(Vec<usize>, Complex)],
+    tol: f64,
+) -> Result<Vec<(usize, Complex)>, BuildError> {
+    let mut flat: Vec<(usize, Complex)> = Vec::with_capacity(entries.len());
+    for (i, (digits, amp)) in entries.iter().enumerate() {
+        if digits.len() != dims.len() {
+            return Err(BuildError::WrongDigitCount {
+                expected: dims.len(),
+                got: digits.len(),
+            });
+        }
+        for (position, (&digit, &dim)) in digits.iter().zip(dims.as_slice()).enumerate() {
+            if digit >= dim {
+                return Err(BuildError::DigitOutOfRange {
+                    position,
+                    digit,
+                    dim,
+                });
+            }
+        }
+        if !amp.is_finite() {
+            return Err(BuildError::NotFinite { index: i });
+        }
+        flat.push((dims.index_of(digits), *amp));
+    }
+    flat.sort_by_key(|&(idx, _)| idx);
+    // Sum duplicates, drop zeros.
+    let mut dedup: Vec<(usize, Complex)> = Vec::with_capacity(flat.len());
+    for (idx, amp) in flat {
+        match dedup.last_mut() {
+            Some((last, acc)) if *last == idx => *acc += amp,
+            _ => dedup.push((idx, amp)),
+        }
+    }
+    dedup.retain(|(_, a)| !a.is_zero(tol));
+    let norm_sqr: f64 = dedup.iter().map(|(_, a)| a.norm_sqr()).sum();
+    if norm_sqr.sqrt() <= tol {
+        return Err(BuildError::ZeroNorm);
+    }
+    Ok(dedup)
+}
+
 impl StateDd {
+    /// Checks a dense amplitude vector against `dims` exactly as
+    /// [`StateDd::from_amplitudes`] would, without building anything: the
+    /// first failing check wins, in the same order (length, finiteness,
+    /// norm).
+    ///
+    /// Per-worker recycling loops call this *before* handing their scratch
+    /// arena to [`StateDd::from_amplitudes_in`], so a malformed request
+    /// cannot cost them a warmed arena.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`BuildError`] the corresponding build would surface.
+    pub fn validate_amplitudes(
+        dims: &Dims,
+        amplitudes: &[Complex],
+        opts: BuildOptions,
+    ) -> Result<(), BuildError> {
+        if amplitudes.len() != dims.space_size() {
+            return Err(BuildError::WrongLength {
+                expected: dims.space_size(),
+                got: amplitudes.len(),
+            });
+        }
+        if let Some(index) = amplitudes.iter().position(|a| !a.is_finite()) {
+            return Err(BuildError::NotFinite { index });
+        }
+        let norm = mdq_num::norm(amplitudes);
+        if norm <= opts.tolerance.value() {
+            return Err(BuildError::ZeroNorm);
+        }
+        Ok(())
+    }
+
+    /// Checks a sparse entry list exactly as [`StateDd::from_sparse`] would
+    /// (digit counts, digit ranges, finiteness, zero total norm after
+    /// duplicate summing), without building anything — the sparse
+    /// counterpart of [`StateDd::validate_amplitudes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`BuildError`] the corresponding build would surface.
+    pub fn validate_sparse(
+        dims: &Dims,
+        entries: &[(Vec<usize>, Complex)],
+        opts: BuildOptions,
+    ) -> Result<(), BuildError> {
+        flatten_sparse(dims, entries, opts.tolerance.value()).map(|_| ())
+    }
+
+    /// The canonical `(flat index, amplitude)` support [`StateDd::from_sparse`]
+    /// actually builds from: validated, sorted by index, duplicates summed,
+    /// tolerance-zero amplitudes dropped. Exposed so content-addressing
+    /// layers (the engine's request cache) derive their identity from the
+    /// *same* flattening the builder uses — any future change to the
+    /// builder's dedup rules automatically carries over.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`BuildError`] the corresponding build would surface.
+    pub fn canonical_sparse_support(
+        dims: &Dims,
+        entries: &[(Vec<usize>, Complex)],
+        tolerance: Tolerance,
+    ) -> Result<Vec<(usize, Complex)>, BuildError> {
+        flatten_sparse(dims, entries, tolerance.value())
+    }
+
     /// Builds a decision diagram from a dense amplitude vector.
     ///
     /// The vector is indexed in mixed-radix order with the *first* dimension
@@ -329,25 +445,39 @@ impl StateDd {
         amplitudes: &[Complex],
         opts: BuildOptions,
     ) -> Result<Self, BuildError> {
-        if amplitudes.len() != dims.space_size() {
-            return Err(BuildError::WrongLength {
-                expected: dims.space_size(),
-                got: amplitudes.len(),
-            });
-        }
-        if let Some(index) = amplitudes.iter().position(|a| !a.is_finite()) {
-            return Err(BuildError::NotFinite { index });
-        }
-        let norm = mdq_num::norm(amplitudes);
-        if norm <= opts.tolerance.value() {
-            return Err(BuildError::ZeroNorm);
-        }
+        Self::from_amplitudes_in(dims, amplitudes, opts, opts.arena())
+    }
 
-        let mut builder = Builder {
-            dims,
-            opts,
-            arena: opts.arena(),
-        };
+    /// [`StateDd::from_amplitudes`] building into a caller-provided arena —
+    /// the recycling entry point of the batch-preparation engine, where one
+    /// worker reuses a single arena (and its grown hash-map capacity) across
+    /// many jobs.
+    ///
+    /// The arena is cleared on entry (capacity retained) and reconfigured to
+    /// the options' tolerance; the options' node limit, when set, replaces
+    /// the arena's. The built diagram takes ownership of the arena — reclaim
+    /// it from the result via [`StateDd::into_arena`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError`] as [`StateDd::from_amplitudes`] does; on error
+    /// the arena is dropped. Callers that must not lose a warmed arena to a
+    /// malformed input (the per-worker recycling loop) can screen with
+    /// [`StateDd::validate_amplitudes`] *before* handing the arena over —
+    /// after that only arena exhaustion can fail.
+    pub fn from_amplitudes_in(
+        dims: &Dims,
+        amplitudes: &[Complex],
+        opts: BuildOptions,
+        mut arena: DdArena,
+    ) -> Result<Self, BuildError> {
+        Self::validate_amplitudes(dims, amplitudes, opts)?;
+
+        arena.reset_for(
+            opts.tolerance,
+            opts.node_limit.unwrap_or_else(|| arena.node_limit()),
+        );
+        let mut builder = Builder { dims, opts, arena };
         let root_edge = builder.build(0, amplitudes)?;
         debug_assert!(!root_edge.is_zero(opts.tolerance.value()));
         // The up-weight magnitude is the input norm; keep only the phase so
@@ -405,50 +535,31 @@ impl StateDd {
         entries: &[(Vec<usize>, Complex)],
         opts: BuildOptions,
     ) -> Result<Self, BuildError> {
-        let mut flat: Vec<(usize, Complex)> = Vec::with_capacity(entries.len());
-        for (i, (digits, amp)) in entries.iter().enumerate() {
-            if digits.len() != dims.len() {
-                return Err(BuildError::WrongDigitCount {
-                    expected: dims.len(),
-                    got: digits.len(),
-                });
-            }
-            for (position, (&digit, &dim)) in digits.iter().zip(dims.as_slice()).enumerate() {
-                if digit >= dim {
-                    return Err(BuildError::DigitOutOfRange {
-                        position,
-                        digit,
-                        dim,
-                    });
-                }
-            }
-            if !amp.is_finite() {
-                return Err(BuildError::NotFinite { index: i });
-            }
-            flat.push((dims.index_of(digits), *amp));
-        }
-        flat.sort_by_key(|&(idx, _)| idx);
-        // Sum duplicates, drop zeros.
-        let tol = opts.tolerance.value();
-        let mut dedup: Vec<(usize, Complex)> = Vec::with_capacity(flat.len());
-        for (idx, amp) in flat {
-            match dedup.last_mut() {
-                Some((last, acc)) if *last == idx => *acc += amp,
-                _ => dedup.push((idx, amp)),
-            }
-        }
-        dedup.retain(|(_, a)| !a.is_zero(tol));
-        let norm_sqr: f64 = dedup.iter().map(|(_, a)| a.norm_sqr()).sum();
-        if norm_sqr.sqrt() <= tol {
-            return Err(BuildError::ZeroNorm);
-        }
+        Self::from_sparse_in(dims, entries, opts, opts.arena())
+    }
+
+    /// [`StateDd::from_sparse`] building into a caller-provided arena; see
+    /// [`StateDd::from_amplitudes_in`] for the recycling contract.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError`] as [`StateDd::from_sparse`] does; on error the
+    /// arena is dropped (screen with [`StateDd::validate_sparse`] first to
+    /// keep a warmed arena out of malformed jobs).
+    pub fn from_sparse_in(
+        dims: &Dims,
+        entries: &[(Vec<usize>, Complex)],
+        opts: BuildOptions,
+        mut arena: DdArena,
+    ) -> Result<Self, BuildError> {
+        let dedup = flatten_sparse(dims, entries, opts.tolerance.value())?;
 
         let opts = opts.keep_zero_subtrees(false);
-        let mut builder = Builder {
-            dims,
-            opts,
-            arena: opts.arena(),
-        };
+        arena.reset_for(
+            opts.tolerance,
+            opts.node_limit.unwrap_or_else(|| arena.node_limit()),
+        );
+        let mut builder = Builder { dims, opts, arena };
         let strides = dims.strides();
         let root_edge = builder.build_sparse(0, 0, &dedup, &strides)?;
         let root_weight = Complex::cis(root_edge.weight.arg());
@@ -737,6 +848,48 @@ mod tests {
                 v
             })
             .is_zero(1e-12));
+    }
+
+    #[test]
+    fn build_in_recycled_arena_matches_fresh_build() {
+        let (d, amps) = ghz_362();
+        let fresh = StateDd::from_amplitudes(&d, &amps, BuildOptions::default()).unwrap();
+
+        // First job grows the arena, then the worker reclaims and reuses it.
+        let first = StateDd::from_amplitudes(&d, &amps, BuildOptions::default()).unwrap();
+        let arena = first.into_arena();
+        let again = StateDd::from_amplitudes_in(&d, &amps, BuildOptions::default(), arena).unwrap();
+        assert_eq!(again.node_count(), fresh.node_count());
+        assert_eq!(again.edge_count(), fresh.edge_count());
+        for (a, b) in again.to_amplitudes().iter().zip(fresh.to_amplitudes()) {
+            assert!(a.approx_eq(b, 1e-12));
+        }
+
+        // Sparse path through the same recycled arena.
+        let entries = vec![
+            (vec![0, 0, 0], Complex::real(1.0)),
+            (vec![1, 1, 1], Complex::real(1.0)),
+        ];
+        let sparse_fresh = StateDd::from_sparse(&d, &entries, BuildOptions::default()).unwrap();
+        let sparse_again =
+            StateDd::from_sparse_in(&d, &entries, BuildOptions::default(), again.into_arena())
+                .unwrap();
+        assert_eq!(sparse_again.node_count(), sparse_fresh.node_count());
+        assert!((sparse_again.fidelity(&sparse_fresh) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn build_in_respects_options_node_limit_over_arena_limit() {
+        let d = dims(&[2, 2, 2]);
+        let amps: Vec<Complex> = (0..8).map(|i| Complex::real(1.0 + i as f64)).collect();
+        let arena = DdArena::with_node_limit(Tolerance::default(), 1_000);
+        let err =
+            StateDd::from_amplitudes_in(&d, &amps, BuildOptions::default().node_limit(2), arena);
+        assert_eq!(err.unwrap_err(), BuildError::ArenaOverflow { limit: 2 });
+        // Without an options limit the arena's own cap is kept.
+        let arena = DdArena::with_node_limit(Tolerance::default(), 2);
+        let err = StateDd::from_amplitudes_in(&d, &amps, BuildOptions::default(), arena);
+        assert_eq!(err.unwrap_err(), BuildError::ArenaOverflow { limit: 2 });
     }
 
     #[test]

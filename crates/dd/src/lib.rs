@@ -89,6 +89,21 @@ pub use node::{Edge, Node, NodeId, NodeRef};
 use mdq_num::radix::Dims;
 use mdq_num::{Complex, Tolerance};
 
+// Compile-time Send/Sync audit: diagrams and their arenas cross worker
+// threads in the batch-preparation engine (`mdq-engine`), so none of these
+// types may silently grow a non-thread-safe field (Rc, RefCell, raw
+// pointer) without breaking this build.
+const fn assert_send_sync<T: Send + Sync>() {}
+const _: () = {
+    assert_send_sync::<DdArena>();
+    assert_send_sync::<ComputeCache>();
+    assert_send_sync::<unique::UniqueTable>();
+    assert_send_sync::<StateDd>();
+    assert_send_sync::<Node>();
+    assert_send_sync::<Edge>();
+    assert_send_sync::<NodeRef>();
+};
+
 /// An edge-weighted decision diagram representing a pure quantum state of a
 /// mixed-dimensional qudit register.
 ///
@@ -158,6 +173,15 @@ impl StateDd {
     #[must_use]
     pub fn arena(&self) -> &DdArena {
         &self.arena
+    }
+
+    /// Consumes the diagram and returns its arena, so a worker can
+    /// [`reset`](DdArena::reset) and reuse the grown node store and
+    /// canonicalization indices for the next job instead of reallocating
+    /// them per request.
+    #[must_use]
+    pub fn into_arena(self) -> DdArena {
+        self.arena
     }
 
     /// Whether the diagram was built through the hash-consing intern path

@@ -56,6 +56,12 @@ impl UniqueTable {
         self.map.is_empty()
     }
 
+    /// Drops every signature while retaining the map's allocated capacity —
+    /// the [`DdArena::reset`](crate::DdArena::reset) recycling path.
+    pub fn clear(&mut self) {
+        self.map.clear();
+    }
+
     /// Looks up the node interned under `signature`, if any.
     #[must_use]
     pub fn get(&self, signature: &NodeSignature) -> Option<NodeId> {

@@ -1,0 +1,491 @@
+//! The fingerprint-keyed prepared-circuit cache.
+//!
+//! Every valid [`PrepareRequest`] is reduced to a *canonical key*: the
+//! register dimensions, the deduplicated nonzero support of the target state
+//! (exact amplitude bits), and every option that influences the synthesized
+//! circuit or its report. The key is *fingerprinted* by hashing a
+//! **tolerance-quantized** view of the amplitudes (each component snapped to
+//! a grid of cell size `tolerance`), so numerically-adjacent requests land
+//! in the same bucket; a stored entry is only *served*, however, when the
+//! exact canonical keys match bit for bit. That split keeps the two promises
+//! of the engine simultaneously: repeated requests are answered from cache,
+//! and every answer is bit-identical to what a sequential [`prepare`] run
+//! would have produced for that exact request.
+//!
+//! The store is sharded: each shard is an independently locked hash map, so
+//! workers probing different fingerprints never contend on one lock.
+//!
+//! [`prepare`]: mdq_core::prepare
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use mdq_circuit::Circuit;
+use mdq_core::{Direction, ProductRule, SynthesisReport};
+use mdq_num::Complex;
+
+use crate::request::{PrepareRequest, StatePayload};
+
+/// Hit/miss/occupancy counters of a [`CircuitCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that fell through to a full pipeline run.
+    pub misses: u64,
+    /// Prepared circuits currently stored.
+    pub entries: usize,
+}
+
+/// A cached preparation: the synthesized circuit and its metrics, shared
+/// between the store and every report served from it.
+#[derive(Debug)]
+pub(crate) struct CachedPreparation {
+    pub(crate) circuit: Circuit,
+    pub(crate) report: SynthesisReport,
+}
+
+/// The canonical identity of a preparation request; see the
+/// [module documentation](self).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct CanonicalKey {
+    dims: Vec<usize>,
+    /// Sorted, duplicate-summed, exact-zero-free support:
+    /// `(flat index, re bits, im bits)`.
+    support: Vec<(u64, u64, u64)>,
+    options: OptionsKey,
+}
+
+/// The option fields that influence the synthesized circuit or its report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct OptionsKey {
+    fidelity_threshold: Option<u64>,
+    tolerance: u64,
+    product_rule: u8,
+    skip_identities: bool,
+    direction: u8,
+    reduce: bool,
+    keep_zero_subtrees: bool,
+}
+
+/// 64-bit FNV-1a, written out because the build environment has no
+/// registry access and `DefaultHasher`'s algorithm is explicitly
+/// unspecified across Rust releases — fingerprints stay stable.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn write_u64(&mut self, value: u64) {
+        for byte in value.to_le_bytes() {
+            self.0 ^= u64::from(byte);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Snaps one amplitude component onto the tolerance grid. Saturating casts
+/// keep the result deterministic for extreme magnitudes, and negative zero
+/// folds onto zero so `0.0` and `-0.0` share a cell.
+fn quantize(component: f64, cell: f64) -> i64 {
+    let q = (component / cell).round();
+    if q == 0.0 {
+        0
+    } else {
+        q as i64
+    }
+}
+
+/// Builds the canonical key and its quantized fingerprint for a request, or
+/// `None` when the request is malformed (wrong length, digits out of range,
+/// non-finite amplitudes, empty support) — such requests bypass the cache
+/// and surface their error through the pipeline itself.
+pub(crate) fn canonical_key(request: &PrepareRequest) -> Option<(u64, CanonicalKey)> {
+    let dims = request.dims.as_slice().to_vec();
+    let mut support: Vec<(u64, Complex)> = match &request.payload {
+        StatePayload::Dense(amplitudes) => {
+            if amplitudes.len() != request.dims.space_size() {
+                return None;
+            }
+            amplitudes
+                .iter()
+                .enumerate()
+                .filter(|(_, a)| !(a.re == 0.0 && a.im == 0.0))
+                .map(|(i, a)| (i as u64, *a))
+                .collect()
+        }
+        // The sparse form keys on the exact support the builder would build
+        // from — one flattening implementation, shared with `from_sparse`.
+        StatePayload::Sparse(entries) => mdq_dd::StateDd::canonical_sparse_support(
+            &request.dims,
+            entries,
+            request.options.tolerance,
+        )
+        .ok()?
+        .into_iter()
+        .map(|(idx, amp)| (idx as u64, amp))
+        .collect(),
+    };
+    if support.is_empty() || support.iter().any(|(_, a)| !a.is_finite()) {
+        return None;
+    }
+    support.sort_by_key(|&(idx, _)| idx);
+
+    let opts = &request.options;
+    let options = OptionsKey {
+        fidelity_threshold: opts.fidelity_threshold.map(f64::to_bits),
+        tolerance: opts.tolerance.value().to_bits(),
+        product_rule: match opts.synthesis.product_rule {
+            ProductRule::Off => 0,
+            ProductRule::SharedChild => 1,
+            ProductRule::SharedChildOrSingle => 2,
+        },
+        skip_identities: opts.synthesis.skip_identities,
+        direction: match opts.synthesis.direction {
+            Direction::Prepare => 0,
+            Direction::Disentangle => 1,
+        },
+        reduce: opts.reduce,
+        // The *effective* flag: the sparse pipeline ignores
+        // `keep_zero_subtrees` (the unreduced tree is exponential), so a
+        // sparse request keys like `false`. With the flag off, dense and
+        // sparse forms of one state produce identical diagrams, circuits
+        // and reports and may share an entry; with it on, a dense request's
+        // report has tree metrics and must not alias the sparse form.
+        keep_zero_subtrees: opts.keep_zero_subtrees
+            && matches!(request.payload, StatePayload::Dense(_)),
+    };
+
+    // Fingerprint over the tolerance-quantized view.
+    let cell = opts.tolerance.value().max(f64::MIN_POSITIVE);
+    let mut fnv = Fnv::new();
+    fnv.write_u64(dims.len() as u64);
+    for &d in &dims {
+        fnv.write_u64(d as u64);
+    }
+    for &(idx, a) in &support {
+        fnv.write_u64(idx);
+        fnv.write_u64(quantize(a.re, cell) as u64);
+        fnv.write_u64(quantize(a.im, cell) as u64);
+    }
+    fnv.write_u64(options.fidelity_threshold.unwrap_or(u64::MAX ^ 1));
+    fnv.write_u64(options.tolerance);
+    fnv.write_u64(u64::from(options.product_rule));
+    fnv.write_u64(u64::from(options.skip_identities));
+    fnv.write_u64(u64::from(options.direction));
+    fnv.write_u64(u64::from(options.reduce));
+    fnv.write_u64(u64::from(options.keep_zero_subtrees));
+
+    let key = CanonicalKey {
+        dims,
+        support: support
+            .into_iter()
+            .map(|(idx, a)| (idx, a.re.to_bits(), a.im.to_bits()))
+            .collect(),
+        options,
+    };
+    Some((fnv.finish(), key))
+}
+
+/// One fingerprint bucket: the exact keys sharing the fingerprint, each
+/// with its cached preparation.
+type Bucket = Vec<(CanonicalKey, Arc<CachedPreparation>)>;
+
+/// The sharded, fingerprint-keyed prepared-circuit store; see the
+/// [module documentation](self).
+#[derive(Debug)]
+pub struct CircuitCache {
+    shards: Vec<Mutex<HashMap<u64, Bucket>>>,
+    /// Power-of-two mask selecting a shard from a fingerprint.
+    mask: u64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl CircuitCache {
+    /// Creates a cache with (at least) `shards` independently locked shards;
+    /// the count is rounded up to a power of two, minimum 1.
+    #[must_use]
+    pub fn new(shards: usize) -> Self {
+        let count = shards.max(1).next_power_of_two();
+        CircuitCache {
+            shards: (0..count).map(|_| Mutex::new(HashMap::new())).collect(),
+            mask: (count - 1) as u64,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, fingerprint: u64) -> &Mutex<HashMap<u64, Bucket>> {
+        // Fold the high bits in so the shard index is not just the low bits
+        // already used as the hash-map key.
+        &self.shards[((fingerprint >> 32 ^ fingerprint) & self.mask) as usize]
+    }
+
+    /// Looks up an exact key under its fingerprint, counting a hit or miss.
+    pub(crate) fn get(
+        &self,
+        fingerprint: u64,
+        key: &CanonicalKey,
+    ) -> Option<Arc<CachedPreparation>> {
+        let shard = self
+            .shard(fingerprint)
+            .lock()
+            .expect("cache shard poisoned");
+        let found = shard
+            .get(&fingerprint)
+            .and_then(|bucket| bucket.iter().find(|(k, _)| k == key))
+            .map(|(_, v)| Arc::clone(v));
+        drop(shard);
+        match &found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Stores a preparation under its key. If another worker raced the same
+    /// key in first, the existing entry wins (both are bit-identical by
+    /// construction).
+    pub(crate) fn insert(
+        &self,
+        fingerprint: u64,
+        key: CanonicalKey,
+        value: Arc<CachedPreparation>,
+    ) {
+        let mut shard = self
+            .shard(fingerprint)
+            .lock()
+            .expect("cache shard poisoned");
+        let bucket = shard.entry(fingerprint).or_default();
+        if bucket.iter().all(|(k, _)| *k != key) {
+            bucket.push((key, value));
+        }
+    }
+
+    /// Hit/miss/occupancy counters.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.len(),
+        }
+    }
+
+    /// Number of prepared circuits currently stored.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.lock()
+                    .expect("cache shard poisoned")
+                    .values()
+                    .map(Vec::len)
+                    .sum::<usize>()
+            })
+            .sum()
+    }
+
+    /// Whether the cache holds no circuits.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every stored circuit (counters are kept).
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard.lock().expect("cache shard poisoned").clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdq_core::PrepareOptions;
+    use mdq_num::radix::Dims;
+
+    fn dims(v: &[usize]) -> Dims {
+        Dims::new(v.to_vec()).unwrap()
+    }
+
+    fn dense_request(amps: &[Complex]) -> PrepareRequest {
+        PrepareRequest::dense(dims(&[2, 2]), amps.to_vec(), PrepareOptions::exact())
+    }
+
+    #[test]
+    fn identical_requests_share_a_key() {
+        let a = Complex::real(0.5);
+        let r1 = dense_request(&[a, a, a, a]);
+        let r2 = dense_request(&[a, a, a, a]);
+        assert_eq!(canonical_key(&r1), canonical_key(&r2));
+    }
+
+    #[test]
+    fn different_states_get_different_fingerprints() {
+        let a = Complex::real(0.5);
+        let r1 = dense_request(&[a, a, a, a]);
+        let r2 = dense_request(&[a, a, a, -a]);
+        let (f1, k1) = canonical_key(&r1).unwrap();
+        let (f2, k2) = canonical_key(&r2).unwrap();
+        assert_ne!(k1, k2);
+        assert_ne!(f1, f2);
+    }
+
+    #[test]
+    fn options_are_part_of_the_key() {
+        let a = Complex::real(0.5);
+        let exact = dense_request(&[a, a, a, a]);
+        let approx = PrepareRequest::dense(
+            dims(&[2, 2]),
+            vec![a, a, a, a],
+            PrepareOptions::approximated(0.98),
+        );
+        assert_ne!(
+            canonical_key(&exact).unwrap().1,
+            canonical_key(&approx).unwrap().1
+        );
+    }
+
+    #[test]
+    fn dense_and_sparse_forms_of_a_state_share_a_key() {
+        // With zero subtrees off, dense and sparse pipelines produce
+        // identical diagrams, circuits and reports — sharing is safe.
+        let d = dims(&[2, 2]);
+        let a = Complex::real(0.5f64.sqrt());
+        let mut amps = vec![Complex::ZERO; 4];
+        amps[d.index_of(&[0, 0])] = a;
+        amps[d.index_of(&[1, 1])] = a;
+        let opts = PrepareOptions::exact().without_zero_subtrees();
+        let dense = PrepareRequest::dense(d.clone(), amps, opts);
+        let sparse = PrepareRequest::sparse(d, vec![(vec![0, 0], a), (vec![1, 1], a)], opts);
+        assert_eq!(canonical_key(&dense), canonical_key(&sparse));
+    }
+
+    #[test]
+    fn keep_zero_subtrees_separates_dense_from_sparse_keys() {
+        // `prepare` honors keep_zero_subtrees (tree metrics in the report),
+        // `prepare_sparse` ignores it — the same state must therefore key
+        // differently, or the served report would depend on which form was
+        // computed first.
+        let d = dims(&[2, 2]);
+        let a = Complex::real(0.5f64.sqrt());
+        let mut amps = vec![Complex::ZERO; 4];
+        amps[d.index_of(&[0, 0])] = a;
+        amps[d.index_of(&[1, 1])] = a;
+        let dense = PrepareRequest::dense(d.clone(), amps, PrepareOptions::exact());
+        let sparse = PrepareRequest::sparse(
+            d.clone(),
+            vec![(vec![0, 0], a), (vec![1, 1], a)],
+            PrepareOptions::exact(),
+        );
+        assert_ne!(
+            canonical_key(&dense).unwrap().1,
+            canonical_key(&sparse).unwrap().1
+        );
+        // A sparse request keys identically whether or not the (ignored)
+        // flag is set.
+        let sparse_flagless = PrepareRequest::sparse(
+            d,
+            vec![(vec![0, 0], a), (vec![1, 1], a)],
+            PrepareOptions::exact().without_zero_subtrees(),
+        );
+        assert_eq!(canonical_key(&sparse), canonical_key(&sparse_flagless));
+    }
+
+    #[test]
+    fn sparse_duplicates_are_summed_before_keying() {
+        let d = dims(&[2, 2]);
+        let h = Complex::real(0.5);
+        let split = PrepareRequest::sparse(
+            d.clone(),
+            vec![(vec![0, 0], h), (vec![0, 0], h), (vec![1, 1], Complex::ONE)],
+            PrepareOptions::exact(),
+        );
+        let summed = PrepareRequest::sparse(
+            d,
+            vec![(vec![0, 0], Complex::ONE), (vec![1, 1], Complex::ONE)],
+            PrepareOptions::exact(),
+        );
+        assert_eq!(canonical_key(&split), canonical_key(&summed));
+    }
+
+    #[test]
+    fn malformed_requests_bypass_the_cache() {
+        let short =
+            PrepareRequest::dense(dims(&[2, 2]), vec![Complex::ONE], PrepareOptions::exact());
+        assert!(canonical_key(&short).is_none());
+        let bad_digit = PrepareRequest::sparse(
+            dims(&[2, 2]),
+            vec![(vec![0, 5], Complex::ONE)],
+            PrepareOptions::exact(),
+        );
+        assert!(canonical_key(&bad_digit).is_none());
+        let nan = PrepareRequest::dense(
+            dims(&[2]),
+            vec![Complex::new(f64::NAN, 0.0), Complex::ONE],
+            PrepareOptions::exact(),
+        );
+        assert!(canonical_key(&nan).is_none());
+        let empty = PrepareRequest::sparse(dims(&[2, 2]), vec![], PrepareOptions::exact());
+        assert!(canonical_key(&empty).is_none());
+    }
+
+    #[test]
+    fn near_identical_requests_share_a_fingerprint_but_not_a_key() {
+        // Within one tolerance cell: same bucket, different exact key — the
+        // cache will *not* serve one request the other's circuit.
+        let a = Complex::real(0.5);
+        let b = Complex::new(0.5 + 1e-13, 0.0);
+        let r1 = dense_request(&[a, a, a, a]);
+        let r2 = dense_request(&[b, a, a, a]);
+        let (f1, k1) = canonical_key(&r1).unwrap();
+        let (f2, k2) = canonical_key(&r2).unwrap();
+        assert_eq!(f1, f2, "same tolerance cell fingerprints equal");
+        assert_ne!(k1, k2, "exact keys still differ");
+    }
+
+    #[test]
+    fn cache_round_trip_counts_hits_and_misses() {
+        let cache = CircuitCache::new(4);
+        let a = Complex::real(0.5);
+        let req = dense_request(&[a, a, a, a]);
+        let (fp, key) = canonical_key(&req).unwrap();
+        assert!(cache.get(fp, &key).is_none());
+        let prepared =
+            mdq_core::prepare(&dims(&[2, 2]), &[a, a, a, a], PrepareOptions::exact()).unwrap();
+        cache.insert(
+            fp,
+            key.clone(),
+            Arc::new(CachedPreparation {
+                circuit: prepared.circuit.clone(),
+                report: prepared.report.clone(),
+            }),
+        );
+        let served = cache.get(fp, &key).expect("entry stored");
+        assert_eq!(served.circuit, prepared.circuit);
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.entries, 1);
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn shard_count_rounds_up_to_power_of_two() {
+        assert_eq!(CircuitCache::new(0).shards.len(), 1);
+        assert_eq!(CircuitCache::new(3).shards.len(), 4);
+        assert_eq!(CircuitCache::new(16).shards.len(), 16);
+    }
+}

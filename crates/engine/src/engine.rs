@@ -1,0 +1,443 @@
+//! The batch engine: a configurable worker pool draining a request queue.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Instant;
+
+use mdq_core::{PrepareError, Preparer};
+
+use crate::cache::{canonical_key, CacheStats, CachedPreparation, CircuitCache};
+use crate::request::{PrepareReport, PrepareRequest, StatePayload};
+
+/// Configuration of a [`BatchEngine`].
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Worker threads per batch (minimum 1; capped at the batch size).
+    pub workers: usize,
+    /// Per-job node cap forwarded to every worker's
+    /// [`Preparer`](mdq_core::Preparer) — the resource guard for service
+    /// deployments.
+    pub node_limit: Option<usize>,
+    /// Shard count of the prepared-circuit cache (rounded up to a power of
+    /// two).
+    pub cache_shards: usize,
+    /// Whether to consult and fill the prepared-circuit cache at all.
+    pub use_cache: bool,
+}
+
+impl Default for EngineConfig {
+    /// One worker per available core (1 when parallelism is unknown), a
+    /// 16-shard cache, caching enabled, no node cap.
+    fn default() -> Self {
+        EngineConfig {
+            workers: thread::available_parallelism().map_or(1, usize::from),
+            node_limit: None,
+            cache_shards: 16,
+            use_cache: true,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Overrides the worker count.
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Caps every job's diagram at `limit` nodes.
+    #[must_use]
+    pub fn with_node_limit(mut self, limit: usize) -> Self {
+        self.node_limit = Some(limit);
+        self
+    }
+
+    /// Overrides the cache shard count.
+    #[must_use]
+    pub fn with_cache_shards(mut self, shards: usize) -> Self {
+        self.cache_shards = shards;
+        self
+    }
+
+    /// Disables the prepared-circuit cache (every job runs the pipeline).
+    #[must_use]
+    pub fn without_cache(mut self) -> Self {
+        self.use_cache = false;
+        self
+    }
+}
+
+/// Aggregate counters of a [`BatchEngine`], cumulative over every batch it
+/// has run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Successfully served jobs (computed or cached).
+    pub jobs: u64,
+    /// Jobs that returned a [`PrepareError`].
+    pub failures: u64,
+    /// Prepared-circuit cache counters.
+    pub cache: CacheStats,
+    /// Total weight-table lookups performed by the per-worker arenas whose
+    /// scratch survived to the end of a batch (weight-table pressure; see
+    /// [`ComplexTableStats`](mdq_num::ComplexTableStats)).
+    pub weight_lookups: u64,
+    /// Weight-table insertions, same scope as
+    /// [`EngineStats::weight_lookups`].
+    pub weight_insertions: u64,
+}
+
+/// A parallel batch-preparation engine; see the
+/// [crate documentation](crate) for the architecture.
+///
+/// The engine is long-lived: the prepared-circuit cache and the aggregate
+/// counters persist across [`BatchEngine::run`] calls, so a warm engine
+/// serves repeated requests without re-running the pipeline.
+#[derive(Debug)]
+pub struct BatchEngine {
+    config: EngineConfig,
+    cache: CircuitCache,
+    jobs: AtomicU64,
+    failures: AtomicU64,
+    weight_lookups: AtomicU64,
+    weight_insertions: AtomicU64,
+}
+
+impl BatchEngine {
+    /// Creates an engine from a configuration.
+    #[must_use]
+    pub fn new(config: EngineConfig) -> Self {
+        let cache = CircuitCache::new(config.cache_shards);
+        BatchEngine {
+            config,
+            cache,
+            jobs: AtomicU64::new(0),
+            failures: AtomicU64::new(0),
+            weight_lookups: AtomicU64::new(0),
+            weight_insertions: AtomicU64::new(0),
+        }
+    }
+
+    /// Creates an engine with the default configuration.
+    #[must_use]
+    pub fn with_defaults() -> Self {
+        Self::new(EngineConfig::default())
+    }
+
+    /// The engine's configuration.
+    #[must_use]
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// The prepared-circuit cache (e.g. to pre-warm or clear it).
+    #[must_use]
+    pub fn cache(&self) -> &CircuitCache {
+        &self.cache
+    }
+
+    /// Aggregate counters, cumulative over every batch run so far.
+    #[must_use]
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            jobs: self.jobs.load(Ordering::Relaxed),
+            failures: self.failures.load(Ordering::Relaxed),
+            cache: self.cache.stats(),
+            weight_lookups: self.weight_lookups.load(Ordering::Relaxed),
+            weight_insertions: self.weight_insertions.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Executes a batch of requests on the worker pool and returns one
+    /// result per request, **in request order** — the output is independent
+    /// of worker count and scheduling.
+    ///
+    /// Each worker owns a [`Preparer`](mdq_core::Preparer), so its diagram
+    /// arena and canonicalization tables are recycled across all jobs the
+    /// worker drains from the queue; the prepared-circuit cache is shared
+    /// between workers and across batches.
+    pub fn run(&self, requests: &[PrepareRequest]) -> Vec<Result<PrepareReport, PrepareError>> {
+        let total = requests.len();
+        if total == 0 {
+            return Vec::new();
+        }
+        let workers = self.config.workers.clamp(1, total);
+        let next = AtomicUsize::new(0);
+
+        let mut harvested: Vec<Vec<(usize, Result<PrepareReport, PrepareError>)>> =
+            thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| {
+                        scope.spawn(|| {
+                            let mut preparer = match self.config.node_limit {
+                                Some(limit) => Preparer::new().with_node_limit(limit),
+                                None => Preparer::new(),
+                            };
+                            let mut local = Vec::new();
+                            loop {
+                                let index = next.fetch_add(1, Ordering::Relaxed);
+                                if index >= total {
+                                    break;
+                                }
+                                let started = Instant::now();
+                                let mut outcome = self.serve(&mut preparer, &requests[index]);
+                                if let Ok(report) = &mut outcome {
+                                    report.elapsed = started.elapsed();
+                                }
+                                local.push((index, outcome));
+                            }
+                            if let Some(stats) = preparer.weight_stats() {
+                                self.weight_lookups
+                                    .fetch_add(stats.lookups, Ordering::Relaxed);
+                                self.weight_insertions
+                                    .fetch_add(stats.insertions, Ordering::Relaxed);
+                            }
+                            local
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("engine worker panicked"))
+                    .collect()
+            });
+
+        let mut results: Vec<Option<Result<PrepareReport, PrepareError>>> =
+            (0..total).map(|_| None).collect();
+        for (index, outcome) in harvested.drain(..).flatten() {
+            results[index] = Some(outcome);
+        }
+        results
+            .into_iter()
+            .map(|slot| slot.expect("every request index was served"))
+            .collect()
+    }
+
+    /// Serves one job on one worker: cache probe, pipeline run on miss,
+    /// cache fill, arena recycling.
+    fn serve(
+        &self,
+        preparer: &mut Preparer,
+        request: &PrepareRequest,
+    ) -> Result<PrepareReport, PrepareError> {
+        let key = if self.config.use_cache {
+            canonical_key(request)
+        } else {
+            None
+        };
+        if let Some((fingerprint, key)) = &key {
+            if let Some(cached) = self.cache.get(*fingerprint, key) {
+                self.jobs.fetch_add(1, Ordering::Relaxed);
+                return Ok(PrepareReport {
+                    circuit: cached.circuit.clone(),
+                    report: cached.report.clone(),
+                    from_cache: true,
+                    elapsed: Default::default(),
+                });
+            }
+        }
+
+        let outcome = match &request.payload {
+            StatePayload::Dense(amplitudes) => {
+                preparer.prepare(&request.dims, amplitudes, request.options)
+            }
+            StatePayload::Sparse(entries) => {
+                preparer.prepare_sparse(&request.dims, entries, request.options)
+            }
+        };
+        match outcome {
+            Ok(result) => {
+                let (circuit, report) = preparer.recycle(result);
+                if let Some((fingerprint, key)) = key {
+                    self.cache.insert(
+                        fingerprint,
+                        key,
+                        Arc::new(CachedPreparation {
+                            circuit: circuit.clone(),
+                            report: report.clone(),
+                        }),
+                    );
+                }
+                self.jobs.fetch_add(1, Ordering::Relaxed);
+                Ok(PrepareReport {
+                    circuit,
+                    report,
+                    from_cache: false,
+                    elapsed: Default::default(),
+                })
+            }
+            Err(error) => {
+                self.failures.fetch_add(1, Ordering::Relaxed);
+                Err(error)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdq_core::PrepareOptions;
+    use mdq_num::radix::Dims;
+    use mdq_num::Complex;
+    use mdq_states::{ghz, w_state};
+
+    fn dims(v: &[usize]) -> Dims {
+        Dims::new(v.to_vec()).unwrap()
+    }
+
+    fn mixed_batch() -> Vec<PrepareRequest> {
+        let d3 = dims(&[3, 6, 2]);
+        let d2 = dims(&[4, 3]);
+        let mut batch = vec![
+            PrepareRequest::dense(d3.clone(), ghz(&d3), PrepareOptions::exact()),
+            PrepareRequest::dense(d3.clone(), w_state(&d3), PrepareOptions::approximated(0.98)),
+            PrepareRequest::sparse(
+                d3.clone(),
+                mdq_states::sparse::w_state(&d3),
+                PrepareOptions::exact(),
+            ),
+            PrepareRequest::dense(
+                d2.clone(),
+                ghz(&d2),
+                PrepareOptions::exact().without_zero_subtrees(),
+            ),
+        ];
+        // A bit-identical duplicate of the first request (cache-hit probe).
+        batch.push(batch[0].clone());
+        batch
+    }
+
+    fn sequential(requests: &[PrepareRequest]) -> Vec<mdq_circuit::Circuit> {
+        requests
+            .iter()
+            .map(|r| r.prepare_sequential().unwrap().circuit)
+            .collect()
+    }
+
+    #[test]
+    fn batch_matches_sequential_for_every_worker_count() {
+        let requests = mixed_batch();
+        let expected = sequential(&requests);
+        for workers in [1, 2, 4] {
+            let engine = BatchEngine::new(EngineConfig::default().with_workers(workers));
+            let results = engine.run(&requests);
+            assert_eq!(results.len(), requests.len());
+            for (i, (result, want)) in results.iter().zip(&expected).enumerate() {
+                let report = result.as_ref().expect("job succeeds");
+                assert_eq!(&report.circuit, want, "request {i} at {workers} workers");
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_requests_hit_the_cache() {
+        let requests = mixed_batch();
+        let engine = BatchEngine::new(EngineConfig::default().with_workers(1));
+        let cold = engine.run(&requests);
+        // Request 4 duplicates request 0, so even the cold batch hits once.
+        assert!(cold[4].as_ref().unwrap().from_cache);
+        assert_eq!(
+            cold[0].as_ref().unwrap().circuit,
+            cold[4].as_ref().unwrap().circuit
+        );
+        let warm = engine.run(&requests);
+        for (cold_r, warm_r) in cold.iter().zip(&warm) {
+            let warm_r = warm_r.as_ref().unwrap();
+            assert!(warm_r.from_cache, "warm batch is served from cache");
+            assert_eq!(cold_r.as_ref().unwrap().circuit, warm_r.circuit);
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.jobs, 2 * requests.len() as u64);
+        assert!(stats.cache.hits >= requests.len() as u64);
+        assert_eq!(stats.cache.entries, 4, "four distinct keys stored");
+        assert!(stats.weight_lookups > 0, "arena telemetry aggregated");
+    }
+
+    #[test]
+    fn cache_can_be_disabled() {
+        let requests = mixed_batch();
+        let engine = BatchEngine::new(EngineConfig::default().with_workers(2).without_cache());
+        let first = engine.run(&requests);
+        let second = engine.run(&requests);
+        for (a, b) in first.iter().zip(&second) {
+            let (a, b) = (a.as_ref().unwrap(), b.as_ref().unwrap());
+            assert!(!a.from_cache && !b.from_cache);
+            assert_eq!(a.circuit, b.circuit);
+        }
+        assert_eq!(engine.stats().cache, CacheStats::default());
+    }
+
+    #[test]
+    fn failures_surface_at_the_right_index() {
+        let d = dims(&[2, 2]);
+        let ok = PrepareRequest::dense(d.clone(), ghz(&d), PrepareOptions::exact());
+        let bad = PrepareRequest::dense(d.clone(), vec![Complex::ONE], PrepareOptions::exact());
+        let engine = BatchEngine::new(EngineConfig::default().with_workers(2));
+        let results = engine.run(&[ok.clone(), bad, ok]);
+        assert!(results[0].is_ok());
+        assert!(matches!(results[1], Err(PrepareError::Build(_))));
+        assert!(results[2].is_ok());
+        let stats = engine.stats();
+        assert_eq!(stats.jobs, 2);
+        assert_eq!(stats.failures, 1);
+    }
+
+    #[test]
+    fn node_limit_is_enforced_per_job() {
+        let d = dims(&[3, 6, 2]);
+        let engine = BatchEngine::new(EngineConfig::default().with_workers(1).with_node_limit(2));
+        let results = engine.run(&[PrepareRequest::dense(
+            d.clone(),
+            w_state(&d),
+            PrepareOptions::exact().without_zero_subtrees(),
+        )]);
+        assert!(matches!(results[0], Err(PrepareError::Build(_))));
+    }
+
+    #[test]
+    fn tree_metric_reports_do_not_alias_sparse_cache_entries() {
+        // `prepare` honors keep_zero_subtrees (nodes_initial = full tree),
+        // `prepare_sparse` ignores it; a sparse job must not fill a cache
+        // entry that a dense tree-metric request would then be served.
+        let d = dims(&[2, 2]);
+        let a = Complex::real(0.5f64.sqrt());
+        let mut amps = vec![Complex::ZERO; 4];
+        amps[d.index_of(&[0, 0])] = a;
+        amps[d.index_of(&[1, 1])] = a;
+        let sparse = PrepareRequest::sparse(
+            d.clone(),
+            vec![(vec![0, 0], a), (vec![1, 1], a)],
+            PrepareOptions::exact(),
+        );
+        let dense = PrepareRequest::dense(d, amps, PrepareOptions::exact());
+        let expected = dense.prepare_sequential().unwrap();
+        // One worker guarantees the sparse job lands in the cache first.
+        let engine = BatchEngine::new(EngineConfig::default().with_workers(1));
+        let results = engine.run(&[sparse, dense]);
+        let served = results[1].as_ref().unwrap();
+        assert!(!served.from_cache, "tree-metric request must not alias");
+        assert_eq!(served.report.nodes_initial, expected.report.nodes_initial);
+        assert_eq!(served.circuit, expected.circuit);
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let engine = BatchEngine::with_defaults();
+        assert!(engine.run(&[]).is_empty());
+        assert_eq!(engine.stats().jobs, 0);
+    }
+
+    #[test]
+    fn worker_count_exceeding_batch_size_is_fine() {
+        let d = dims(&[3, 3]);
+        let engine = BatchEngine::new(EngineConfig::default().with_workers(64));
+        let results = engine.run(&[PrepareRequest::dense(
+            d.clone(),
+            ghz(&d),
+            PrepareOptions::exact(),
+        )]);
+        assert!(results[0].is_ok());
+    }
+}

@@ -1,0 +1,85 @@
+//! Parallel batch-preparation engine for mixed-dimensional qudit states.
+//!
+//! The per-call pipeline of [`mdq-core`] (state → edge-weighted decision
+//! diagram → approximation → circuit) is fast, but a serving deployment
+//! sees *streams* of preparation requests. Mature decision-diagram packages
+//! (Wille/Hillmich/Burgholzer, *Decision Diagrams for Quantum Computing*)
+//! get their throughput from persistent unique and compute tables reused
+//! across operations; this crate applies the same idea **across requests**:
+//!
+//! ```text
+//!                    ┌──────────────────────── BatchEngine ────────────────────────┐
+//!  PrepareRequest ─▶ │  queue ─▶ worker 0 ─ Preparer { DdArena ♻, ComputeCache ♻ } │
+//!  PrepareRequest ─▶ │        ─▶ worker 1 ─ Preparer { DdArena ♻, ComputeCache ♻ } │ ─▶ PrepareReport
+//!       …            │        ─▶ worker n ─ …                                      │     (request order)
+//!                    │                 │ probe / fill                              │
+//!                    │        CircuitCache (sharded, fingerprint-keyed)            │
+//!                    └──────────────────────────────────────────────────────────────┘
+//! ```
+//!
+//! * **Worker pool** — [`BatchEngine::run`] drains a batch of
+//!   [`PrepareRequest`]s on a configurable number of `std::thread` workers.
+//!   Each worker owns a [`Preparer`](mdq_core::Preparer), so one diagram
+//!   arena and one set of canonicalization/memo tables are recycled across
+//!   every job the worker serves instead of being reallocated per request.
+//! * **Prepared-circuit cache** — requests are fingerprinted by a content
+//!   hash of the register, the tolerance-quantized target amplitudes, and
+//!   the pipeline options ([`cache`] module); identical requests are served
+//!   the stored circuit, with hit/miss counters exposed through
+//!   [`BatchEngine::stats`].
+//! * **Deterministic by construction** — results come back in request
+//!   order and every circuit is bit-identical to what a sequential
+//!   [`prepare`](mdq_core::prepare) loop would produce, regardless of
+//!   worker count, scheduling order, or cache state (cache entries are only
+//!   served on *exact* key matches).
+//!
+//! # Examples
+//!
+//! ```
+//! use mdq_engine::{BatchEngine, EngineConfig, PrepareRequest};
+//! use mdq_core::PrepareOptions;
+//! use mdq_num::radix::Dims;
+//! use mdq_states::ghz;
+//!
+//! let dims = Dims::new(vec![3, 6, 2])?;
+//! let engine = BatchEngine::new(EngineConfig::default().with_workers(2));
+//! let batch = vec![
+//!     PrepareRequest::dense(dims.clone(), ghz(&dims), PrepareOptions::exact()),
+//!     PrepareRequest::dense(dims.clone(), ghz(&dims), PrepareOptions::exact()),
+//! ];
+//! let reports = engine.run(&batch);
+//! let first = reports[0].as_ref().unwrap();
+//! let second = reports[1].as_ref().unwrap();
+//! assert_eq!(first.circuit, second.circuit); // bit-identical
+//! assert!(engine.stats().cache.hits + engine.stats().cache.misses >= 2);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! [`mdq-core`]: mdq_core
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+mod engine;
+mod request;
+
+pub use cache::{CacheStats, CircuitCache};
+pub use engine::{BatchEngine, EngineConfig, EngineStats};
+pub use request::{PrepareReport, PrepareRequest, StatePayload};
+
+// Compile-time Send/Sync audit: every type that crosses the engine's worker
+// threads (requests in, reports out, the shared cache) must stay
+// thread-safe; a non-thread-safe field added anywhere below breaks this
+// build, not a production deployment.
+const fn assert_send_sync<T: Send + Sync>() {}
+const _: () = {
+    assert_send_sync::<BatchEngine>();
+    assert_send_sync::<EngineConfig>();
+    assert_send_sync::<EngineStats>();
+    assert_send_sync::<CircuitCache>();
+    assert_send_sync::<CacheStats>();
+    assert_send_sync::<PrepareRequest>();
+    assert_send_sync::<PrepareReport>();
+    assert_send_sync::<StatePayload>();
+};

@@ -1,0 +1,97 @@
+//! Request and report types of the batch engine.
+
+use std::time::Duration;
+
+use mdq_circuit::Circuit;
+use mdq_core::{
+    prepare, prepare_sparse, PreparationResult, PrepareError, PrepareOptions, SynthesisReport,
+};
+use mdq_num::radix::Dims;
+use mdq_num::Complex;
+
+/// The target state of a preparation request, in either of the two forms
+/// the pipeline accepts.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StatePayload {
+    /// A dense amplitude vector in mixed-radix index order
+    /// (length `dims.space_size()`), as taken by [`mdq_core::prepare`].
+    Dense(Vec<Complex>),
+    /// A sparse `(digits, amplitude)` support list, as taken by
+    /// [`mdq_core::prepare_sparse`] — the scalable form for structured
+    /// states on large registers.
+    Sparse(Vec<(Vec<usize>, Complex)>),
+}
+
+/// One unit of work for the [`BatchEngine`](crate::BatchEngine): a register,
+/// a target state, and the pipeline options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PrepareRequest {
+    /// The register layout.
+    pub dims: Dims,
+    /// The target state.
+    pub payload: StatePayload,
+    /// Pipeline options (fidelity threshold, tolerance, synthesis, …).
+    pub options: PrepareOptions,
+}
+
+impl PrepareRequest {
+    /// A request over a dense amplitude vector.
+    #[must_use]
+    pub fn dense(dims: Dims, amplitudes: Vec<Complex>, options: PrepareOptions) -> Self {
+        PrepareRequest {
+            dims,
+            payload: StatePayload::Dense(amplitudes),
+            options,
+        }
+    }
+
+    /// A request over a sparse `(digits, amplitude)` support list.
+    #[must_use]
+    pub fn sparse(
+        dims: Dims,
+        entries: Vec<(Vec<usize>, Complex)>,
+        options: PrepareOptions,
+    ) -> Self {
+        PrepareRequest {
+            dims,
+            payload: StatePayload::Sparse(entries),
+            options,
+        }
+    }
+
+    /// Runs this request through the one-shot sequential pipeline
+    /// ([`prepare`] or [`prepare_sparse`], by payload) — the reference the
+    /// engine's output is bit-identical to, and the single dispatch point
+    /// shared by the determinism tests and benchmarks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PrepareError`] as the underlying pipeline does.
+    pub fn prepare_sequential(&self) -> Result<PreparationResult, PrepareError> {
+        match &self.payload {
+            StatePayload::Dense(amplitudes) => prepare(&self.dims, amplitudes, self.options),
+            StatePayload::Sparse(entries) => prepare_sparse(&self.dims, entries, self.options),
+        }
+    }
+}
+
+/// The engine's answer to one [`PrepareRequest`]: the synthesized circuit,
+/// its Table-1 metrics, and how the job was served.
+///
+/// The circuit (and the structural fields of the report) are bit-identical
+/// to what a sequential [`mdq_core::prepare`] call would produce for the
+/// same request, regardless of worker count, scheduling order, or whether
+/// the job was answered from the cache. A cached report carries the
+/// `time`/`total_time` durations of the run that originally computed it;
+/// [`PrepareReport::elapsed`] is always the serving time of *this* job.
+#[derive(Debug, Clone)]
+pub struct PrepareReport {
+    /// The synthesized preparation circuit.
+    pub circuit: Circuit,
+    /// The pipeline metrics (the paper's Table-1 columns).
+    pub report: SynthesisReport,
+    /// Whether the job was answered from the prepared-circuit cache.
+    pub from_cache: bool,
+    /// Wall-clock time this job spent in its worker (cache lookup included).
+    pub elapsed: Duration,
+}

@@ -43,8 +43,21 @@ pub mod matrix;
 pub mod radix;
 
 pub use complex::Complex;
-pub use table::{distinct_complex_count, CanonicalId, ComplexTable};
+pub use table::{distinct_complex_count, CanonicalId, ComplexTable, ComplexTableStats};
 pub use tolerance::Tolerance;
+
+// Compile-time Send/Sync audit: these types cross worker-thread boundaries
+// in the batch-preparation engine, and none of them may silently grow a
+// non-thread-safe field (Rc, RefCell, raw pointer) without breaking here.
+const fn assert_send_sync<T: Send + Sync>() {}
+const _: () = {
+    assert_send_sync::<Complex>();
+    assert_send_sync::<Tolerance>();
+    assert_send_sync::<ComplexTable>();
+    assert_send_sync::<ComplexTableStats>();
+    assert_send_sync::<radix::Dims>();
+    assert_send_sync::<matrix::CMatrix>();
+};
 
 /// Euclidean norm of a slice of complex amplitudes.
 ///

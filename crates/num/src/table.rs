@@ -16,6 +16,27 @@ impl CanonicalId {
     }
 }
 
+/// Usage counters of a [`ComplexTable`] — the "weight-table pressure" a
+/// hash-consing workload puts on the canonical store.
+///
+/// Counters are cumulative over the table's lifetime and survive
+/// [`ComplexTable::clear`]/[`ComplexTable::reset`], so a worker that recycles
+/// one table across many jobs reports its total traffic.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ComplexTableStats {
+    /// Number of distinct canonical values currently stored (the "DistinctC"
+    /// metric for the live diagram).
+    pub len: usize,
+    /// Total [`ComplexTable::insert`] calls served.
+    pub lookups: u64,
+    /// Lookups that allocated a new canonical entry (the rest were served
+    /// from an existing representative).
+    pub insertions: u64,
+    /// Lookups answered by the exact-bit-pattern fast path without probing
+    /// the tolerance buckets.
+    pub exact_hits: u64,
+}
+
 /// A canonical store of complex values with tolerance-based lookup.
 ///
 /// Quantum decision diagrams keep every edge weight in a unique table so that
@@ -35,6 +56,8 @@ impl CanonicalId {
 /// let b = table.insert(Complex::new(0.5 + 1e-12, 0.0));
 /// assert_eq!(a, b);
 /// assert_eq!(table.len(), 1);
+/// assert_eq!(table.stats().lookups, 2);
+/// assert_eq!(table.stats().insertions, 1);
 /// ```
 #[derive(Debug, Clone)]
 pub struct ComplexTable {
@@ -45,6 +68,9 @@ pub struct ComplexTable {
     /// handful of weights (0, 1, 1/√d, …) millions of times, and an exact
     /// hit skips the 3×3 bucket probe entirely.
     exact: HashMap<(u64, u64), u32>,
+    lookups: u64,
+    insertions: u64,
+    exact_hits: u64,
 }
 
 impl ComplexTable {
@@ -56,6 +82,37 @@ impl ComplexTable {
             values: Vec::new(),
             buckets: HashMap::new(),
             exact: HashMap::new(),
+            lookups: 0,
+            insertions: 0,
+            exact_hits: 0,
+        }
+    }
+
+    /// Removes every canonical value while retaining the allocated capacity
+    /// of the indices — the cheap way to recycle a table across jobs.
+    ///
+    /// The cumulative [`ComplexTableStats`] counters are *not* reset.
+    pub fn clear(&mut self) {
+        self.values.clear();
+        self.buckets.clear();
+        self.exact.clear();
+    }
+
+    /// [`ComplexTable::clear`] plus a tolerance change, for recycling a
+    /// table into a job with different numerical settings.
+    pub fn reset(&mut self, tolerance: Tolerance) {
+        self.clear();
+        self.tolerance = tolerance;
+    }
+
+    /// A snapshot of the table's usage counters.
+    #[must_use]
+    pub fn stats(&self) -> ComplexTableStats {
+        ComplexTableStats {
+            len: self.values.len(),
+            lookups: self.lookups,
+            insertions: self.insertions,
+            exact_hits: self.exact_hits,
         }
     }
 
@@ -87,8 +144,10 @@ impl ComplexTable {
     /// Inserts a value, returning the canonical id of an existing entry
     /// within tolerance if one exists.
     pub fn insert(&mut self, v: Complex) -> CanonicalId {
+        self.lookups += 1;
         let bits = (v.re.to_bits(), v.im.to_bits());
         if let Some(&id) = self.exact.get(&bits) {
+            self.exact_hits += 1;
             return CanonicalId(id);
         }
         let id = match self.lookup(v) {
@@ -98,6 +157,7 @@ impl ComplexTable {
                 self.values.push(v);
                 let cell = self.cell(v);
                 self.buckets.entry(cell).or_default().push(id);
+                self.insertions += 1;
                 CanonicalId(id)
             }
         };
@@ -276,6 +336,49 @@ mod tests {
             t.insert(Complex::new(f64::from(i) * 0.001, 0.0));
         }
         assert_eq!(t.len(), 1000);
+    }
+
+    #[test]
+    fn stats_track_lookups_insertions_and_exact_hits() {
+        let mut t = ComplexTable::new(Tolerance::new(1e-9));
+        t.insert(Complex::ONE); // new entry
+        t.insert(Complex::ONE); // exact-bit hit
+        t.insert(Complex::new(1.0 + 1e-12, 0.0)); // bucket hit, then cached
+        let s = t.stats();
+        assert_eq!(s.len, 1);
+        assert_eq!(s.lookups, 3);
+        assert_eq!(s.insertions, 1);
+        assert_eq!(s.exact_hits, 1);
+    }
+
+    #[test]
+    fn clear_empties_values_but_keeps_counters() {
+        let mut t = ComplexTable::default();
+        t.insert(Complex::ONE);
+        t.insert(Complex::I);
+        t.clear();
+        assert!(t.is_empty());
+        assert_eq!(t.lookup(Complex::ONE), None);
+        let s = t.stats();
+        assert_eq!(s.len, 0);
+        assert_eq!(s.lookups, 2);
+        assert_eq!(s.insertions, 2);
+        // Ids restart from zero after a clear.
+        let id = t.insert(Complex::I);
+        assert_eq!(id.index(), 0);
+    }
+
+    #[test]
+    fn reset_changes_tolerance() {
+        let mut t = ComplexTable::new(Tolerance::new(1e-9));
+        let a = t.insert(Complex::new(1.0, 0.0));
+        let b = t.insert(Complex::new(1.0 + 1e-6, 0.0));
+        assert_ne!(a, b);
+        t.reset(Tolerance::new(1e-3));
+        assert_eq!(t.tolerance().value(), 1e-3);
+        let a = t.insert(Complex::new(1.0, 0.0));
+        let b = t.insert(Complex::new(1.0 + 1e-6, 0.0));
+        assert_eq!(a, b);
     }
 
     #[test]

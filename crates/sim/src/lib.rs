@@ -214,10 +214,18 @@ impl StateVector {
                     (c * x + a01 * y, a10 * x + c * y)
                 });
             }
+            // Diagonal gates scale amplitudes in place — no fiber gather, no
+            // d×d matrix product, one multiplication per touched amplitude.
             Gate::ZRotation { lo, hi, theta } => {
-                let p0 = Complex::cis(theta / 2.0);
-                let p1 = Complex::cis(-theta / 2.0);
-                self.for_each_pair(stride_t, d, *lo, *hi, control_ok, |x, y| (p0 * x, p1 * y));
+                let mut factors = vec![Complex::ONE; d];
+                factors[*lo] = Complex::cis(theta / 2.0);
+                factors[*hi] = Complex::cis(-theta / 2.0);
+                self.scale_levels(stride_t, d, control_ok, &factors);
+            }
+            Gate::PhaseLevel { level, angle } => {
+                let mut factors = vec![Complex::ONE; d];
+                factors[*level] = Complex::cis(*angle);
+                self.scale_levels(stride_t, d, control_ok, &factors);
             }
             gate => {
                 let m = gate.matrix(d);
@@ -245,6 +253,25 @@ impl StateVector {
                 let (x, y) = f(self.amps[i_lo], self.amps[i_hi]);
                 self.amps[i_lo] = x;
                 self.amps[i_hi] = y;
+            }
+        }
+    }
+
+    /// Multiplies every amplitude by the per-level factor of its target
+    /// digit, skipping identity factors — the in-place fast path for
+    /// diagonal gates. Controls sit on other qudits, so the predicate can be
+    /// evaluated per element instead of per fiber.
+    fn scale_levels(
+        &mut self,
+        stride_t: usize,
+        d: usize,
+        control_ok: impl Fn(usize) -> bool,
+        factors: &[Complex],
+    ) {
+        for idx in 0..self.amps.len() {
+            let f = factors[(idx / stride_t) % d];
+            if f != Complex::ONE && control_ok(idx) {
+                self.amps[idx] *= f;
             }
         }
     }
@@ -543,6 +570,49 @@ mod tests {
         slow.apply(&Instruction::local(0, Gate::Unitary(gate.matrix(5))));
         for (a, b) in fast.amplitudes().iter().zip(slow.amplitudes()) {
             assert!(a.approx_eq(*b, 1e-12));
+        }
+    }
+
+    #[test]
+    fn phase_level_fast_path_matches_matrix_path() {
+        let d = dims(&[3, 4]);
+        let amps: Vec<Complex> = (0..12)
+            .map(|i| Complex::new((i as f64 * 0.31).sin(), (i as f64 * 0.17).cos()))
+            .collect();
+        let mut fast = StateVector::from_amplitudes(d.clone(), &amps).unwrap();
+        let mut slow = fast.clone();
+        let gate = Gate::phase(2, 1.3);
+        fast.apply(&Instruction::local(1, gate.clone()));
+        slow.apply(&Instruction::local(1, Gate::Unitary(gate.matrix(4))));
+        for (a, b) in fast.amplitudes().iter().zip(slow.amplitudes()) {
+            assert!(a.approx_eq(*b, 1e-12));
+        }
+    }
+
+    #[test]
+    fn controlled_diagonal_fast_paths_match_matrix_path() {
+        // Controls on another qudit: the in-place scaling must only touch
+        // amplitudes whose control digit matches.
+        let d = dims(&[3, 4]);
+        let amps: Vec<Complex> = (0..12)
+            .map(|i| Complex::new((i + 1) as f64, -(i as f64) * 0.5))
+            .collect();
+        for gate in [Gate::phase(3, -0.7), Gate::z_rotation(0, 2, 1.9)] {
+            let mut fast = StateVector::from_amplitudes(d.clone(), &amps).unwrap();
+            let mut slow = fast.clone();
+            fast.apply(&Instruction::controlled(
+                1,
+                gate.clone(),
+                vec![Control::new(0, 2)],
+            ));
+            slow.apply(&Instruction::controlled(
+                1,
+                Gate::Unitary(gate.matrix(4)),
+                vec![Control::new(0, 2)],
+            ));
+            for (a, b) in fast.amplitudes().iter().zip(slow.amplitudes()) {
+                assert!(a.approx_eq(*b, 1e-12), "gate {gate}");
+            }
         }
     }
 

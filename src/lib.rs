@@ -12,6 +12,7 @@
 //! | [`sim`] | dense mixed-radix state-vector simulator |
 //! | [`states`] | benchmark state generators (GHZ, W, embedded W, random, …) |
 //! | [`core`] | the synthesis algorithm and the three-step pipeline |
+//! | [`engine`] | parallel batch engine with per-worker arena reuse and a circuit cache |
 //!
 //! This facade re-exports all of them; depend on the individual crates for a
 //! narrower dependency surface.
@@ -42,6 +43,7 @@
 pub use mdq_circuit as circuit;
 pub use mdq_core as core;
 pub use mdq_dd as dd;
+pub use mdq_engine as engine;
 pub use mdq_num as num;
 pub use mdq_sim as sim;
 pub use mdq_states as states;

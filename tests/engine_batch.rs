@@ -1,0 +1,161 @@
+//! Determinism properties of the batch-preparation engine, driven through
+//! the `mdq` facade: a shuffled batch executed on 1, 2, and 4 workers must
+//! produce circuits identical — instruction by instruction — to running the
+//! one-shot pipeline sequentially over the same requests, and resubmitting
+//! a batch must be served from the fingerprint cache with bit-identical
+//! circuits.
+
+use mdq::core::PrepareOptions;
+use mdq::engine::{BatchEngine, EngineConfig, PrepareRequest};
+use mdq::num::radix::Dims;
+use mdq::num::Complex;
+use mdq::states::{ghz, w_state};
+use proptest::prelude::*;
+
+/// Random mixed-radix registers of 1–3 qudits with local dimensions 2–4
+/// (small enough that a proptest case runs dozens of pipelines quickly).
+fn arb_dims() -> impl Strategy<Value = Dims> {
+    proptest::collection::vec(2usize..5, 1..4).prop_map(|v| Dims::new(v).unwrap())
+}
+
+/// One request: a register plus a structured or random target and exact or
+/// approximated options.
+fn arb_request() -> impl Strategy<Value = PrepareRequest> {
+    arb_dims().prop_flat_map(|dims| {
+        let n = dims.space_size();
+        (
+            Just(dims),
+            0u8..4,
+            0u8..2,
+            proptest::collection::vec((-1.0..1.0f64, -1.0..1.0f64), n..=n),
+        )
+            .prop_filter_map(
+                "state must have nonzero norm",
+                |(dims, kind, approximate, parts)| {
+                    let options = if approximate == 1 {
+                        PrepareOptions::approximated(0.98).without_zero_subtrees()
+                    } else {
+                        PrepareOptions::exact().without_zero_subtrees()
+                    };
+                    match kind {
+                        0 => Some(PrepareRequest::dense(dims.clone(), ghz(&dims), options)),
+                        1 => Some(PrepareRequest::dense(dims.clone(), w_state(&dims), options)),
+                        2 => Some(PrepareRequest::sparse(
+                            dims.clone(),
+                            mdq::states::sparse::ghz(&dims),
+                            options,
+                        )),
+                        _ => {
+                            let v: Vec<Complex> = parts
+                                .into_iter()
+                                .map(|(re, im)| Complex::new(re, im))
+                                .collect();
+                            let norm = mdq::num::norm(&v);
+                            (norm > 1e-3).then(|| {
+                                PrepareRequest::dense(
+                                    dims.clone(),
+                                    v.iter().map(|a| *a / norm).collect(),
+                                    options,
+                                )
+                            })
+                        }
+                    }
+                },
+            )
+    })
+}
+
+/// A batch of requests plus a shuffle permutation: some entries are
+/// duplicated (cache-hit replays), and the order is scrambled by the
+/// permutation so queue order differs from generation order.
+fn arb_batch() -> impl Strategy<Value = Vec<PrepareRequest>> {
+    (
+        proptest::collection::vec(arb_request(), 2..6),
+        proptest::collection::vec(0usize..1000, 2..6),
+        0u64..u64::MAX,
+    )
+        .prop_map(|(mut requests, picks, seed)| {
+            // Duplicate a few requests so every run exercises cache hits.
+            let base = requests.len();
+            for pick in picks {
+                requests.push(requests[pick % base].clone());
+            }
+            // Fisher–Yates with a tiny deterministic LCG keyed on `seed`.
+            let mut state = seed | 1;
+            for i in (1..requests.len()).rev() {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let j = (state >> 33) as usize % (i + 1);
+                requests.swap(i, j);
+            }
+            requests
+        })
+}
+
+/// The sequential reference: every request through the one-shot pipeline.
+fn sequential_circuits(requests: &[PrepareRequest]) -> Vec<mdq::circuit::Circuit> {
+    requests
+        .iter()
+        .map(|request| request.prepare_sequential().expect("pipeline runs").circuit)
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The engine's output is independent of worker count and scheduling,
+    /// and equal to the sequential pipeline — instruction by instruction,
+    /// including jobs served as cache-hit replays.
+    #[test]
+    fn prop_batch_is_bit_identical_to_sequential_prepare(batch in arb_batch()) {
+        let expected = sequential_circuits(&batch);
+        for workers in [1usize, 2, 4] {
+            let engine = BatchEngine::new(EngineConfig::default().with_workers(workers));
+            let results = engine.run(&batch);
+            prop_assert_eq!(results.len(), expected.len());
+            for (index, (result, want)) in results.iter().zip(&expected).enumerate() {
+                let report = result.as_ref().expect("job succeeds");
+                prop_assert_eq!(
+                    report.circuit.len(),
+                    want.len(),
+                    "instruction count, request {} at {} workers",
+                    index,
+                    workers
+                );
+                for (slot, (got, want)) in
+                    report.circuit.iter().zip(want.iter()).enumerate()
+                {
+                    prop_assert_eq!(
+                        got,
+                        want,
+                        "instruction {} of request {} at {} workers",
+                        slot,
+                        index,
+                        workers
+                    );
+                }
+            }
+            // Duplicated requests guarantee cache traffic on every run.
+            prop_assert!(engine.stats().cache.hits + engine.stats().cache.misses > 0);
+        }
+    }
+
+    /// Resubmitting a batch to a warm engine is served from the cache and
+    /// stays bit-identical to the cold run.
+    #[test]
+    fn prop_warm_resubmission_replays_identically(batch in arb_batch()) {
+        let engine = BatchEngine::new(EngineConfig::default().with_workers(2));
+        let cold = engine.run(&batch);
+        let warm = engine.run(&batch);
+        let mut hits = 0u64;
+        for (cold_result, warm_result) in cold.iter().zip(&warm) {
+            let cold_report = cold_result.as_ref().expect("cold job succeeds");
+            let warm_report = warm_result.as_ref().expect("warm job succeeds");
+            prop_assert_eq!(&cold_report.circuit, &warm_report.circuit);
+            hits += u64::from(warm_report.from_cache);
+        }
+        prop_assert!(hits > 0, "warm resubmission must hit the cache");
+        prop_assert!(engine.stats().cache.hits >= hits);
+    }
+}
