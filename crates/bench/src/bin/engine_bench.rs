@@ -16,17 +16,27 @@
 //!   cache hit counts, warm throughput, and a bit-identical comparison of
 //!   every served circuit against the cold run.
 //!
+//! With `--streaming`, a fourth section runs the mixed small/large
+//! workload through the persistent `EngineService` twice — once under the
+//! FIFO baseline queue, once under the default size-aware scheduler — and
+//! records per-class queue-wait p50/p99 and jobs/sec. Large jobs are
+//! submitted ahead of small ones, so the FIFO run exhibits exactly the
+//! head-of-line blocking the size-aware policy removes.
+//!
 //! Flags:
-//! * `--smoke`    — tiny batch, worker counts {1, 2} (CI keep-alive mode);
-//! * `--jobs N`   — batch size (default 48);
-//! * `--out PATH` — output path (default `BENCH_engine.json`).
+//! * `--smoke`     — tiny batch, worker counts {1, 2} (CI keep-alive mode);
+//! * `--jobs N`    — batch size (default 48);
+//! * `--streaming` — additionally run the EngineService queue-wait section;
+//! * `--out PATH`  — output path (default `BENCH_engine.json`).
 
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 
 use mdq_bench::{dims3, dims4, flag_value};
 use mdq_core::PrepareOptions;
-use mdq_engine::{BatchEngine, EngineConfig, PrepareRequest};
+use mdq_engine::{
+    BatchEngine, EngineConfig, EngineService, JobHandle, PrepareRequest, SchedulingPolicy,
+};
 use mdq_num::radix::Dims;
 use mdq_states::{ghz, random_state, w_state, RandomKind};
 use rand::rngs::StdRng;
@@ -40,9 +50,19 @@ struct ColdRun {
     p99_us: f64,
 }
 
+/// Queue-wait measurements of one streaming run under one policy.
+struct StreamingRun {
+    policy: &'static str,
+    jobs_per_sec: f64,
+    small_p50_us: f64,
+    small_p99_us: f64,
+    large_p99_us: f64,
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let smoke = args.iter().any(|a| a == "--smoke");
+    let streaming = args.iter().any(|a| a == "--streaming");
     let jobs: usize = if smoke {
         8
     } else {
@@ -159,15 +179,131 @@ fn main() {
         );
     }
     out.push_str("  ],\n");
+    let comma = if streaming { "," } else { "" };
     let _ = writeln!(
         out,
-        "  \"cache\": {{\"hits\": {}, \"misses\": {}, \"entries\": {}, \
-         \"warm_jobs_per_sec\": {warm_jobs_per_sec:.1}, \"bit_identical\": {identical}}}",
-        stats.cache.hits, stats.cache.misses, stats.cache.entries
+        "  \"cache\": {{\"hits\": {}, \"misses\": {}, \"entries\": {}, \"evictions\": {}, \
+         \"warm_jobs_per_sec\": {warm_jobs_per_sec:.1}, \"bit_identical\": {identical}}}{comma}",
+        stats.cache.hits, stats.cache.misses, stats.cache.entries, stats.cache.evictions
     );
+
+    if streaming {
+        let (small_jobs, large_jobs) = if smoke { (8, 2) } else { (48, 6) };
+        println!(
+            "\nstreaming section: {large_jobs} large + {small_jobs} small jobs, \
+             1 worker, large submitted first"
+        );
+        let runs = [
+            run_streaming(SchedulingPolicy::Fifo, "fifo", small_jobs, large_jobs),
+            run_streaming(
+                SchedulingPolicy::SizeAware,
+                "size_aware",
+                small_jobs,
+                large_jobs,
+            ),
+        ];
+        for run in &runs {
+            println!(
+                "{:<28} {:>12.1} jobs/s   small queue-wait p50 {:>9.0} µs  p99 {:>9.0} µs   \
+                 large p99 {:>9.0} µs",
+                format!("streaming, {}", run.policy),
+                run.jobs_per_sec,
+                run.small_p50_us,
+                run.small_p99_us,
+                run.large_p99_us
+            );
+        }
+        let improvement = runs[0].small_p99_us / runs[1].small_p99_us.max(1.0);
+        println!(
+            "small-job p99 queue wait: size-aware is {improvement:.1}x below the FIFO baseline"
+        );
+        if !smoke {
+            assert!(
+                runs[1].small_p99_us < runs[0].small_p99_us,
+                "size-aware scheduling must beat the FIFO baseline on small-job p99 queue wait"
+            );
+        }
+        out.push_str("  \"streaming\": {\n");
+        let _ = writeln!(
+            out,
+            "    \"small_jobs\": {small_jobs}, \"large_jobs\": {large_jobs}, \"workers\": 1,"
+        );
+        for (i, run) in runs.iter().enumerate() {
+            let comma = if i + 1 == runs.len() { "" } else { "," };
+            let _ = writeln!(
+                out,
+                "    \"{}\": {{\"jobs_per_sec\": {:.1}, \"small_queue_wait_p50_us\": {:.1}, \
+                 \"small_queue_wait_p99_us\": {:.1}, \"large_queue_wait_p99_us\": {:.1}}}{comma}",
+                run.policy, run.jobs_per_sec, run.small_p50_us, run.small_p99_us, run.large_p99_us
+            );
+        }
+        out.push_str("  }\n");
+    }
+
     out.push_str("}\n");
     std::fs::write(out_path, out).expect("writing benchmark JSON");
     println!("JSON written to {out_path}");
+}
+
+/// Streams the mixed workload through a persistent `EngineService` under
+/// the given policy: the expensive jobs are submitted *first*, so a FIFO
+/// queue head-of-line-blocks every small job behind them while the
+/// size-aware scheduler lets the small ones leapfrog the still-queued
+/// large ones. One worker keeps the comparison deterministic; the cache is
+/// off so every job really runs the pipeline.
+fn run_streaming(
+    policy: SchedulingPolicy,
+    name: &'static str,
+    small_jobs: usize,
+    large_jobs: usize,
+) -> StreamingRun {
+    let d_large = dims4();
+    let d_small = dims3();
+    let opts = PrepareOptions::exact().without_zero_subtrees();
+    let large: Vec<PrepareRequest> = (0..large_jobs)
+        .map(|job| {
+            let mut rng = StdRng::seed_from_u64(0x57_4e_a1 + job as u64);
+            PrepareRequest::dense(
+                d_large.clone(),
+                random_state(&d_large, RandomKind::ReImUniform, &mut rng),
+                opts,
+            )
+        })
+        .collect();
+    let small: Vec<PrepareRequest> =
+        vec![PrepareRequest::dense(d_small.clone(), ghz(&d_small), opts); small_jobs];
+
+    let service = EngineService::new(
+        EngineConfig::default()
+            .with_workers(1)
+            .without_cache()
+            .with_scheduling(policy),
+    );
+    let t = Instant::now();
+    let large_handles = service.submit_batch(large);
+    let small_handles = service.submit_batch(small);
+    let small_waits = harvest_queue_waits(small_handles);
+    let large_waits = harvest_queue_waits(large_handles);
+    let wall = t.elapsed();
+    service.shutdown();
+
+    StreamingRun {
+        policy: name,
+        jobs_per_sec: (small_jobs + large_jobs) as f64 / wall.as_secs_f64(),
+        small_p50_us: percentile_us(&small_waits, 0.50),
+        small_p99_us: percentile_us(&small_waits, 0.99),
+        large_p99_us: percentile_us(&large_waits, 0.99),
+    }
+}
+
+/// Waits for every handle and returns the sorted queue waits.
+fn harvest_queue_waits(handles: Vec<JobHandle>) -> Vec<Duration> {
+    let mut waits: Vec<Duration> = handles
+        .into_iter()
+        .map(|handle| handle.wait().expect("streaming job succeeds").queue_wait)
+        .collect();
+    waits.sort_unstable();
+    waits
 }
 
 /// `jobs` requests cycling through a mixed template list; randomized

@@ -349,6 +349,15 @@ impl Preparer {
         self.node_limit
     }
 
+    /// Whether this preparer currently holds a reclaimed scratch arena —
+    /// i.e. whether the *next* pipeline run will start on warmed tables
+    /// instead of allocating fresh ones. Long-lived service workers use
+    /// this to report arena persistence across submissions.
+    #[must_use]
+    pub fn has_scratch(&self) -> bool {
+        self.scratch.is_some()
+    }
+
     /// Usage counters of the scratch arena's weight table (cumulative over
     /// the jobs whose arena this preparer has reclaimed), or `None` while no
     /// arena is held. Telemetry for engine statistics.
@@ -451,6 +460,41 @@ impl Preparer {
         arena.reset();
         self.scratch = Some(arena);
         (result.circuit, result.report)
+    }
+
+    /// [`Preparer::prepare`] followed by [`Preparer::recycle`] in one call —
+    /// the serving loop of a long-lived worker, which never keeps the
+    /// diagram, only the circuit and its metrics, and always wants its
+    /// arena back for the next job.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PrepareError`] as [`Preparer::prepare`] does; the scratch
+    /// arena survives jobs that fail pre-validation.
+    pub fn prepare_recycled(
+        &mut self,
+        dims: &Dims,
+        amplitudes: &[Complex],
+        opts: PrepareOptions,
+    ) -> Result<(Circuit, SynthesisReport), PrepareError> {
+        let result = self.prepare(dims, amplitudes, opts)?;
+        Ok(self.recycle(result))
+    }
+
+    /// [`Preparer::prepare_sparse`] followed by [`Preparer::recycle`] in one
+    /// call, the sparse twin of [`Preparer::prepare_recycled`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PrepareError`] as [`Preparer::prepare_sparse`] does.
+    pub fn prepare_sparse_recycled(
+        &mut self,
+        dims: &Dims,
+        entries: &[(Vec<usize>, Complex)],
+        opts: PrepareOptions,
+    ) -> Result<(Circuit, SynthesisReport), PrepareError> {
+        let result = self.prepare_sparse(dims, entries, opts)?;
+        Ok(self.recycle(result))
     }
 
     /// Replays a preparation circuit on the ground-state diagram through
@@ -801,6 +845,31 @@ mod tests {
         let stats = preparer.weight_stats().expect("scratch arena reclaimed");
         assert!(stats.lookups > 0);
         assert_eq!(stats.len, 0, "reset scratch arena is empty");
+    }
+
+    #[test]
+    fn preparer_recycled_hooks_match_free_functions() {
+        let d = dims(&[3, 6, 2]);
+        let mut preparer = Preparer::new();
+        assert!(!preparer.has_scratch(), "fresh preparer holds no arena");
+        let opts = PrepareOptions::exact().without_zero_subtrees();
+        let (circuit, report) = preparer.prepare_recycled(&d, &ghz(&d), opts).unwrap();
+        let one_shot = prepare(&d, &ghz(&d), opts).unwrap();
+        assert_eq!(circuit, one_shot.circuit);
+        assert_eq!(report.operations, one_shot.report.operations);
+        assert!(preparer.has_scratch(), "arena reclaimed after the job");
+        let entries = mdq_states::sparse::w_state(&d);
+        let (circuit, _) = preparer
+            .prepare_sparse_recycled(&d, &entries, PrepareOptions::exact())
+            .unwrap();
+        let one_shot = prepare_sparse(&d, &entries, PrepareOptions::exact()).unwrap();
+        assert_eq!(circuit, one_shot.circuit);
+        assert!(preparer.has_scratch());
+        // A pre-validation failure keeps the warmed arena.
+        preparer
+            .prepare_recycled(&d, &[Complex::ONE], PrepareOptions::exact())
+            .unwrap_err();
+        assert!(preparer.has_scratch());
     }
 
     #[test]

@@ -36,6 +36,9 @@ pub struct CacheStats {
     pub misses: u64,
     /// Prepared circuits currently stored.
     pub entries: usize,
+    /// Entries discarded by the per-shard LRU bound (0 on an unbounded
+    /// cache).
+    pub evictions: u64,
 }
 
 /// A cached preparation: the synthesized circuit and its metrics, shared
@@ -194,55 +197,123 @@ pub(crate) fn canonical_key(request: &PrepareRequest) -> Option<(u64, CanonicalK
     Some((fnv.finish(), key))
 }
 
-/// One fingerprint bucket: the exact keys sharing the fingerprint, each
-/// with its cached preparation.
-type Bucket = Vec<(CanonicalKey, Arc<CachedPreparation>)>;
+/// One stored preparation with its exact key and LRU stamp.
+#[derive(Debug)]
+struct Entry {
+    key: CanonicalKey,
+    value: Arc<CachedPreparation>,
+    /// Shard tick of the last `get`/`insert` touching this entry — the
+    /// LRU victim is the entry with the smallest stamp.
+    last_used: u64,
+}
+
+/// One independently locked shard: fingerprint → entries sharing that
+/// fingerprint, plus the shard-local LRU clock.
+#[derive(Debug, Default)]
+struct Shard {
+    map: HashMap<u64, Vec<Entry>>,
+    /// Monotonic use counter stamping entries for LRU ordering.
+    tick: u64,
+    /// Entries stored in this shard (maintained, not recounted).
+    len: usize,
+}
+
+impl Shard {
+    /// Removes the least-recently-used entry of the whole shard. Linear in
+    /// the shard size, which the entry bound keeps small by definition.
+    fn evict_lru(&mut self) {
+        let victim = self
+            .map
+            .iter()
+            .flat_map(|(fp, bucket)| {
+                bucket
+                    .iter()
+                    .enumerate()
+                    .map(move |(i, e)| (e.last_used, *fp, i))
+            })
+            .min();
+        if let Some((_, fingerprint, index)) = victim {
+            let bucket = self.map.get_mut(&fingerprint).expect("victim bucket");
+            bucket.remove(index);
+            if bucket.is_empty() {
+                self.map.remove(&fingerprint);
+            }
+            self.len -= 1;
+        }
+    }
+}
 
 /// The sharded, fingerprint-keyed prepared-circuit store; see the
 /// [module documentation](self).
 #[derive(Debug)]
 pub struct CircuitCache {
-    shards: Vec<Mutex<HashMap<u64, Bucket>>>,
+    shards: Vec<Mutex<Shard>>,
     /// Power-of-two mask selecting a shard from a fingerprint.
     mask: u64,
+    /// Per-shard entry bound; `None` is unbounded.
+    shard_capacity: Option<usize>,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
 }
 
 impl CircuitCache {
-    /// Creates a cache with (at least) `shards` independently locked shards;
-    /// the count is rounded up to a power of two, minimum 1.
+    /// Creates an **unbounded** cache with (at least) `shards`
+    /// independently locked shards; the count is rounded up to a power of
+    /// two, minimum 1.
     #[must_use]
     pub fn new(shards: usize) -> Self {
+        Self::with_capacity(shards, None)
+    }
+
+    /// Creates a cache bounded to *about* `capacity` entries (`None` is
+    /// unbounded). The bound is enforced per shard — `capacity` split
+    /// evenly across shards, rounded up, minimum 1 entry per shard — so
+    /// the effective total bound is `shards × ceil(capacity / shards)`,
+    /// which can exceed `capacity` by up to one entry per shard. When a
+    /// shard is full, its least-recently-used entry is evicted to admit
+    /// the new one.
+    #[must_use]
+    pub fn with_capacity(shards: usize, capacity: Option<usize>) -> Self {
         let count = shards.max(1).next_power_of_two();
+        let shard_capacity = capacity.map(|c| c.max(1).div_ceil(count).max(1));
         CircuitCache {
-            shards: (0..count).map(|_| Mutex::new(HashMap::new())).collect(),
+            shards: (0..count).map(|_| Mutex::new(Shard::default())).collect(),
             mask: (count - 1) as u64,
+            shard_capacity,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
         }
     }
 
-    fn shard(&self, fingerprint: u64) -> &Mutex<HashMap<u64, Bucket>> {
+    fn shard(&self, fingerprint: u64) -> &Mutex<Shard> {
         // Fold the high bits in so the shard index is not just the low bits
         // already used as the hash-map key.
         &self.shards[((fingerprint >> 32 ^ fingerprint) & self.mask) as usize]
     }
 
-    /// Looks up an exact key under its fingerprint, counting a hit or miss.
+    /// Looks up an exact key under its fingerprint, counting a hit or miss
+    /// and refreshing the entry's LRU stamp on a hit.
     pub(crate) fn get(
         &self,
         fingerprint: u64,
         key: &CanonicalKey,
     ) -> Option<Arc<CachedPreparation>> {
-        let shard = self
+        let mut shard = self
             .shard(fingerprint)
             .lock()
             .expect("cache shard poisoned");
+        shard.tick += 1;
+        let tick = shard.tick;
         let found = shard
-            .get(&fingerprint)
-            .and_then(|bucket| bucket.iter().find(|(k, _)| k == key))
-            .map(|(_, v)| Arc::clone(v));
+            .map
+            .get_mut(&fingerprint)
+            .and_then(|bucket| bucket.iter_mut().find(|e| e.key == *key))
+            .map(|entry| {
+                entry.last_used = tick;
+                Arc::clone(&entry.value)
+            });
         drop(shard);
         match &found {
             Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
@@ -251,9 +322,10 @@ impl CircuitCache {
         found
     }
 
-    /// Stores a preparation under its key. If another worker raced the same
-    /// key in first, the existing entry wins (both are bit-identical by
-    /// construction).
+    /// Stores a preparation under its key, evicting the shard's
+    /// least-recently-used entry first when the shard is at its bound. If
+    /// another worker raced the same key in first, the existing entry wins
+    /// (both are bit-identical by construction).
     pub(crate) fn insert(
         &self,
         fingerprint: u64,
@@ -264,19 +336,37 @@ impl CircuitCache {
             .shard(fingerprint)
             .lock()
             .expect("cache shard poisoned");
-        let bucket = shard.entry(fingerprint).or_default();
-        if bucket.iter().all(|(k, _)| *k != key) {
-            bucket.push((key, value));
+        if shard
+            .map
+            .get(&fingerprint)
+            .is_some_and(|bucket| bucket.iter().any(|e| e.key == key))
+        {
+            return;
         }
+        if let Some(capacity) = self.shard_capacity {
+            if shard.len >= capacity {
+                shard.evict_lru();
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        shard.tick += 1;
+        let last_used = shard.tick;
+        shard.map.entry(fingerprint).or_default().push(Entry {
+            key,
+            value,
+            last_used,
+        });
+        shard.len += 1;
     }
 
-    /// Hit/miss/occupancy counters.
+    /// Hit/miss/occupancy/eviction counters.
     #[must_use]
     pub fn stats(&self) -> CacheStats {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             entries: self.len(),
+            evictions: self.evictions.load(Ordering::Relaxed),
         }
     }
 
@@ -285,13 +375,7 @@ impl CircuitCache {
     pub fn len(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| {
-                s.lock()
-                    .expect("cache shard poisoned")
-                    .values()
-                    .map(Vec::len)
-                    .sum::<usize>()
-            })
+            .map(|s| s.lock().expect("cache shard poisoned").len)
             .sum()
     }
 
@@ -304,7 +388,9 @@ impl CircuitCache {
     /// Drops every stored circuit (counters are kept).
     pub fn clear(&self) {
         for shard in &self.shards {
-            shard.lock().expect("cache shard poisoned").clear();
+            let mut shard = shard.lock().expect("cache shard poisoned");
+            shard.map.clear();
+            shard.len = 0;
         }
     }
 }
@@ -487,5 +573,74 @@ mod tests {
         assert_eq!(CircuitCache::new(0).shards.len(), 1);
         assert_eq!(CircuitCache::new(3).shards.len(), 4);
         assert_eq!(CircuitCache::new(16).shards.len(), 16);
+    }
+
+    /// A distinct single-qudit request per index, with a stable entry.
+    fn keyed_entry(i: usize) -> (u64, CanonicalKey, Arc<CachedPreparation>) {
+        let d = dims(&[2]);
+        let theta = 0.1 + 0.7 * i as f64 / 10.0;
+        let amps = vec![Complex::real(theta.cos()), Complex::real(theta.sin())];
+        let request = PrepareRequest::dense(d.clone(), amps.clone(), PrepareOptions::exact());
+        let (fp, key) = canonical_key(&request).unwrap();
+        let prepared = mdq_core::prepare(&d, &amps, PrepareOptions::exact()).unwrap();
+        (
+            fp,
+            key,
+            Arc::new(CachedPreparation {
+                circuit: prepared.circuit.clone(),
+                report: prepared.report.clone(),
+            }),
+        )
+    }
+
+    #[test]
+    fn bounded_cache_evicts_least_recently_used() {
+        // One shard, two entries: inserting a third must evict the LRU.
+        let cache = CircuitCache::with_capacity(1, Some(2));
+        let (fp0, k0, v0) = keyed_entry(0);
+        let (fp1, k1, v1) = keyed_entry(1);
+        let (fp2, k2, v2) = keyed_entry(2);
+        cache.insert(fp0, k0.clone(), v0);
+        cache.insert(fp1, k1.clone(), v1);
+        // Touch entry 0 so entry 1 becomes the LRU victim.
+        assert!(cache.get(fp0, &k0).is_some());
+        cache.insert(fp2, k2.clone(), v2);
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 2, "bound holds");
+        assert_eq!(stats.evictions, 1, "one eviction counted");
+        assert!(cache.get(fp0, &k0).is_some(), "recently used survives");
+        assert!(cache.get(fp2, &k2).is_some(), "new entry admitted");
+        assert!(cache.get(fp1, &k1).is_none(), "LRU entry evicted");
+    }
+
+    #[test]
+    fn unbounded_cache_never_evicts() {
+        let cache = CircuitCache::new(1);
+        for i in 0..8 {
+            let (fp, key, value) = keyed_entry(i);
+            cache.insert(fp, key, value);
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 8);
+        assert_eq!(stats.evictions, 0);
+    }
+
+    #[test]
+    fn capacity_splits_across_shards_with_minimum_one() {
+        let cache = CircuitCache::with_capacity(4, Some(2));
+        assert_eq!(cache.shard_capacity, Some(1), "ceil(2/4) floored at 1");
+        let unbounded = CircuitCache::with_capacity(4, None);
+        assert_eq!(unbounded.shard_capacity, None);
+    }
+
+    #[test]
+    fn reinserting_an_existing_key_does_not_evict() {
+        let cache = CircuitCache::with_capacity(1, Some(1));
+        let (fp, key, value) = keyed_entry(0);
+        cache.insert(fp, key.clone(), Arc::clone(&value));
+        cache.insert(fp, key.clone(), value);
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 1);
+        assert_eq!(stats.evictions, 0, "duplicate insert is a no-op");
     }
 }

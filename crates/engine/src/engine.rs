@@ -1,19 +1,20 @@
-//! The batch engine: a configurable worker pool draining a request queue.
+//! Engine configuration, aggregate statistics, and the batch-mode
+//! compatibility wrapper over the persistent [`EngineService`].
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
 use std::thread;
-use std::time::Instant;
 
-use mdq_core::{PrepareError, Preparer};
+use mdq_core::PrepareError;
 
-use crate::cache::{canonical_key, CacheStats, CachedPreparation, CircuitCache};
-use crate::request::{PrepareReport, PrepareRequest, StatePayload};
+use crate::cache::{CacheStats, CircuitCache};
+use crate::request::{PrepareReport, PrepareRequest};
+use crate::scheduler::SchedulingPolicy;
+use crate::service::{EngineError, EngineService};
 
-/// Configuration of a [`BatchEngine`].
+/// Configuration of an [`EngineService`] (and of the [`BatchEngine`]
+/// wrapper over it).
 #[derive(Debug, Clone)]
 pub struct EngineConfig {
-    /// Worker threads per batch (minimum 1; capped at the batch size).
+    /// Worker threads of the persistent pool (minimum 1).
     pub workers: usize,
     /// Per-job node cap forwarded to every worker's
     /// [`Preparer`](mdq_core::Preparer) — the resource guard for service
@@ -24,17 +25,29 @@ pub struct EngineConfig {
     pub cache_shards: usize,
     /// Whether to consult and fill the prepared-circuit cache at all.
     pub use_cache: bool,
+    /// Entry bound of the prepared-circuit cache (`None` is unbounded);
+    /// full shards evict their least-recently-used entry. The bound is
+    /// enforced per shard (split evenly, rounded up), so the effective
+    /// total can exceed this by up to one entry per shard — see
+    /// [`CircuitCache::with_capacity`].
+    pub cache_capacity: Option<usize>,
+    /// Queue discipline of the scheduler (size-aware by default; FIFO is
+    /// the pre-service baseline).
+    pub scheduling: SchedulingPolicy,
 }
 
 impl Default for EngineConfig {
     /// One worker per available core (1 when parallelism is unknown), a
-    /// 16-shard cache, caching enabled, no node cap.
+    /// 16-shard unbounded cache, caching enabled, no node cap, size-aware
+    /// scheduling.
     fn default() -> Self {
         EngineConfig {
             workers: thread::available_parallelism().map_or(1, usize::from),
             node_limit: None,
             cache_shards: 16,
             use_cache: true,
+            cache_capacity: None,
+            scheduling: SchedulingPolicy::SizeAware,
         }
     }
 }
@@ -67,10 +80,24 @@ impl EngineConfig {
         self.use_cache = false;
         self
     }
+
+    /// Bounds the prepared-circuit cache at `capacity` total entries with
+    /// per-shard LRU eviction.
+    #[must_use]
+    pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache_capacity = Some(capacity);
+        self
+    }
+
+    /// Overrides the scheduler's queue discipline.
+    #[must_use]
+    pub fn with_scheduling(mut self, scheduling: SchedulingPolicy) -> Self {
+        self.scheduling = scheduling;
+        self
+    }
 }
 
-/// Aggregate counters of a [`BatchEngine`], cumulative over every batch it
-/// has run.
+/// Aggregate counters of a service/engine, cumulative since construction.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct EngineStats {
     /// Successfully served jobs (computed or cached).
@@ -79,43 +106,40 @@ pub struct EngineStats {
     pub failures: u64,
     /// Prepared-circuit cache counters.
     pub cache: CacheStats,
-    /// Total weight-table lookups performed by the per-worker arenas whose
-    /// scratch survived to the end of a batch (weight-table pressure; see
+    /// Total weight-table lookups across the persistent worker arenas
+    /// (weight-table pressure; see
     /// [`ComplexTableStats`](mdq_num::ComplexTableStats)).
     pub weight_lookups: u64,
     /// Weight-table insertions, same scope as
     /// [`EngineStats::weight_lookups`].
     pub weight_insertions: u64,
+    /// Pipeline runs that started on a worker's retained (warmed) scratch
+    /// arena — the observable of worker persistence across submissions.
+    pub arena_reuses: u64,
+    /// Jobs currently waiting in the scheduler queue.
+    pub queued: usize,
 }
 
-/// A parallel batch-preparation engine; see the
-/// [crate documentation](crate) for the architecture.
+/// The batch-mode compatibility wrapper over [`EngineService`]: submit a
+/// whole batch, block until every job resolves, return results **in
+/// request order**.
 ///
-/// The engine is long-lived: the prepared-circuit cache and the aggregate
-/// counters persist across [`BatchEngine::run`] calls, so a warm engine
-/// serves repeated requests without re-running the pipeline.
+/// Since PR 4 this is a thin shim — the worker pool, the scheduler and the
+/// cache all live in the wrapped service and persist across
+/// [`BatchEngine::run`] calls, so a warm engine serves repeated requests
+/// without re-running the pipeline *and* without respawning threads.
 #[derive(Debug)]
 pub struct BatchEngine {
-    config: EngineConfig,
-    cache: CircuitCache,
-    jobs: AtomicU64,
-    failures: AtomicU64,
-    weight_lookups: AtomicU64,
-    weight_insertions: AtomicU64,
+    service: EngineService,
 }
 
 impl BatchEngine {
-    /// Creates an engine from a configuration.
+    /// Creates an engine from a configuration (spawning the persistent
+    /// worker pool once, up front).
     #[must_use]
     pub fn new(config: EngineConfig) -> Self {
-        let cache = CircuitCache::new(config.cache_shards);
         BatchEngine {
-            config,
-            cache,
-            jobs: AtomicU64::new(0),
-            failures: AtomicU64::new(0),
-            weight_lookups: AtomicU64::new(0),
-            weight_insertions: AtomicU64::new(0),
+            service: EngineService::new(config),
         }
     }
 
@@ -128,150 +152,59 @@ impl BatchEngine {
     /// The engine's configuration.
     #[must_use]
     pub fn config(&self) -> &EngineConfig {
-        &self.config
+        self.service.config()
     }
 
     /// The prepared-circuit cache (e.g. to pre-warm or clear it).
     #[must_use]
     pub fn cache(&self) -> &CircuitCache {
-        &self.cache
+        self.service.cache()
     }
 
     /// Aggregate counters, cumulative over every batch run so far.
     #[must_use]
     pub fn stats(&self) -> EngineStats {
-        EngineStats {
-            jobs: self.jobs.load(Ordering::Relaxed),
-            failures: self.failures.load(Ordering::Relaxed),
-            cache: self.cache.stats(),
-            weight_lookups: self.weight_lookups.load(Ordering::Relaxed),
-            weight_insertions: self.weight_insertions.load(Ordering::Relaxed),
-        }
+        self.service.stats()
     }
 
-    /// Executes a batch of requests on the worker pool and returns one
-    /// result per request, **in request order** — the output is independent
-    /// of worker count and scheduling.
+    /// The wrapped persistent service, for callers migrating from batch
+    /// mode to streaming submission.
+    #[must_use]
+    pub fn service(&self) -> &EngineService {
+        &self.service
+    }
+
+    /// Consumes the wrapper, handing out the service itself.
+    #[must_use]
+    pub fn into_service(self) -> EngineService {
+        self.service
+    }
+
+    /// Submits the batch to the persistent pool and blocks until every job
+    /// resolves, returning one result per request, **in request order** —
+    /// the output is independent of worker count and scheduling.
     ///
-    /// Each worker owns a [`Preparer`](mdq_core::Preparer), so its diagram
-    /// arena and canonicalization tables are recycled across all jobs the
-    /// worker drains from the queue; the prepared-circuit cache is shared
-    /// between workers and across batches.
+    /// The batch API clones each request into the queue (the persistent
+    /// workers need owned jobs); callers that already own their requests
+    /// can stream them into [`EngineService::submit_batch`] by value
+    /// instead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the worker pool died mid-batch (a worker panicked) — the
+    /// failure surfaces here rather than hanging the caller.
     pub fn run(&self, requests: &[PrepareRequest]) -> Vec<Result<PrepareReport, PrepareError>> {
-        let total = requests.len();
-        if total == 0 {
-            return Vec::new();
-        }
-        let workers = self.config.workers.clamp(1, total);
-        let next = AtomicUsize::new(0);
-
-        let mut harvested: Vec<Vec<(usize, Result<PrepareReport, PrepareError>)>> =
-            thread::scope(|scope| {
-                let handles: Vec<_> = (0..workers)
-                    .map(|_| {
-                        scope.spawn(|| {
-                            let mut preparer = match self.config.node_limit {
-                                Some(limit) => Preparer::new().with_node_limit(limit),
-                                None => Preparer::new(),
-                            };
-                            let mut local = Vec::new();
-                            loop {
-                                let index = next.fetch_add(1, Ordering::Relaxed);
-                                if index >= total {
-                                    break;
-                                }
-                                let started = Instant::now();
-                                let mut outcome = self.serve(&mut preparer, &requests[index]);
-                                if let Ok(report) = &mut outcome {
-                                    report.elapsed = started.elapsed();
-                                }
-                                local.push((index, outcome));
-                            }
-                            if let Some(stats) = preparer.weight_stats() {
-                                self.weight_lookups
-                                    .fetch_add(stats.lookups, Ordering::Relaxed);
-                                self.weight_insertions
-                                    .fetch_add(stats.insertions, Ordering::Relaxed);
-                            }
-                            local
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("engine worker panicked"))
-                    .collect()
-            });
-
-        let mut results: Vec<Option<Result<PrepareReport, PrepareError>>> =
-            (0..total).map(|_| None).collect();
-        for (index, outcome) in harvested.drain(..).flatten() {
-            results[index] = Some(outcome);
-        }
-        results
+        let handles = self.service.submit_batch(requests.iter().cloned());
+        handles
             .into_iter()
-            .map(|slot| slot.expect("every request index was served"))
+            .map(|handle| match handle.wait() {
+                Ok(report) => Ok(report),
+                Err(EngineError::Prepare(error)) => Err(error),
+                // We hold the service, so nobody can have shut it down;
+                // seeing Shutdown/QueueClosed here means the pool died.
+                Err(other) => panic!("engine worker pool stopped mid-batch: {other}"),
+            })
             .collect()
-    }
-
-    /// Serves one job on one worker: cache probe, pipeline run on miss,
-    /// cache fill, arena recycling.
-    fn serve(
-        &self,
-        preparer: &mut Preparer,
-        request: &PrepareRequest,
-    ) -> Result<PrepareReport, PrepareError> {
-        let key = if self.config.use_cache {
-            canonical_key(request)
-        } else {
-            None
-        };
-        if let Some((fingerprint, key)) = &key {
-            if let Some(cached) = self.cache.get(*fingerprint, key) {
-                self.jobs.fetch_add(1, Ordering::Relaxed);
-                return Ok(PrepareReport {
-                    circuit: cached.circuit.clone(),
-                    report: cached.report.clone(),
-                    from_cache: true,
-                    elapsed: Default::default(),
-                });
-            }
-        }
-
-        let outcome = match &request.payload {
-            StatePayload::Dense(amplitudes) => {
-                preparer.prepare(&request.dims, amplitudes, request.options)
-            }
-            StatePayload::Sparse(entries) => {
-                preparer.prepare_sparse(&request.dims, entries, request.options)
-            }
-        };
-        match outcome {
-            Ok(result) => {
-                let (circuit, report) = preparer.recycle(result);
-                if let Some((fingerprint, key)) = key {
-                    self.cache.insert(
-                        fingerprint,
-                        key,
-                        Arc::new(CachedPreparation {
-                            circuit: circuit.clone(),
-                            report: report.clone(),
-                        }),
-                    );
-                }
-                self.jobs.fetch_add(1, Ordering::Relaxed);
-                Ok(PrepareReport {
-                    circuit,
-                    report,
-                    from_cache: false,
-                    elapsed: Default::default(),
-                })
-            }
-            Err(error) => {
-                self.failures.fetch_add(1, Ordering::Relaxed);
-                Err(error)
-            }
-        }
     }
 }
 
@@ -353,6 +286,7 @@ mod tests {
         assert!(stats.cache.hits >= requests.len() as u64);
         assert_eq!(stats.cache.entries, 4, "four distinct keys stored");
         assert!(stats.weight_lookups > 0, "arena telemetry aggregated");
+        assert!(stats.arena_reuses > 0, "worker arenas persisted");
     }
 
     #[test]
@@ -413,7 +347,8 @@ mod tests {
         );
         let dense = PrepareRequest::dense(d, amps, PrepareOptions::exact());
         let expected = dense.prepare_sequential().unwrap();
-        // One worker guarantees the sparse job lands in the cache first.
+        // One worker: the sparse job is submitted (and popped) first, so it
+        // lands in the cache before the dense job probes.
         let engine = BatchEngine::new(EngineConfig::default().with_workers(1));
         let results = engine.run(&[sparse, dense]);
         let served = results[1].as_ref().unwrap();
@@ -432,12 +367,26 @@ mod tests {
     #[test]
     fn worker_count_exceeding_batch_size_is_fine() {
         let d = dims(&[3, 3]);
-        let engine = BatchEngine::new(EngineConfig::default().with_workers(64));
+        let engine = BatchEngine::new(EngineConfig::default().with_workers(16));
         let results = engine.run(&[PrepareRequest::dense(
             d.clone(),
             ghz(&d),
             PrepareOptions::exact(),
         )]);
         assert!(results[0].is_ok());
+    }
+
+    #[test]
+    fn queue_wait_is_reported() {
+        let requests = mixed_batch();
+        let engine = BatchEngine::new(EngineConfig::default().with_workers(1).without_cache());
+        let results = engine.run(&requests);
+        // With one worker, later jobs necessarily queued behind earlier
+        // ones; at least one must have observed a nonzero wait.
+        let waits: Vec<_> = results
+            .iter()
+            .map(|r| r.as_ref().unwrap().queue_wait)
+            .collect();
+        assert!(waits.iter().any(|w| !w.is_zero()), "waits: {waits:?}");
     }
 }

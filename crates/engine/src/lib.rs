@@ -1,57 +1,82 @@
-//! Parallel batch-preparation engine for mixed-dimensional qudit states.
+//! Persistent preparation service for mixed-dimensional qudit states.
 //!
 //! The per-call pipeline of [`mdq-core`] (state → edge-weighted decision
 //! diagram → approximation → circuit) is fast, but a serving deployment
 //! sees *streams* of preparation requests. Mature decision-diagram packages
 //! (Wille/Hillmich/Burgholzer, *Decision Diagrams for Quantum Computing*)
 //! get their throughput from persistent unique and compute tables reused
-//! across operations; this crate applies the same idea **across requests**:
+//! across operations; this crate applies the same idea **across requests**,
+//! behind a non-blocking submission front-end:
 //!
 //! ```text
-//!                    ┌──────────────────────── BatchEngine ────────────────────────┐
-//!  PrepareRequest ─▶ │  queue ─▶ worker 0 ─ Preparer { DdArena ♻, ComputeCache ♻ } │
-//!  PrepareRequest ─▶ │        ─▶ worker 1 ─ Preparer { DdArena ♻, ComputeCache ♻ } │ ─▶ PrepareReport
-//!       …            │        ─▶ worker n ─ …                                      │     (request order)
-//!                    │                 │ probe / fill                              │
-//!                    │        CircuitCache (sharded, fingerprint-keyed)            │
-//!                    └──────────────────────────────────────────────────────────────┘
+//!                   ┌───────────────────────── EngineService ─────────────────────────┐
+//!  submit(req) ───▶ │ scheduler ─▶ worker 0 ─ Preparer { DdArena ♻, ComputeCache ♻ }  │
+//!   ─▶ JobHandle    │ (priority/ ─▶ worker 1 ─ Preparer { DdArena ♻, ComputeCache ♻ } │
+//!  submit(req) ───▶ │  size/FIFO)─▶ worker n ─ …                                      │
+//!   ─▶ JobHandle    │                    │ probe / fill                               │
+//!       …           │        CircuitCache (sharded, fingerprint-keyed, LRU-bounded)   │
+//!                   └──────────────────────────────────────────────────────────────────┘
+//!     handle.wait() / try_wait() / wait_timeout() ◀── per-job result channel
 //! ```
 //!
-//! * **Worker pool** — [`BatchEngine::run`] drains a batch of
-//!   [`PrepareRequest`]s on a configurable number of `std::thread` workers.
-//!   Each worker owns a [`Preparer`](mdq_core::Preparer), so one diagram
-//!   arena and one set of canonicalization/memo tables are recycled across
-//!   every job the worker serves instead of being reallocated per request.
+//! * **Persistent worker pool** — [`EngineService::new`] spawns the pool
+//!   once; each worker owns a [`Preparer`](mdq_core::Preparer) whose
+//!   diagram arena and canonicalization/memo tables stay warm across *all*
+//!   submissions for the lifetime of the service (observable through
+//!   [`EngineStats::arena_reuses`]).
+//! * **Non-blocking submission** — [`EngineService::submit`] enqueues and
+//!   returns a [`JobHandle`] immediately; the handle resolves through a
+//!   per-job channel with blocking, polling, and timeout waits. No
+//!   external async runtime — std mpsc + condvar only.
+//! * **Size-aware scheduling** — the default
+//!   [`SchedulingPolicy::SizeAware`] orders by caller [`Priority`], then
+//!   by estimated job cost, so large Table-1 jobs stop head-of-line
+//!   blocking small ones ([`scheduler`] module docs); `Fifo` is the
+//!   baseline. Scheduling never changes results, only queue waits
+//!   ([`PrepareReport::queue_wait`]).
 //! * **Prepared-circuit cache** — requests are fingerprinted by a content
 //!   hash of the register, the tolerance-quantized target amplitudes, and
-//!   the pipeline options ([`cache`] module); identical requests are served
-//!   the stored circuit, with hit/miss counters exposed through
-//!   [`BatchEngine::stats`].
-//! * **Deterministic by construction** — results come back in request
-//!   order and every circuit is bit-identical to what a sequential
-//!   [`prepare`](mdq_core::prepare) loop would produce, regardless of
-//!   worker count, scheduling order, or cache state (cache entries are only
-//!   served on *exact* key matches).
+//!   the pipeline options ([`cache`] module); identical requests are
+//!   served the stored circuit. Optionally bounded with per-shard LRU
+//!   eviction ([`EngineConfig::with_cache_capacity`]).
+//! * **Deterministic by construction** — every circuit is bit-identical
+//!   to what a sequential [`prepare`](mdq_core::prepare) loop would
+//!   produce, regardless of worker count, scheduling order, priorities, or
+//!   cache state (cache entries are only served on *exact* key matches).
+//! * **Clean teardown** — [`EngineService::shutdown`] drains,
+//!   [`EngineService::shutdown_now`] / `Drop` abort (queued jobs resolve
+//!   to [`EngineError::Shutdown`]); either way the pool is joined.
+//!
+//! [`BatchEngine`] remains as a blocking compatibility wrapper: it submits
+//! a whole batch to the wrapped service and waits, returning results in
+//! request order exactly as before.
 //!
 //! # Examples
 //!
 //! ```
-//! use mdq_engine::{BatchEngine, EngineConfig, PrepareRequest};
+//! use mdq_engine::{EngineService, EngineConfig, PrepareRequest, Priority};
 //! use mdq_core::PrepareOptions;
 //! use mdq_num::radix::Dims;
-//! use mdq_states::ghz;
+//! use mdq_states::{ghz, w_state};
 //!
 //! let dims = Dims::new(vec![3, 6, 2])?;
-//! let engine = BatchEngine::new(EngineConfig::default().with_workers(2));
-//! let batch = vec![
-//!     PrepareRequest::dense(dims.clone(), ghz(&dims), PrepareOptions::exact()),
-//!     PrepareRequest::dense(dims.clone(), ghz(&dims), PrepareOptions::exact()),
-//! ];
-//! let reports = engine.run(&batch);
-//! let first = reports[0].as_ref().unwrap();
-//! let second = reports[1].as_ref().unwrap();
-//! assert_eq!(first.circuit, second.circuit); // bit-identical
-//! assert!(engine.stats().cache.hits + engine.stats().cache.misses >= 2);
+//! let service = EngineService::new(EngineConfig::default().with_workers(2));
+//!
+//! // Stream requests in; submission never blocks on the pipeline.
+//! let big = service.submit(PrepareRequest::dense(
+//!     dims.clone(), w_state(&dims), PrepareOptions::exact(),
+//! ));
+//! let urgent = service.submit(
+//!     PrepareRequest::dense(dims.clone(), ghz(&dims), PrepareOptions::exact())
+//!         .with_priority(Priority::High),
+//! );
+//!
+//! // Await each job individually.
+//! let urgent = urgent.wait()?;
+//! let big = big.wait()?;
+//! assert!(!urgent.circuit.is_empty() && !big.circuit.is_empty());
+//!
+//! service.shutdown(); // drain + join
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 //!
@@ -63,23 +88,35 @@
 pub mod cache;
 mod engine;
 mod request;
+pub mod scheduler;
+mod service;
 
 pub use cache::{CacheStats, CircuitCache};
 pub use engine::{BatchEngine, EngineConfig, EngineStats};
 pub use request::{PrepareReport, PrepareRequest, StatePayload};
+pub use scheduler::{Priority, SchedulingPolicy};
+pub use service::{EngineError, EngineService, JobHandle};
 
 // Compile-time Send/Sync audit: every type that crosses the engine's worker
-// threads (requests in, reports out, the shared cache) must stay
-// thread-safe; a non-thread-safe field added anywhere below breaks this
-// build, not a production deployment.
+// threads (requests in, reports out, the shared cache and service state)
+// must stay thread-safe; a non-thread-safe field added anywhere below
+// breaks this build, not a production deployment.
 const fn assert_send_sync<T: Send + Sync>() {}
+const fn assert_send<T: Send>() {}
 const _: () = {
     assert_send_sync::<BatchEngine>();
+    assert_send_sync::<EngineService>();
     assert_send_sync::<EngineConfig>();
     assert_send_sync::<EngineStats>();
+    assert_send_sync::<EngineError>();
     assert_send_sync::<CircuitCache>();
     assert_send_sync::<CacheStats>();
     assert_send_sync::<PrepareRequest>();
     assert_send_sync::<PrepareReport>();
     assert_send_sync::<StatePayload>();
+    assert_send_sync::<Priority>();
+    assert_send_sync::<SchedulingPolicy>();
+    // A JobHandle wraps an mpsc receiver: movable across threads, but
+    // deliberately single-consumer (not Sync).
+    assert_send::<JobHandle>();
 };

@@ -9,6 +9,8 @@ use mdq_core::{
 use mdq_num::radix::Dims;
 use mdq_num::Complex;
 
+use crate::scheduler::Priority;
+
 /// The target state of a preparation request, in either of the two forms
 /// the pipeline accepts.
 #[derive(Debug, Clone, PartialEq)]
@@ -22,8 +24,9 @@ pub enum StatePayload {
     Sparse(Vec<(Vec<usize>, Complex)>),
 }
 
-/// One unit of work for the [`BatchEngine`](crate::BatchEngine): a register,
-/// a target state, and the pipeline options.
+/// One unit of work for the [`EngineService`](crate::EngineService) (and
+/// the [`BatchEngine`](crate::BatchEngine) wrapper over it): a register, a
+/// target state, the pipeline options, and a scheduling priority.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PrepareRequest {
     /// The register layout.
@@ -32,6 +35,10 @@ pub struct PrepareRequest {
     pub payload: StatePayload,
     /// Pipeline options (fidelity threshold, tolerance, synthesis, …).
     pub options: PrepareOptions,
+    /// Scheduling urgency ([`Priority::Normal`] unless overridden with
+    /// [`PrepareRequest::with_priority`]); never influences the result,
+    /// only when the job runs under the size-aware scheduler.
+    pub priority: Priority,
 }
 
 impl PrepareRequest {
@@ -42,6 +49,7 @@ impl PrepareRequest {
             dims,
             payload: StatePayload::Dense(amplitudes),
             options,
+            priority: Priority::Normal,
         }
     }
 
@@ -56,7 +64,30 @@ impl PrepareRequest {
             dims,
             payload: StatePayload::Sparse(entries),
             options,
+            priority: Priority::Normal,
         }
+    }
+
+    /// Overrides the scheduling priority (builder style).
+    #[must_use]
+    pub fn with_priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Overrides the pipeline options (builder style).
+    #[must_use]
+    pub fn with_options(mut self, options: PrepareOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// The scheduler's size estimate for this request — what the
+    /// size-aware policy orders equal-priority jobs by (dense: the full
+    /// amplitude-vector length; sparse: support size × register width).
+    #[must_use]
+    pub fn cost_estimate(&self) -> u64 {
+        crate::scheduler::estimate_cost(self)
     }
 
     /// Runs this request through the one-shot sequential pipeline
@@ -94,4 +125,8 @@ pub struct PrepareReport {
     pub from_cache: bool,
     /// Wall-clock time this job spent in its worker (cache lookup included).
     pub elapsed: Duration,
+    /// Time between submission and a worker picking the job up — the
+    /// latency-under-load observable of the streaming service (zero when
+    /// the job was served synchronously, e.g. in unit helpers).
+    pub queue_wait: Duration,
 }

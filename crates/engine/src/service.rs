@@ -1,0 +1,642 @@
+//! The persistent, non-blocking preparation service.
+//!
+//! An [`EngineService`] spawns its worker pool **once** at construction and
+//! keeps each worker's warmed [`Preparer`](mdq_core::Preparer) — diagram
+//! arena, unique table, weight table, compute cache — alive across
+//! submissions. Callers stream requests in through [`EngineService::submit`]
+//! (never blocking on the pipeline) and await each result through the
+//! returned [`JobHandle`]; the [`scheduler`](crate::scheduler) decides the
+//! execution order without ever changing the result, which stays
+//! bit-identical to the sequential pipeline for every job.
+//!
+//! Everything is built on `std` synchronization primitives (mpsc channels,
+//! mutex + condvar) — no external async runtime, consistent with the
+//! repository's vendored-dependency constraint.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, TryRecvError};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use mdq_core::{PrepareError, Preparer};
+
+use crate::cache::{canonical_key, CachedPreparation, CircuitCache};
+use crate::engine::{EngineConfig, EngineStats};
+use crate::request::{PrepareReport, PrepareRequest, StatePayload};
+use crate::scheduler::{Job, Scheduler};
+
+/// Unified error type of the service: either the pipeline itself failed,
+/// or the service stopped before (or instead of) running the job.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// The preparation pipeline rejected or failed the job.
+    Prepare(PrepareError),
+    /// The service was shut down (or dropped) while this job was still
+    /// queued; it was never run.
+    Shutdown,
+    /// The job was submitted after the service had stopped accepting work.
+    QueueClosed,
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Prepare(e) => write!(f, "preparation failed: {e}"),
+            EngineError::Shutdown => write!(f, "engine service shut down before the job ran"),
+            EngineError::QueueClosed => {
+                write!(f, "engine service no longer accepts submissions")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Prepare(e) => Some(e),
+            EngineError::Shutdown | EngineError::QueueClosed => None,
+        }
+    }
+}
+
+impl From<PrepareError> for EngineError {
+    fn from(e: PrepareError) -> Self {
+        EngineError::Prepare(e)
+    }
+}
+
+/// The caller's side of one submission: a future-like handle resolving to
+/// the job's [`PrepareReport`].
+///
+/// The handle polls a dedicated mpsc channel; once a result has been
+/// received it is retained, so [`JobHandle::try_wait`] and
+/// [`JobHandle::wait_timeout`] can be called repeatedly and
+/// [`JobHandle::wait`] consumes the handle for the final by-value result.
+/// Dropping a handle abandons the job's result (the job itself still
+/// runs); it never blocks the service.
+#[derive(Debug)]
+pub struct JobHandle {
+    rx: Receiver<Result<PrepareReport, EngineError>>,
+    outcome: Option<Result<PrepareReport, EngineError>>,
+}
+
+impl JobHandle {
+    pub(crate) fn new(rx: Receiver<Result<PrepareReport, EngineError>>) -> Self {
+        JobHandle { rx, outcome: None }
+    }
+
+    /// Non-blocking poll: `Some` once the job has finished (or the service
+    /// stopped), `None` while it is still queued or running.
+    pub fn try_wait(&mut self) -> Option<&Result<PrepareReport, EngineError>> {
+        if self.outcome.is_none() {
+            match self.rx.try_recv() {
+                Ok(result) => self.outcome = Some(result),
+                Err(TryRecvError::Empty) => {}
+                Err(TryRecvError::Disconnected) => {
+                    self.outcome = Some(Err(EngineError::Shutdown));
+                }
+            }
+        }
+        self.outcome.as_ref()
+    }
+
+    /// Blocks for at most `timeout` for the result; `None` on timeout.
+    /// Like [`JobHandle::try_wait`], repeatable — the result is retained.
+    pub fn wait_timeout(
+        &mut self,
+        timeout: Duration,
+    ) -> Option<&Result<PrepareReport, EngineError>> {
+        if self.outcome.is_none() {
+            match self.rx.recv_timeout(timeout) {
+                Ok(result) => self.outcome = Some(result),
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => {
+                    self.outcome = Some(Err(EngineError::Shutdown));
+                }
+            }
+        }
+        self.outcome.as_ref()
+    }
+
+    /// Blocks until the job resolves and returns its result by value.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Prepare`] if the pipeline failed,
+    /// [`EngineError::Shutdown`]/[`EngineError::QueueClosed`] if the
+    /// service stopped before serving the job.
+    pub fn wait(mut self) -> Result<PrepareReport, EngineError> {
+        if let Some(result) = self.outcome.take() {
+            return result;
+        }
+        match self.rx.recv() {
+            Ok(result) => result,
+            // Workers dropped the sender without replying: the service
+            // went away (or a worker died) before this job resolved.
+            Err(_) => Err(EngineError::Shutdown),
+        }
+    }
+}
+
+/// Per-worker telemetry slots, written by the worker after every job and
+/// summed by [`EngineService::stats`] — long-lived workers never hand
+/// their [`Preparer`](mdq_core::Preparer) back, so the gauges travel
+/// through these atomics instead.
+#[derive(Debug, Default)]
+struct WorkerSlot {
+    weight_lookups: AtomicU64,
+    weight_insertions: AtomicU64,
+}
+
+#[derive(Debug)]
+struct ServiceShared {
+    config: EngineConfig,
+    scheduler: Scheduler,
+    cache: CircuitCache,
+    /// Submission sequence — the deterministic FIFO tie-breaker.
+    seq: AtomicU64,
+    jobs: AtomicU64,
+    failures: AtomicU64,
+    /// Jobs whose pipeline ran on a worker's *retained* scratch arena —
+    /// the observable proof of worker persistence across submissions.
+    arena_reuses: AtomicU64,
+    workers: Vec<WorkerSlot>,
+}
+
+impl ServiceShared {
+    /// Cache probe → pipeline on miss → cache fill, on one worker's
+    /// preparer. The single serving path of the whole crate.
+    fn serve(
+        &self,
+        preparer: &mut Preparer,
+        request: &PrepareRequest,
+    ) -> Result<PrepareReport, PrepareError> {
+        let key = if self.config.use_cache {
+            canonical_key(request)
+        } else {
+            None
+        };
+        if let Some((fingerprint, key)) = &key {
+            if let Some(cached) = self.cache.get(*fingerprint, key) {
+                self.jobs.fetch_add(1, Ordering::Relaxed);
+                return Ok(PrepareReport {
+                    circuit: cached.circuit.clone(),
+                    report: cached.report.clone(),
+                    from_cache: true,
+                    elapsed: Duration::default(),
+                    queue_wait: Duration::default(),
+                });
+            }
+        }
+
+        let warm_start = preparer.has_scratch();
+        let outcome = match &request.payload {
+            StatePayload::Dense(amplitudes) => {
+                preparer.prepare_recycled(&request.dims, amplitudes, request.options)
+            }
+            StatePayload::Sparse(entries) => {
+                preparer.prepare_sparse_recycled(&request.dims, entries, request.options)
+            }
+        };
+        match outcome {
+            Ok((circuit, report)) => {
+                if warm_start {
+                    self.arena_reuses.fetch_add(1, Ordering::Relaxed);
+                }
+                if let Some((fingerprint, key)) = key {
+                    self.cache.insert(
+                        fingerprint,
+                        key,
+                        Arc::new(CachedPreparation {
+                            circuit: circuit.clone(),
+                            report: report.clone(),
+                        }),
+                    );
+                }
+                self.jobs.fetch_add(1, Ordering::Relaxed);
+                Ok(PrepareReport {
+                    circuit,
+                    report,
+                    from_cache: false,
+                    elapsed: Duration::default(),
+                    queue_wait: Duration::default(),
+                })
+            }
+            Err(error) => {
+                self.failures.fetch_add(1, Ordering::Relaxed);
+                Err(error)
+            }
+        }
+    }
+
+    /// The loop of one persistent worker: pop, serve, reply, publish
+    /// telemetry — until the scheduler signals exit.
+    fn worker_loop(&self, slot: usize) {
+        let mut preparer = match self.config.node_limit {
+            Some(limit) => Preparer::new().with_node_limit(limit),
+            None => Preparer::new(),
+        };
+        let slot = &self.workers[slot];
+        // Last-seen weight-table counters of the worker's scratch arena.
+        // Counters are cumulative within one arena but some pipeline paths
+        // (e.g. approximating an unreduced tree) swap in a fresh arena, so
+        // telemetry is published as per-job deltas instead of raw gauges.
+        let mut seen = (0u64, 0u64);
+        while let Some(job) = self.scheduler.pop() {
+            let queue_wait = job.submitted_at.elapsed();
+            let started = Instant::now();
+            let mut outcome = self.serve(&mut preparer, &job.request);
+            if let Ok(report) = &mut outcome {
+                report.elapsed = started.elapsed();
+                report.queue_wait = queue_wait;
+            }
+            // A dropped handle is not an error — the caller abandoned the
+            // result, not the job.
+            let _ = job.reply.send(outcome.map_err(EngineError::Prepare));
+            if let Some(stats) = preparer.weight_stats() {
+                let (lookups, insertions) = if stats.lookups >= seen.0 && stats.insertions >= seen.1
+                {
+                    (stats.lookups - seen.0, stats.insertions - seen.1)
+                } else {
+                    // The scratch arena was replaced this job; its
+                    // counters restarted from zero.
+                    (stats.lookups, stats.insertions)
+                };
+                seen = (stats.lookups, stats.insertions);
+                slot.weight_lookups.fetch_add(lookups, Ordering::Relaxed);
+                slot.weight_insertions
+                    .fetch_add(insertions, Ordering::Relaxed);
+            }
+        }
+    }
+
+    fn stats(&self) -> EngineStats {
+        EngineStats {
+            jobs: self.jobs.load(Ordering::Relaxed),
+            failures: self.failures.load(Ordering::Relaxed),
+            cache: self.cache.stats(),
+            weight_lookups: self
+                .workers
+                .iter()
+                .map(|w| w.weight_lookups.load(Ordering::Relaxed))
+                .sum(),
+            weight_insertions: self
+                .workers
+                .iter()
+                .map(|w| w.weight_insertions.load(Ordering::Relaxed))
+                .sum(),
+            arena_reuses: self.arena_reuses.load(Ordering::Relaxed),
+            queued: self.scheduler.len(),
+        }
+    }
+}
+
+/// Scheduler kill switch armed for the duration of a worker's loop: runs
+/// only when the worker is *unwinding*, so a panicking worker degrades the
+/// service into clean `Shutdown` errors instead of hung handles.
+struct AbortOnPanic<'a>(&'a ServiceShared);
+
+impl Drop for AbortOnPanic<'_> {
+    fn drop(&mut self) {
+        if thread::panicking() {
+            self.0.scheduler.abort();
+        }
+    }
+}
+
+/// A persistent, non-blocking preparation service; see the
+/// [crate documentation](crate) for the architecture.
+///
+/// The worker pool is spawned once in [`EngineService::new`] and lives
+/// until [`EngineService::shutdown`], [`EngineService::shutdown_now`] or
+/// `Drop`. Submissions stream in through [`EngineService::submit`] /
+/// [`EngineService::submit_batch`] and resolve through per-job
+/// [`JobHandle`]s, scheduled by the configured
+/// [`SchedulingPolicy`](crate::SchedulingPolicy).
+///
+/// # Examples
+///
+/// ```
+/// use mdq_engine::{EngineConfig, EngineService, PrepareRequest, Priority};
+/// use mdq_core::PrepareOptions;
+/// use mdq_num::radix::Dims;
+/// use mdq_states::ghz;
+///
+/// let service = EngineService::new(EngineConfig::default().with_workers(2));
+/// let dims = Dims::new(vec![3, 3])?;
+/// let handle = service.submit(
+///     PrepareRequest::dense(dims.clone(), ghz(&dims), PrepareOptions::exact())
+///         .with_priority(Priority::High),
+/// );
+/// let report = handle.wait()?;
+/// assert!(!report.circuit.is_empty());
+/// service.shutdown(); // drains queued work, then joins the pool
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct EngineService {
+    shared: Arc<ServiceShared>,
+    pool: Vec<JoinHandle<()>>,
+}
+
+impl EngineService {
+    /// Spawns the worker pool (once — it persists across submissions) and
+    /// returns the ready service.
+    #[must_use]
+    pub fn new(config: EngineConfig) -> Self {
+        let workers = config.workers.max(1);
+        let shared = Arc::new(ServiceShared {
+            scheduler: Scheduler::new(config.scheduling),
+            cache: CircuitCache::with_capacity(config.cache_shards, config.cache_capacity),
+            seq: AtomicU64::new(0),
+            jobs: AtomicU64::new(0),
+            failures: AtomicU64::new(0),
+            arena_reuses: AtomicU64::new(0),
+            workers: (0..workers).map(|_| WorkerSlot::default()).collect(),
+            config,
+        });
+        let pool = (0..workers)
+            .map(|slot| {
+                let shared = Arc::clone(&shared);
+                thread::Builder::new()
+                    .name(format!("mdq-engine-worker-{slot}"))
+                    .spawn(move || {
+                        // If the loop unwinds, fail the whole service
+                        // rather than hang it: aborting the scheduler
+                        // resolves every queued (and future) handle to
+                        // `Shutdown` instead of leaving callers blocked on
+                        // a reply that will never come.
+                        let abort_guard = AbortOnPanic(&shared);
+                        shared.worker_loop(slot);
+                        drop(abort_guard);
+                    })
+                    .expect("spawning engine worker")
+            })
+            .collect();
+        EngineService { shared, pool }
+    }
+
+    /// A service with the default configuration.
+    #[must_use]
+    pub fn with_defaults() -> Self {
+        Self::new(EngineConfig::default())
+    }
+
+    /// The service's configuration.
+    #[must_use]
+    pub fn config(&self) -> &EngineConfig {
+        &self.shared.config
+    }
+
+    /// The prepared-circuit cache (e.g. to pre-warm or clear it).
+    #[must_use]
+    pub fn cache(&self) -> &CircuitCache {
+        &self.shared.cache
+    }
+
+    /// Aggregate counters, cumulative since construction.
+    #[must_use]
+    pub fn stats(&self) -> EngineStats {
+        self.shared.stats()
+    }
+
+    /// Enqueues one request and returns immediately with its handle — the
+    /// non-blocking front-end. The job runs when the scheduler picks it,
+    /// ordered by [`Priority`](crate::Priority) / size under the default
+    /// policy.
+    pub fn submit(&self, request: PrepareRequest) -> JobHandle {
+        let (reply, rx) = channel();
+        let seq = self.shared.seq.fetch_add(1, Ordering::Relaxed);
+        self.shared.scheduler.push(
+            Job {
+                request,
+                submitted_at: Instant::now(),
+                reply,
+            },
+            seq,
+        );
+        JobHandle::new(rx)
+    }
+
+    /// Enqueues a whole batch, returning one handle per request in the
+    /// same order. Sugar for repeated [`EngineService::submit`] calls.
+    pub fn submit_batch<I>(&self, requests: I) -> Vec<JobHandle>
+    where
+        I: IntoIterator<Item = PrepareRequest>,
+    {
+        requests.into_iter().map(|r| self.submit(r)).collect()
+    }
+
+    /// Graceful shutdown: stops accepting submissions, **drains** every
+    /// queued job, then joins the worker pool. All outstanding handles
+    /// resolve with their real results.
+    pub fn shutdown(mut self) {
+        self.shared.scheduler.close();
+        self.join_pool();
+    }
+
+    /// Immediate shutdown: stops accepting submissions and **aborts** the
+    /// queue — every still-queued job resolves to
+    /// [`EngineError::Shutdown`]; jobs already running finish and deliver.
+    /// This is also the `Drop` behaviour.
+    pub fn shutdown_now(mut self) {
+        self.shared.scheduler.abort();
+        self.join_pool();
+    }
+
+    fn join_pool(&mut self) {
+        let mut worker_panicked = false;
+        for handle in self.pool.drain(..) {
+            worker_panicked |= handle.join().is_err();
+        }
+        // Surface a worker panic to the caller — but never panic while
+        // already unwinding (that would abort the process in `Drop`).
+        if worker_panicked && !thread::panicking() {
+            panic!("engine worker panicked");
+        }
+    }
+}
+
+impl Drop for EngineService {
+    /// Dropping the service aborts queued jobs (handles resolve to
+    /// [`EngineError::Shutdown`]) and joins the pool — never hangs on a
+    /// deep queue, never leaks threads.
+    fn drop(&mut self) {
+        if !self.pool.is_empty() {
+            self.shared.scheduler.abort();
+            self.join_pool();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::Priority;
+    use mdq_core::PrepareOptions;
+    use mdq_num::radix::Dims;
+    use mdq_states::{ghz, w_state};
+
+    fn dims(v: &[usize]) -> Dims {
+        Dims::new(v.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn submit_resolves_like_sequential_prepare() {
+        let d = dims(&[3, 6, 2]);
+        let service = EngineService::new(EngineConfig::default().with_workers(2));
+        let requests = vec![
+            PrepareRequest::dense(d.clone(), ghz(&d), PrepareOptions::exact()),
+            PrepareRequest::dense(d.clone(), w_state(&d), PrepareOptions::approximated(0.98))
+                .with_priority(Priority::High),
+            PrepareRequest::sparse(
+                d.clone(),
+                mdq_states::sparse::w_state(&d),
+                PrepareOptions::exact(),
+            )
+            .with_priority(Priority::Low),
+        ];
+        let handles = service.submit_batch(requests.clone());
+        for (request, handle) in requests.iter().zip(handles) {
+            let report = handle.wait().expect("job succeeds");
+            let want = request.prepare_sequential().expect("reference runs");
+            assert_eq!(report.circuit, want.circuit);
+        }
+        assert_eq!(service.stats().jobs, 3);
+        service.shutdown();
+    }
+
+    #[test]
+    fn try_wait_polls_without_blocking() {
+        let d = dims(&[3, 3]);
+        let service = EngineService::new(EngineConfig::default().with_workers(1));
+        let mut handle = service.submit(PrepareRequest::dense(
+            d.clone(),
+            ghz(&d),
+            PrepareOptions::exact(),
+        ));
+        // Poll until resolution; try_wait never blocks.
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while handle.try_wait().is_none() {
+            assert!(Instant::now() < deadline, "job should resolve quickly");
+            thread::yield_now();
+        }
+        // The retained result is observable repeatedly, then consumable.
+        assert!(handle.try_wait().unwrap().is_ok());
+        assert!(handle.wait_timeout(Duration::from_millis(1)).is_some());
+        assert!(handle.wait().is_ok());
+    }
+
+    #[test]
+    fn wait_timeout_times_out_then_resolves() {
+        let d = dims(&[3, 6, 2]);
+        let service = EngineService::new(EngineConfig::default().with_workers(1));
+        let mut handle = service.submit(PrepareRequest::dense(
+            d.clone(),
+            w_state(&d),
+            PrepareOptions::exact(),
+        ));
+        // A zero timeout may or may not resolve; a generous one must.
+        let _ = handle.wait_timeout(Duration::from_nanos(1));
+        assert!(handle.wait_timeout(Duration::from_secs(30)).is_some());
+        assert!(handle.wait().is_ok());
+    }
+
+    #[test]
+    fn pipeline_failures_surface_as_prepare_errors() {
+        let d = dims(&[2, 2]);
+        let service = EngineService::new(EngineConfig::default().with_workers(1));
+        let handle = service.submit(PrepareRequest::dense(
+            d,
+            vec![mdq_num::Complex::ONE],
+            PrepareOptions::exact(),
+        ));
+        match handle.wait() {
+            Err(EngineError::Prepare(PrepareError::Build(_))) => {}
+            other => panic!("expected a build error, got {other:?}"),
+        }
+        assert_eq!(service.stats().failures, 1);
+    }
+
+    #[test]
+    fn dropped_service_resolves_pending_handles_to_shutdown() {
+        let d = dims(&[3, 6, 2]);
+        let service = EngineService::new(EngineConfig::default().with_workers(1).without_cache());
+        // Enough queued work that most of it is still pending at drop.
+        let handles: Vec<JobHandle> = (0..16)
+            .map(|_| {
+                service.submit(PrepareRequest::dense(
+                    d.clone(),
+                    w_state(&d),
+                    PrepareOptions::exact(),
+                ))
+            })
+            .collect();
+        drop(service);
+        let mut shutdown = 0;
+        for handle in handles {
+            match handle.wait() {
+                Ok(_) => {}
+                Err(EngineError::Shutdown) => shutdown += 1,
+                Err(other) => panic!("unexpected error: {other:?}"),
+            }
+        }
+        assert!(shutdown > 0, "queued jobs resolve to Shutdown on drop");
+    }
+
+    #[test]
+    fn graceful_shutdown_drains_the_queue() {
+        let d = dims(&[3, 6, 2]);
+        let service = EngineService::new(EngineConfig::default().with_workers(1).without_cache());
+        let handles: Vec<JobHandle> = (0..8)
+            .map(|_| {
+                service.submit(PrepareRequest::dense(
+                    d.clone(),
+                    ghz(&d),
+                    PrepareOptions::exact(),
+                ))
+            })
+            .collect();
+        service.shutdown();
+        for handle in handles {
+            assert!(handle.wait().is_ok(), "drained jobs deliver real results");
+        }
+    }
+
+    #[test]
+    fn workers_and_arenas_persist_across_submission_waves() {
+        let d = dims(&[3, 6, 2]);
+        // Cache off so every job runs the pipeline (cache hits would not
+        // touch the arena).
+        let service = EngineService::new(EngineConfig::default().with_workers(1).without_cache());
+        let wave = |n: u64| -> Vec<JobHandle> {
+            (0..n)
+                .map(|_| {
+                    // Canonical (zero-pruned) builds intern through the
+                    // weight table, so lookups are visible telemetry.
+                    service.submit(PrepareRequest::dense(
+                        d.clone(),
+                        w_state(&d),
+                        PrepareOptions::exact().without_zero_subtrees(),
+                    ))
+                })
+                .collect()
+        };
+        for handle in wave(4) {
+            handle.wait().expect("wave-1 job succeeds");
+        }
+        let after_first = service.stats();
+        assert_eq!(after_first.arena_reuses, 3, "3 of 4 wave-1 jobs warm");
+        for handle in wave(4) {
+            handle.wait().expect("wave-2 job succeeds");
+        }
+        let after_second = service.stats();
+        // The first wave-2 job is *also* warm — the worker (and its arena)
+        // survived between waves instead of being torn down.
+        assert_eq!(after_second.arena_reuses, 7);
+        assert!(after_second.weight_lookups > after_first.weight_lookups);
+        service.shutdown();
+    }
+}

@@ -1,0 +1,108 @@
+//! Streaming preparation through the persistent `EngineService`.
+//!
+//! Spawns the worker pool once, then streams a mix of large and small
+//! requests into the non-blocking submission front-end: a latency-critical
+//! GHZ job jumps the queue via `Priority::High`, results are awaited
+//! per-job through `JobHandle` (polling and blocking), and the report's
+//! `queue_wait` shows the size-aware scheduler protecting small jobs from
+//! head-of-line blocking. A second wave demonstrates that workers — and
+//! their warmed arenas — persist across submissions.
+//!
+//! Run with: `cargo run --release --example streaming_prepare`
+
+use std::time::Duration;
+
+use mdq::core::PrepareOptions;
+use mdq::engine::{EngineConfig, EngineService, PrepareRequest, Priority};
+use mdq::num::radix::Dims;
+use mdq::states::{ghz, w_state};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let small = Dims::new(vec![3, 6, 2])?;
+    let large = Dims::new(vec![9, 5, 6, 3])?;
+
+    let service = EngineService::new(EngineConfig::default().with_workers(2));
+    println!(
+        "service up: {} persistent worker(s), size-aware scheduling\n",
+        service.config().workers
+    );
+
+    // Stream requests in; `submit` returns immediately with a handle.
+    // The large W-state jobs are expensive — under FIFO they would delay
+    // everything submitted after them.
+    let mut big_jobs = Vec::new();
+    for _ in 0..2 {
+        big_jobs.push(service.submit(PrepareRequest::dense(
+            large.clone(),
+            w_state(&large),
+            PrepareOptions::approximated(0.98),
+        )));
+    }
+    let mut small_jobs = Vec::new();
+    for _ in 0..4 {
+        small_jobs.push(service.submit(PrepareRequest::dense(
+            small.clone(),
+            w_state(&small),
+            PrepareOptions::exact(),
+        )));
+    }
+    // A latency-critical request jumps the whole queue.
+    let urgent = service.submit(
+        PrepareRequest::dense(small.clone(), ghz(&small), PrepareOptions::exact())
+            .with_priority(Priority::High),
+    );
+
+    // Handles support blocking, polling, and timeout-based waits.
+    let urgent = urgent.wait()?;
+    println!(
+        "urgent GHZ:   {:>3} operations, queued {:>9.1?}, ran {:>9.1?}",
+        urgent.report.operations, urgent.queue_wait, urgent.elapsed
+    );
+
+    for (index, mut handle) in small_jobs.into_iter().enumerate() {
+        // Poll with a timeout until the job resolves (a real server would
+        // do this from its event loop).
+        loop {
+            if handle.wait_timeout(Duration::from_millis(50)).is_some() {
+                break;
+            }
+            println!("small W {index}: still waiting…");
+        }
+        let report = handle.wait()?;
+        println!(
+            "small W {index}:    {:>3} operations, queued {:>9.1?}, ran {:>9.1?}",
+            report.report.operations, report.queue_wait, report.elapsed
+        );
+    }
+    for (index, handle) in big_jobs.into_iter().enumerate() {
+        let report = handle.wait()?;
+        println!(
+            "large W {index}:    {:>3} operations, queued {:>9.1?}, ran {:>9.1?}",
+            report.report.operations, report.queue_wait, report.elapsed
+        );
+    }
+
+    // Second wave: the pool (and its warmed arenas) persisted.
+    let replay = service
+        .submit(PrepareRequest::dense(
+            small.clone(),
+            ghz(&small),
+            PrepareOptions::exact(),
+        ))
+        .wait()?;
+    assert!(replay.from_cache, "identical request served from the cache");
+
+    let stats = service.stats();
+    println!(
+        "\nservice stats: {} jobs ({} cache hits, {} evictions), {} arena reuses,",
+        stats.jobs, stats.cache.hits, stats.cache.evictions, stats.arena_reuses
+    );
+    println!(
+        "               {} weight-table lookups / {} insertions across persistent workers",
+        stats.weight_lookups, stats.weight_insertions
+    );
+
+    service.shutdown(); // drain queued work, then join the pool
+    println!("service drained and shut down cleanly");
+    Ok(())
+}

@@ -12,7 +12,7 @@
 //! | [`sim`] | dense mixed-radix state-vector simulator |
 //! | [`states`] | benchmark state generators (GHZ, W, embedded W, random, …) |
 //! | [`core`] | the synthesis algorithm and the three-step pipeline |
-//! | [`engine`] | parallel batch engine with per-worker arena reuse and a circuit cache |
+//! | [`engine`] | persistent preparation service: non-blocking submission, size-aware scheduling, warm worker arenas, LRU-bounded circuit cache |
 //!
 //! This facade re-exports all of them; depend on the individual crates for a
 //! narrower dependency surface.
@@ -34,6 +34,26 @@
 //! let mut state = StateVector::ground(dims);
 //! state.apply_circuit(&result.circuit);
 //! assert!(state.fidelity_with_amplitudes(&target) > 1.0 - 1e-9);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! For serving request *streams*, use the persistent engine service
+//! instead of per-call `prepare`:
+//!
+//! ```
+//! use mdq::engine::{EngineConfig, EngineService, PrepareRequest, Priority};
+//! use mdq::core::PrepareOptions;
+//! use mdq::num::radix::Dims;
+//! use mdq::states::ghz;
+//!
+//! let dims = Dims::new(vec![3, 3])?;
+//! let service = EngineService::new(EngineConfig::default().with_workers(2));
+//! let handle = service.submit(
+//!     PrepareRequest::dense(dims.clone(), ghz(&dims), PrepareOptions::exact())
+//!         .with_priority(Priority::High),
+//! );
+//! assert!(!handle.wait()?.circuit.is_empty());
+//! service.shutdown();
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
