@@ -23,17 +23,25 @@
 //! submitted ahead of small ones, so the FIFO run exhibits exactly the
 //! head-of-line blocking the size-aware policy removes.
 //!
+//! With `--verify`, two further sections measure the serving-time guards
+//! added by the admission-control PR: the whole mixed workload is run once
+//! unverified and once under `VerificationPolicy::replay`, reporting the
+//! replay-verification overhead (asserted ≤ 2× the unverified serving
+//! time), and a one-slot-queue service is flooded through `try_submit` to
+//! record the rejection rate and queue high-watermark.
+//!
 //! Flags:
 //! * `--smoke`     — tiny batch, worker counts {1, 2} (CI keep-alive mode);
 //! * `--jobs N`    — batch size (default 48);
 //! * `--streaming` — additionally run the EngineService queue-wait section;
+//! * `--verify`    — additionally run the verification + admission section;
 //! * `--out PATH`  — output path (default `BENCH_engine.json`).
 
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 
 use mdq_bench::{dims3, dims4, flag_value};
-use mdq_core::PrepareOptions;
+use mdq_core::{PrepareOptions, VerificationPolicy};
 use mdq_engine::{
     BatchEngine, EngineConfig, EngineService, JobHandle, PrepareRequest, SchedulingPolicy,
 };
@@ -63,6 +71,7 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let smoke = args.iter().any(|a| a == "--smoke");
     let streaming = args.iter().any(|a| a == "--streaming");
+    let verify = args.iter().any(|a| a == "--verify");
     let jobs: usize = if smoke {
         8
     } else {
@@ -179,7 +188,7 @@ fn main() {
         );
     }
     out.push_str("  ],\n");
-    let comma = if streaming { "," } else { "" };
+    let comma = if streaming || verify { "," } else { "" };
     let _ = writeln!(
         out,
         "  \"cache\": {{\"hits\": {}, \"misses\": {}, \"entries\": {}, \"evictions\": {}, \
@@ -237,7 +246,120 @@ fn main() {
                 run.policy, run.jobs_per_sec, run.small_p50_us, run.small_p99_us, run.large_p99_us
             );
         }
-        out.push_str("  }\n");
+        out.push_str("  }");
+        out.push_str(if verify { ",\n" } else { "\n" });
+    }
+
+    if verify {
+        // Verification overhead: the same workload, unverified vs. under a
+        // replay policy, on a cache-less single worker so every job pays
+        // the pipeline (and, in the second pass, the replay). The 0.95
+        // floor passes every job — including the 98 %-approximated ones,
+        // which verify at their reached fidelity of ≈0.99.
+        // Serving time is the sum of per-job worker times (excludes thread
+        // spawning and queue overhead) over three repetitions of the
+        // workload; passes are interleaved and the best of five is taken
+        // on each side, keeping the ratio stable against noise on shared
+        // CI hardware.
+        let verified_requests: Vec<PrepareRequest> = requests
+            .iter()
+            .cloned()
+            .map(|r| r.with_verification(VerificationPolicy::replay(0.95)))
+            .collect();
+        let run_once = |requests: &[PrepareRequest]| -> Duration {
+            let engine = BatchEngine::new(EngineConfig::default().with_workers(1).without_cache());
+            (0..3)
+                .flat_map(|_| engine.run(requests))
+                .map(|result| result.expect("verification workload succeeds").elapsed)
+                .sum()
+        };
+        let (mut plain, mut verified) = (Duration::MAX, Duration::MAX);
+        let mut overhead = f64::INFINITY;
+        for _ in 0..5 {
+            // Adjacent passes see the same machine load, so the per-pass
+            // ratio is robust against common-mode noise; the best pair is
+            // the measured overhead.
+            let p = run_once(&requests);
+            let v = run_once(&verified_requests);
+            let ratio = v.as_secs_f64() / p.as_secs_f64().max(f64::MIN_POSITIVE);
+            if ratio < overhead {
+                overhead = ratio;
+                plain = p;
+                verified = v;
+            }
+        }
+        println!(
+            "\nverification: unverified {:?}, verified {:?} → overhead {overhead:.2}x",
+            plain, verified
+        );
+        assert!(
+            overhead <= 2.0,
+            "replay verification must cost at most 2x the unverified serving \
+             time (measured {overhead:.2}x)"
+        );
+
+        // Admission under flood: one worker pinned on an expensive job, a
+        // one-slot queue, and a burst of non-blocking submissions — the
+        // rejection rate and high watermark land in the JSON.
+        let service = EngineService::new(
+            EngineConfig::default()
+                .with_workers(1)
+                .with_queue_depth(1)
+                .without_cache(),
+        );
+        let d_large = dims4();
+        let mut rng = StdRng::seed_from_u64(0xAD_A115);
+        let busy = service.submit(PrepareRequest::dense(
+            d_large.clone(),
+            random_state(&d_large, RandomKind::ReImUniform, &mut rng),
+            PrepareOptions::exact(),
+        ));
+        // Let the worker pick the pinned job up, so the burst races a busy
+        // worker (one admission, then rejections) rather than a full queue.
+        while service.stats().queued > 0 {
+            std::thread::yield_now();
+        }
+        let d_small = dims3();
+        let cheap = PrepareRequest::dense(d_small.clone(), ghz(&d_small), PrepareOptions::exact());
+        let burst = if smoke { 64 } else { 512 };
+        let mut admitted = Vec::new();
+        for _ in 0..burst {
+            if let Ok(handle) = service.try_submit(cheap.clone()) {
+                admitted.push(handle);
+            }
+        }
+        busy.wait().expect("pinned job completes");
+        for handle in admitted {
+            handle.wait().expect("admitted burst job completes");
+        }
+        let stats = service.stats();
+        let rejection_rate = stats.rejected as f64 / burst as f64;
+        println!(
+            "admission flood: {} submissions, {} rejected ({:.0}% shed), \
+             high watermark {}",
+            burst,
+            stats.rejected,
+            rejection_rate * 100.0,
+            stats.high_watermark
+        );
+        service.shutdown();
+
+        out.push_str("  \"verification\": {\n");
+        let _ = writeln!(
+            out,
+            "    \"unverified_ms\": {:.3}, \"verified_ms\": {:.3}, \
+             \"overhead_ratio\": {overhead:.3}",
+            plain.as_secs_f64() * 1e3,
+            verified.as_secs_f64() * 1e3
+        );
+        out.push_str("  },\n");
+        let _ = writeln!(
+            out,
+            "  \"admission\": {{\"queue_depth\": 1, \"burst\": {burst}, \
+             \"rejected\": {}, \"rejection_rate\": {rejection_rate:.3}, \
+             \"high_watermark\": {}}}",
+            stats.rejected, stats.high_watermark
+        );
     }
 
     out.push_str("}\n");

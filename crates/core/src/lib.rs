@@ -52,7 +52,7 @@ pub mod verify;
 
 pub use pipeline::{
     prepare, prepare_from_dd, prepare_sparse, PreparationResult, PrepareError, PrepareOptions,
-    Preparer, SynthesisReport,
+    Preparer, SynthesisReport, VerificationPolicy, VerificationReport,
 };
 pub use synth::{synthesize, Direction, ProductRule, SynthesisOptions};
 
@@ -65,4 +65,6 @@ const _: () = {
     assert_send_sync::<PreparationResult>();
     assert_send_sync::<SynthesisReport>();
     assert_send_sync::<PrepareError>();
+    assert_send_sync::<VerificationPolicy>();
+    assert_send_sync::<VerificationReport>();
 };

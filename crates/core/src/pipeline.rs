@@ -31,6 +31,10 @@ pub enum PrepareError {
     Approx(ApproxError),
     /// The fidelity threshold was not in `(0, 1]`.
     InvalidThreshold(f64),
+    /// The verification policy's minimum fidelity was not in `(0, 1]`.
+    InvalidVerification(f64),
+    /// Replaying a synthesized circuit for verification failed.
+    Replay(ApplyError),
 }
 
 impl fmt::Display for PrepareError {
@@ -41,6 +45,10 @@ impl fmt::Display for PrepareError {
             PrepareError::InvalidThreshold(t) => {
                 write!(f, "fidelity threshold must be in (0, 1], got {t}")
             }
+            PrepareError::InvalidVerification(t) => {
+                write!(f, "verification fidelity must be in (0, 1], got {t}")
+            }
+            PrepareError::Replay(e) => write!(f, "verification replay failed: {e}"),
         }
     }
 }
@@ -50,7 +58,8 @@ impl std::error::Error for PrepareError {
         match self {
             PrepareError::Build(e) => Some(e),
             PrepareError::Approx(e) => Some(e),
-            PrepareError::InvalidThreshold(_) => None,
+            PrepareError::Replay(e) => Some(e),
+            PrepareError::InvalidThreshold(_) | PrepareError::InvalidVerification(_) => None,
         }
     }
 }
@@ -65,6 +74,69 @@ impl From<ApproxError> for PrepareError {
     fn from(e: ApproxError) -> Self {
         PrepareError::Approx(e)
     }
+}
+
+/// Serving-time verification policy: whether a synthesized circuit must be
+/// replayed by decision-diagram simulation ([`Preparer::replay`]) and
+/// checked against the requested target before it is handed to the caller.
+///
+/// The pipeline itself never acts on this — [`prepare`] produces the same
+/// circuit either way — but serving layers (the `mdq-engine` service) read
+/// it to decide whether to run the replay check, and the cache layer uses
+/// it to keep verified and unverified servings apart. The measured fidelity
+/// is against the *original* target state, so for approximated synthesis it
+/// reflects the approximation error too: a job prepared with
+/// [`PrepareOptions::approximated`]`(0.98)` verifies at roughly the reached
+/// fidelity (≈0.99 in the paper's Table 1), not at 1.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub enum VerificationPolicy {
+    /// Serve circuits as synthesized, without replaying them (the default).
+    #[default]
+    Off,
+    /// Replay the circuit on the ground-state diagram and require at least
+    /// this fidelity against the requested target state.
+    Replay {
+        /// Minimum acceptable fidelity, in `(0, 1]`.
+        min_fidelity: f64,
+    },
+}
+
+impl VerificationPolicy {
+    /// Replay verification at the given minimum fidelity.
+    #[must_use]
+    pub fn replay(min_fidelity: f64) -> Self {
+        VerificationPolicy::Replay { min_fidelity }
+    }
+
+    /// The minimum fidelity demanded, or `None` when verification is off.
+    #[must_use]
+    pub fn min_fidelity(&self) -> Option<f64> {
+        match self {
+            VerificationPolicy::Off => None,
+            VerificationPolicy::Replay { min_fidelity } => Some(*min_fidelity),
+        }
+    }
+
+    /// Whether any verification is demanded.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        !matches!(self, VerificationPolicy::Off)
+    }
+}
+
+/// The outcome of one replay verification ([`Preparer::verify_dense`] /
+/// [`Preparer::verify_sparse`]): what was measured, how big the replayed
+/// diagram was, and how long the check took.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VerificationReport {
+    /// Fidelity between the state the circuit actually prepares (by DD
+    /// replay from `|0…0⟩`) and the requested target state.
+    pub fidelity: f64,
+    /// Node count of the replayed diagram — the size of the verification
+    /// witness.
+    pub replay_nodes: usize,
+    /// Wall-clock time of the replay + fidelity computation.
+    pub duration: Duration,
 }
 
 /// Options for the [`prepare`] pipeline.
@@ -86,6 +158,10 @@ pub struct PrepareOptions {
     /// state). Synthesis itself never descends zero branches, so this only
     /// affects metrics and memory, not the circuit.
     pub keep_zero_subtrees: bool,
+    /// Serving-time verification demanded for this preparation. The
+    /// pipeline ignores it (circuits are identical either way); serving
+    /// layers replay-check the circuit when it is enabled.
+    pub verification: VerificationPolicy,
 }
 
 impl PrepareOptions {
@@ -98,6 +174,7 @@ impl PrepareOptions {
             synthesis: SynthesisOptions::paper(),
             reduce: false,
             keep_zero_subtrees: true,
+            verification: VerificationPolicy::Off,
         }
     }
 
@@ -131,6 +208,15 @@ impl PrepareOptions {
     #[must_use]
     pub fn without_zero_subtrees(mut self) -> Self {
         self.keep_zero_subtrees = false;
+        self
+    }
+
+    /// Demands serving-time verification under the given policy (builder
+    /// style). The synthesized circuit is unchanged; serving layers replay
+    /// it and fail the job below the policy's fidelity floor.
+    #[must_use]
+    pub fn with_verification(mut self, verification: VerificationPolicy) -> Self {
+        self.verification = verification;
         self
     }
 }
@@ -227,6 +313,11 @@ fn validate_threshold(opts: &PrepareOptions) -> Result<(), PrepareError> {
             return Err(PrepareError::InvalidThreshold(t));
         }
     }
+    if let Some(t) = opts.verification.min_fidelity() {
+        if !(t > 0.0 && t <= 1.0) {
+            return Err(PrepareError::InvalidVerification(t));
+        }
+    }
     Ok(())
 }
 
@@ -321,6 +412,10 @@ pub fn prepare_sparse(
 pub struct Preparer {
     /// The reclaimed arena of the previous job, if any.
     scratch: Option<DdArena>,
+    /// The reclaimed arena of the previous *replay verification*, kept
+    /// separately because a job's own arena is still holding its result
+    /// while the replay runs.
+    replay_scratch: Option<DdArena>,
     /// Memo tables for diagram replays ([`Preparer::replay`]).
     cache: ComputeCache,
     /// Resource cap applied to every build (service deployments).
@@ -507,6 +602,115 @@ impl Preparer {
     /// diagram (e.g. below-target controls) or the arena overflows.
     pub fn replay(&mut self, circuit: &Circuit) -> Result<StateDd, ApplyError> {
         StateDd::ground(circuit.dims()).apply_circuit_with(circuit, &mut self.cache)
+    }
+
+    /// The verification-internal replay: like [`Preparer::replay`], but
+    /// built into this preparer's reclaimed replay arena and left
+    /// uncompacted (the caller evaluates it once, then hands the arena
+    /// back through [`Preparer::recycle_replay`]).
+    fn replay_recycled(&mut self, circuit: &Circuit) -> Result<StateDd, ApplyError> {
+        let ground = match self.replay_scratch.take() {
+            Some(arena) => StateDd::ground_in(circuit.dims(), arena),
+            None => StateDd::ground(circuit.dims()),
+        };
+        ground.apply_circuit_consuming(circuit, &mut self.cache)
+    }
+
+    /// Reclaims a replayed diagram's arena for the next verification.
+    fn recycle_replay(&mut self, replayed: StateDd) {
+        let mut arena = replayed.into_arena();
+        arena.reset();
+        self.replay_scratch = Some(arena);
+    }
+
+    /// Replay-verifies a synthesized circuit against the *dense* target it
+    /// was prepared from: applies the circuit to the ground-state diagram
+    /// ([`Preparer::replay`], memo tables reused) and measures the fidelity
+    /// with `target` — the serving-time correctness check advocated by
+    /// DD-based simulation packages, without ever touching a dense
+    /// simulator.
+    ///
+    /// `target` must be the amplitude vector of the circuit's register
+    /// (length `circuit.dims().space_size()`); it does not have to be
+    /// normalized.
+    ///
+    /// # Errors
+    ///
+    /// [`PrepareError::Replay`] when the circuit cannot be replayed on a
+    /// diagram (below-target controls, arena overflow).
+    pub fn verify_dense(
+        &mut self,
+        circuit: &Circuit,
+        target: &[Complex],
+    ) -> Result<VerificationReport, PrepareError> {
+        let t0 = Instant::now();
+        let replayed = self
+            .replay_recycled(circuit)
+            .map_err(PrepareError::Replay)?;
+        let replay_nodes = replayed.live_node_count();
+        let prepared = replayed.to_amplitudes();
+        let norm = mdq_num::norm(target);
+        let fidelity = if norm > 0.0 {
+            let normalized: Vec<Complex> = target.iter().map(|a| *a / norm).collect();
+            mdq_num::fidelity(&normalized, &prepared)
+        } else {
+            0.0
+        };
+        self.recycle_replay(replayed);
+        Ok(VerificationReport {
+            fidelity,
+            replay_nodes,
+            duration: t0.elapsed(),
+        })
+    }
+
+    /// The sparse twin of [`Preparer::verify_dense`]: replay the circuit,
+    /// then compute the fidelity against the `(digits, amplitude)` support
+    /// list by evaluating the replayed diagram at each support point —
+    /// `O(support × width)` on top of the replay, never materializing the
+    /// dense vector, so it scales to the same registers the sparse pipeline
+    /// does. Duplicate support entries are summed, near-zero ones dropped,
+    /// exactly as the builder does under `tolerance`.
+    ///
+    /// # Errors
+    ///
+    /// [`PrepareError::Replay`] when the replay fails,
+    /// [`PrepareError::Build`] when the support list is malformed for the
+    /// circuit's register.
+    pub fn verify_sparse(
+        &mut self,
+        circuit: &Circuit,
+        target: &[(Vec<usize>, Complex)],
+        tolerance: Tolerance,
+    ) -> Result<VerificationReport, PrepareError> {
+        let t0 = Instant::now();
+        let dims = circuit.dims().clone();
+        let support = StateDd::canonical_sparse_support(&dims, target, tolerance)?;
+        let replayed = self
+            .replay_recycled(circuit)
+            .map_err(PrepareError::Replay)?;
+        let replay_nodes = replayed.live_node_count();
+        // ⟨target|replayed⟩ over the target's support; the replayed diagram
+        // is normalized by construction (unitary circuit on |0…0⟩), so the
+        // fidelity only needs the target's norm.
+        let mut inner = Complex::ZERO;
+        let mut norm_sq = 0.0;
+        for (index, amplitude) in support {
+            let digits = dims.digits_of(index);
+            inner += amplitude.conj() * replayed.amplitude(&digits);
+            norm_sq += amplitude.norm_sqr();
+        }
+        let fidelity = if norm_sq > 0.0 {
+            inner.norm_sqr() / norm_sq
+        } else {
+            0.0
+        };
+        self.recycle_replay(replayed);
+        Ok(VerificationReport {
+            fidelity,
+            replay_nodes,
+            duration: t0.elapsed(),
+        })
     }
 }
 
@@ -983,5 +1187,119 @@ mod tests {
             prepare_sparse(&d, &entries, PrepareOptions::approximated(0.0)).unwrap_err(),
             PrepareError::InvalidThreshold(0.0)
         );
+    }
+
+    #[test]
+    fn verification_policy_is_validated_and_inert() {
+        let d = dims(&[3, 3]);
+        // Out-of-range verification fidelity is rejected up front.
+        for bad in [0.0, -1.0, 1.5] {
+            let opts = PrepareOptions::exact().with_verification(VerificationPolicy::replay(bad));
+            assert_eq!(
+                prepare(&d, &ghz(&d), opts).unwrap_err(),
+                PrepareError::InvalidVerification(bad)
+            );
+        }
+        // A valid policy never changes the synthesized circuit.
+        let plain = prepare(&d, &ghz(&d), PrepareOptions::exact()).unwrap();
+        let policed = prepare(
+            &d,
+            &ghz(&d),
+            PrepareOptions::exact().with_verification(VerificationPolicy::replay(0.99)),
+        )
+        .unwrap();
+        assert_eq!(plain.circuit, policed.circuit);
+        assert_eq!(VerificationPolicy::replay(0.99).min_fidelity(), Some(0.99));
+        assert!(VerificationPolicy::replay(0.99).is_enabled());
+        assert!(!VerificationPolicy::default().is_enabled());
+    }
+
+    #[test]
+    fn verify_dense_measures_exact_circuits_at_unit_fidelity() {
+        let d = dims(&[3, 6, 2]);
+        let mut preparer = Preparer::new();
+        for target in [ghz(&d), w_state(&d), embedded_w(&d)] {
+            let result = preparer
+                .prepare(&d, &target, PrepareOptions::exact())
+                .unwrap();
+            let report = preparer.verify_dense(&result.circuit, &target).unwrap();
+            assert!(
+                (report.fidelity - 1.0).abs() < 1e-9,
+                "fidelity {}",
+                report.fidelity
+            );
+            assert!(report.replay_nodes > 0);
+            preparer.recycle(result);
+        }
+    }
+
+    #[test]
+    fn verify_dense_sees_the_approximation_error() {
+        // Verification measures against the ORIGINAL target, so an
+        // approximated circuit verifies at the reached fidelity (< 1), and
+        // the measurement agrees with the dense simulator's.
+        let d = dims(&[3, 6, 2]);
+        let mut rng = StdRng::seed_from_u64(13);
+        let target = random_state(&d, RandomKind::ReImUniform, &mut rng);
+        let opts = PrepareOptions::approximated(0.9).without_zero_subtrees();
+        let mut preparer = Preparer::new();
+        let result = preparer.prepare(&d, &target, opts).unwrap();
+        assert!(result.report.pruned_mass > 0.0, "budget 0.1 must prune");
+        let report = preparer.verify_dense(&result.circuit, &target).unwrap();
+        assert!(report.fidelity < 1.0 - 1e-9, "fidelity {}", report.fidelity);
+        assert!(report.fidelity >= 0.9 - 1e-9);
+        let simulated = crate::verify::prepared_fidelity(&result.circuit, &target);
+        assert!(
+            (report.fidelity - simulated).abs() < 1e-9,
+            "replay {} vs dense {}",
+            report.fidelity,
+            simulated
+        );
+    }
+
+    #[test]
+    fn verify_sparse_scales_past_dense_reach() {
+        // 16 qudits (~43M dense amplitudes): replay verification works on
+        // the support list alone, duplicates summed like the builder does.
+        let pattern = [3usize, 4, 2, 5, 3, 2, 4, 3, 2, 3, 4, 2, 5, 3, 2, 3];
+        let d = dims(&pattern);
+        let entries = mdq_states::sparse::ghz(&d);
+        let mut preparer = Preparer::new();
+        let result = preparer
+            .prepare_sparse(&d, &entries, PrepareOptions::exact())
+            .unwrap();
+        let report = preparer
+            .verify_sparse(&result.circuit, &entries, Tolerance::default())
+            .unwrap();
+        assert!(
+            (report.fidelity - 1.0).abs() < 1e-9,
+            "fidelity {}",
+            report.fidelity
+        );
+        // Duplicate-split support verifies identically.
+        let h = entries[0].1 * Complex::real(0.5);
+        let mut split = vec![(entries[0].0.clone(), h), (entries[0].0.clone(), h)];
+        split.extend(entries[1..].iter().cloned());
+        let split_report = preparer
+            .verify_sparse(&result.circuit, &split, Tolerance::default())
+            .unwrap();
+        assert!((split_report.fidelity - report.fidelity).abs() < 1e-12);
+    }
+
+    #[test]
+    fn verify_sparse_rejects_malformed_support() {
+        let d = dims(&[3, 3]);
+        let mut preparer = Preparer::new();
+        let result = preparer
+            .prepare_sparse(&d, &mdq_states::sparse::ghz(&d), PrepareOptions::exact())
+            .unwrap();
+        let err = preparer
+            .verify_sparse(
+                &result.circuit,
+                &[(vec![0, 9], Complex::ONE)],
+                Tolerance::default(),
+            )
+            .unwrap_err();
+        assert!(matches!(err, PrepareError::Build(_)));
     }
 }

@@ -13,7 +13,15 @@
 //! weighted-sum steps memoize through a [`ComputeCache`].
 //! [`StateDd::apply_circuit`] threads one arena and one cache through every
 //! instruction of a circuit and compacts the arena once at the end, so a
-//! whole simulation run allocates a single node store.
+//! whole simulation run allocates a single node store. Whole-circuit
+//! application additionally **fuses** runs of instructions sharing one
+//! target and control set into a single matrix (skipping exact identities),
+//! and edits full control paths through a frame stack ([`PathEditor`]) so
+//! consecutive instructions sharing path prefixes — the synthesizer's DFS
+//! emission order — re-intern each path node once per context switch
+//! instead of once per instruction. This is what makes replay
+//! *verification* of synthesized circuits cost the same order as the
+//! preparation pipeline itself.
 //!
 //! The supported instruction shape matches what the synthesizer emits:
 //! every control qudit must be *more significant* than the target (controls
@@ -92,6 +100,230 @@ impl std::error::Error for ApplyError {}
 impl From<ArenaOverflow> for ApplyError {
     fn from(e: ArenaOverflow) -> Self {
         ApplyError::ArenaOverflow { limit: e.limit }
+    }
+}
+
+/// Whether `matrix` is the *exact* identity (bit-level `1.0` diagonal,
+/// `±0.0` elsewhere). Zero-angle rotations — which paper-faithful synthesis
+/// emits in large numbers — hit this exactly (`cos(±0) == 1.0`,
+/// `sin(±0) == ±0.0`), and skipping them is bit-equivalent to applying
+/// them, so the check deliberately uses no tolerance.
+fn is_identity(matrix: &CMatrix) -> bool {
+    let n = matrix.dim();
+    for j in 0..n {
+        for k in 0..n {
+            let c = matrix.get(j, k);
+            let want_re = if j == k { 1.0 } else { 0.0 };
+            if c.re != want_re || c.im != 0.0 {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Checks whether `controls` form the *full* path above `target` — one
+/// control on every qudit `0..target` — and returns the per-level control
+/// levels in qudit order if so. Synthesized circuits always have this
+/// shape; reduced-diagram circuits (elided controls) do not.
+///
+/// # Errors
+///
+/// Rejects out-of-range control levels and below-target controls, exactly
+/// as the generic application path does.
+fn full_control_path(
+    dims: &Dims,
+    target: usize,
+    controls: &[mdq_circuit::Control],
+) -> Result<Option<Vec<usize>>, ApplyError> {
+    for c in controls {
+        if c.qudit >= target {
+            return Err(ApplyError::ControlNotAboveTarget {
+                control: c.qudit,
+                target,
+            });
+        }
+        let dim = dims.dim(c.qudit);
+        if c.level >= dim {
+            return Err(ApplyError::ControlLevelOutOfRange {
+                level: c.level,
+                dim,
+            });
+        }
+    }
+    if controls.len() != target {
+        return Ok(None);
+    }
+    let mut path = vec![usize::MAX; target];
+    for c in controls {
+        if path[c.qudit] != usize::MAX {
+            return Ok(None); // duplicate control on one qudit
+        }
+        path[c.qudit] = c.level;
+    }
+    Ok(Some(path))
+}
+
+/// One open node of the [`PathEditor`]: a working copy of the node's edge
+/// list, the child index the open path descends through, and the weight of
+/// the edge that led here (re-multiplied on close).
+struct Frame {
+    branch: usize,
+    edges: Vec<Edge>,
+    up: Complex,
+}
+
+/// The control-path editor behind [`StateDd::apply_circuit_with`].
+///
+/// Full-path-controlled instructions touch exactly one root path plus the
+/// subtree at their target; consecutive instructions (synthesis order is a
+/// DFS over contexts) share long path prefixes. The editor keeps the
+/// current path *open* — one [`Frame`] per level, edges editable in place
+/// — and only interns a path node when the next instruction leaves it
+/// (or the circuit ends). Total path interning drops from
+/// `O(instructions × depth)` to `O(context switches)`, which is what makes
+/// replay verification affordable next to the pipeline itself.
+#[derive(Default)]
+struct PathEditor {
+    stack: Vec<Frame>,
+}
+
+impl PathEditor {
+    /// Closes the deepest open frame, interning its edited edges and
+    /// patching the parent frame (or the diagram root).
+    fn close_one(&mut self, state: &mut StateDd) -> Result<(), ArenaOverflow> {
+        let frame = self.stack.pop().expect("close_one on an open frame");
+        let level = self.stack.len();
+        let interned = state.arena.intern_normalized(level, frame.edges)?;
+        let tol = state.tolerance().value();
+        let combined = Edge::new(frame.up * interned.weight, interned.target);
+        let combined = if combined.is_zero(tol) {
+            Edge::ZERO
+        } else {
+            combined
+        };
+        if let Some(parent) = self.stack.last_mut() {
+            parent.edges[parent.branch] = combined;
+        } else if combined.is_zero(tol) {
+            state.root = NodeRef::Terminal;
+            state.root_weight = Complex::ZERO;
+        } else {
+            state.root = combined.target;
+            // Unitary circuits preserve the norm; keep only the phase,
+            // exactly as the generic per-instruction path does.
+            let total = state.root_weight * combined.weight;
+            state.root_weight = Complex::cis(total.arg());
+        }
+        Ok(())
+    }
+
+    /// Closes every open frame (e.g. before compaction or a generic-path
+    /// instruction).
+    fn close_all(&mut self, state: &mut StateDd) -> Result<(), ArenaOverflow> {
+        while !self.stack.is_empty() {
+            self.close_one(state)?;
+        }
+        Ok(())
+    }
+
+    /// Applies `matrix` on `target` under the full control `path`
+    /// (`path[q]` = required level of qudit `q`, for all `q < target`).
+    fn apply(
+        &mut self,
+        state: &mut StateDd,
+        cache: &mut ComputeCache,
+        path: &[usize],
+        target: usize,
+        matrix: &CMatrix,
+    ) -> Result<(), ArenaOverflow> {
+        let tol = state.tolerance().value();
+        // Keep the shared prefix open, close what diverges.
+        let mut common = 0;
+        while common < self.stack.len()
+            && common < target
+            && self.stack[common].branch == path[common]
+        {
+            common += 1;
+        }
+        while self.stack.len() > common {
+            self.close_one(state)?;
+        }
+        // Open the remaining levels of this instruction's path.
+        while self.stack.len() < target {
+            let level = self.stack.len();
+            let into = match self.stack.last() {
+                Some(parent) => parent.edges[parent.branch],
+                None => match state.root {
+                    // A zero diagram: controlled gates act on nothing.
+                    NodeRef::Terminal => return Ok(()),
+                    NodeRef::Node(_) => Edge::new(Complex::ONE, state.root),
+                },
+            };
+            if into.is_zero(tol) {
+                // The controlled branch carries no amplitude — the whole
+                // instruction is a no-op. Frames opened so far stay open
+                // (they are on the instruction's valid prefix).
+                return Ok(());
+            }
+            let id = into
+                .target
+                .id()
+                .expect("diagram levels are dense above the terminal");
+            let edges = state.arena.node(id).edges().to_vec();
+            self.stack.push(Frame {
+                branch: path[level],
+                edges,
+                up: into.weight,
+            });
+        }
+        // With the path open, transform the target subtree in place.
+        let sub = match self.stack.last() {
+            Some(frame) => frame.edges[frame.branch],
+            None => match state.root {
+                // Uncontrolled instruction on a zero diagram.
+                NodeRef::Terminal => return Ok(()),
+                NodeRef::Node(_) => Edge::new(Complex::ONE, state.root),
+            },
+        };
+        if sub.is_zero(tol) {
+            return Ok(());
+        }
+        let id = sub
+            .target
+            .id()
+            .expect("diagram levels are dense above the terminal");
+        cache.begin_instruction();
+        let transformed = {
+            let mut ctx = ApplyCtx {
+                arena: &mut state.arena,
+                cache,
+                tol,
+                controls: &[],
+                target,
+                matrix,
+            };
+            ctx.rec(id, 0)?
+        };
+        let replaced = if transformed.is_zero(tol) {
+            Edge::ZERO
+        } else {
+            Edge::new(sub.weight * transformed.weight, transformed.target)
+        };
+        match self.stack.last_mut() {
+            Some(frame) => frame.edges[frame.branch] = replaced,
+            None => {
+                // target == 0: the transform rewrote the root node itself.
+                if replaced.is_zero(tol) {
+                    state.root = NodeRef::Terminal;
+                    state.root_weight = Complex::ZERO;
+                } else {
+                    state.root = replaced.target;
+                    let total = state.root_weight * replaced.weight;
+                    state.root_weight = Complex::cis(total.arg());
+                }
+            }
+        }
+        Ok(())
     }
 }
 
@@ -244,7 +476,14 @@ impl StateDd {
     /// ```
     #[must_use]
     pub fn ground(dims: &Dims) -> StateDd {
-        let mut arena = DdArena::new(Tolerance::default());
+        Self::ground_in(dims, DdArena::new(Tolerance::default()))
+    }
+
+    /// [`StateDd::ground`] built into a caller-provided (reset) arena, so
+    /// repeated replays — e.g. verification jobs on a long-lived worker —
+    /// reuse one grown node store instead of allocating per replay.
+    #[must_use]
+    pub fn ground_in(dims: &Dims, mut arena: DdArena) -> StateDd {
         let mut below = NodeRef::Terminal;
         for level in (0..dims.len()).rev() {
             let mut edges = vec![Edge::ZERO; dims.dim(level)];
@@ -309,8 +548,26 @@ impl StateDd {
         if target >= self.dims.len() {
             return Err(ApplyError::TargetOutOfRange { qudit: target });
         }
-        let mut controls: Vec<(usize, usize)> = Vec::with_capacity(instruction.controls.len());
-        for c in &instruction.controls {
+        let matrix = instruction.gate.matrix(self.dims.dim(target));
+        self.apply_matrix_mut_with(target, &instruction.controls, &matrix, cache, false)
+    }
+
+    /// Applies an arbitrary `d×d` unitary on `target` under `controls`, in
+    /// place — the shared engine behind [`StateDd::apply_mut_with`] and the
+    /// gate-fused [`StateDd::apply_circuit_with`] replay path.
+    fn apply_matrix_mut_with(
+        &mut self,
+        target: usize,
+        instruction_controls: &[mdq_circuit::Control],
+        matrix: &CMatrix,
+        cache: &mut ComputeCache,
+        keep_sums: bool,
+    ) -> Result<(), ApplyError> {
+        if target >= self.dims.len() {
+            return Err(ApplyError::TargetOutOfRange { qudit: target });
+        }
+        let mut controls: Vec<(usize, usize)> = Vec::with_capacity(instruction_controls.len());
+        for c in instruction_controls {
             if c.qudit >= target {
                 return Err(ApplyError::ControlNotAboveTarget {
                     control: c.qudit,
@@ -327,10 +584,23 @@ impl StateDd {
             controls.push((c.qudit, c.level));
         }
         controls.sort_unstable();
-        let matrix = instruction.gate.matrix(self.dims.dim(target));
         let tol = self.tolerance().value();
 
-        cache.begin_op();
+        // Identity fast path: paper-faithful synthesis keeps zero-angle
+        // rotations (they carry Table-1 operation counts), and structured
+        // states make them the majority of a circuit. Applying an exact
+        // identity is a structural no-op on a canonical diagram, so skip
+        // the whole recursion — this is what keeps replay verification
+        // within the same order as the pipeline itself.
+        if is_identity(matrix) {
+            return Ok(());
+        }
+
+        if keep_sums {
+            cache.begin_instruction();
+        } else {
+            cache.begin_op();
+        }
         let root_edge = match self.root {
             NodeRef::Terminal => Edge::ZERO,
             NodeRef::Node(id) => {
@@ -340,7 +610,7 @@ impl StateDd {
                     tol,
                     controls: &controls,
                     target,
-                    matrix: &matrix,
+                    matrix,
                 };
                 ctx.rec(id, 0)?
             }
@@ -397,21 +667,105 @@ impl StateDd {
         circuit: &mdq_circuit::Circuit,
         cache: &mut ComputeCache,
     ) -> Result<StateDd, ApplyError> {
+        Ok(self
+            .clone()
+            .apply_circuit_consuming(circuit, cache)?
+            .compacted())
+    }
+
+    /// The zero-copy core of [`StateDd::apply_circuit_with`]: consumes the
+    /// diagram (no arena clone) and skips the final compaction, so the
+    /// result's arena may still hold superseded nodes — queries
+    /// ([`StateDd::amplitude`], [`StateDd::to_amplitudes`],
+    /// [`StateDd::live_node_count`]) are unaffected, but
+    /// [`StateDd::node_count`] counts the garbage too. This is the replay
+    /// path of verification workers, which evaluate the result once and
+    /// then recycle the arena.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ApplyError`]; the circuit's register must match
+    /// the diagram's.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit is defined over a different register.
+    pub fn apply_circuit_consuming(
+        self,
+        circuit: &mdq_circuit::Circuit,
+        cache: &mut ComputeCache,
+    ) -> Result<StateDd, ApplyError> {
         assert_eq!(
             circuit.dims(),
             &self.dims,
             "circuit register differs from diagram register"
         );
-        let mut state = self.clone();
+        let mut state = self;
         let mut live = state.arena.len().max(64);
-        for instr in circuit.iter() {
-            state.apply_mut_with(instr, cache)?;
-            if state.arena.len() > 2 * live {
+        // The synthesizer emits *runs* of instructions sharing one target
+        // and one control set (each diagram node contributes d−1 Givens
+        // plus a phase rotation under the same path context). Fuse each
+        // run into a single d×d product matrix and apply it once: one
+        // diagram traversal instead of d, and zero-angle rotations vanish
+        // into the (skipped) identity. Mathematically exact — products of
+        // equally-controlled unitaries are the controlled product.
+        let instructions: Vec<&mdq_circuit::Instruction> = circuit.iter().collect();
+        // One arena for the whole run: the weighted-sum memo stays valid
+        // across instructions (see `ComputeCache::begin_instruction`) and
+        // is flushed only when compaction replaces the arena.
+        cache.begin_op();
+        // Consecutive contexts additionally share control-path *prefixes*
+        // (synthesis emits them in DFS order), so the path from the root
+        // to each target is kept "open" in a frame stack and every path
+        // node is re-interned once per context *switch* instead of once
+        // per instruction — see `PathEditor`.
+        let mut editor = PathEditor::default();
+        let mut i = 0;
+        while i < instructions.len() {
+            let head = instructions[i];
+            let target = head.qudit;
+            if target >= state.dims.len() {
+                return Err(ApplyError::TargetOutOfRange { qudit: target });
+            }
+            let d = state.dims.dim(target);
+            let mut matrix = head.gate.matrix(d);
+            let mut j = i + 1;
+            while j < instructions.len()
+                && instructions[j].qudit == target
+                && instructions[j].controls == head.controls
+            {
+                // Later gates act after earlier ones: U = U_j · … · U_i.
+                matrix = &instructions[j].gate.matrix(d) * &matrix;
+                j += 1;
+            }
+            i = j;
+            // Control validation must precede the identity skip, so a
+            // malformed instruction fails here exactly as it would on the
+            // per-instruction path, zero-angle or not.
+            let path = full_control_path(&state.dims, target, &head.controls)?;
+            if is_identity(&matrix) {
+                continue;
+            }
+            if let Some(path) = path {
+                editor.apply(&mut state, cache, &path, target, &matrix)?;
+            } else {
+                // Sparse control sets (e.g. circuits from reduced diagrams
+                // with elided controls) fall back to the generic per-op
+                // application, which requires a closed diagram.
+                editor.close_all(&mut state)?;
+                state.apply_matrix_mut_with(target, &head.controls, &matrix, cache, true)?;
+            }
+            if state.arena.len() > 2 * live + 1024 {
+                // Compaction rebuilds the arena: close the editor (its
+                // frames hold node ids) and flush the sum memo.
+                editor.close_all(&mut state)?;
                 state = state.compacted();
                 live = state.arena.len().max(64);
+                cache.begin_op();
             }
         }
-        Ok(state.compacted())
+        editor.close_all(&mut state)?;
+        Ok(state)
     }
 }
 
@@ -661,6 +1015,153 @@ mod tests {
             }
             assert!((state.root().0.abs() - 1.0).abs() < 1e-9);
         }
+    }
+
+    /// A synthesized-shape circuit: full control paths, DFS context order,
+    /// zero-angle (identity) rotations mixed in — the shape the fused
+    /// path editor of `apply_circuit_with` is built for.
+    fn synthesized_shape_circuit(d: &Dims) -> Circuit {
+        let mut c = Circuit::new(d.clone());
+        c.push(Instruction::local(0, Gate::givens(0, 1, 0.7, 0.3)))
+            .unwrap();
+        c.push(Instruction::local(0, Gate::z_rotation(0, 1, 0.4)))
+            .unwrap();
+        for l0 in 0..d.dim(0) {
+            // A zero-angle rotation (identity) in every context.
+            c.push(Instruction::controlled(
+                1,
+                Gate::givens(0, 1, 0.0, -std::f64::consts::FRAC_PI_2),
+                vec![Control::new(0, l0)],
+            ))
+            .unwrap();
+            c.push(Instruction::controlled(
+                1,
+                Gate::givens(1, 2, 0.5 + 0.2 * l0 as f64, 0.1),
+                vec![Control::new(0, l0)],
+            ))
+            .unwrap();
+            for l1 in 0..2 {
+                c.push(Instruction::controlled(
+                    2,
+                    Gate::givens(0, 1, 0.3 * (1 + l1) as f64, -0.2),
+                    vec![Control::new(0, l0), Control::new(1, l1)],
+                ))
+                .unwrap();
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn fused_circuit_application_matches_per_instruction() {
+        let d = dims(&[3, 3, 2]);
+        let c = synthesized_shape_circuit(&d);
+        // Reference: strictly per-instruction application.
+        let mut reference = StateDd::ground(&d);
+        for instr in c.iter() {
+            reference = reference.apply(instr).unwrap();
+        }
+        // Fused + path-edited whole-circuit application.
+        let fused = StateDd::ground(&d).apply_circuit(&c).unwrap();
+        assert!(
+            (fused.fidelity(&reference) - 1.0).abs() < 1e-9,
+            "fidelity {}",
+            fused.fidelity(&reference)
+        );
+        assert!(fused.is_canonical());
+        assert!(fused.check_canonical());
+    }
+
+    #[test]
+    fn mixed_full_and_sparse_control_paths_agree() {
+        // Interleave full-path ops (path-editor fast path) with ops whose
+        // control set skips a level (generic fallback): the editor must
+        // close cleanly between them.
+        let d = dims(&[3, 2, 3]);
+        let mut c = Circuit::new(d.clone());
+        c.push(Instruction::local(0, Gate::fourier())).unwrap();
+        c.push(Instruction::controlled(
+            1,
+            Gate::givens(0, 1, 0.8, 0.0),
+            vec![Control::new(0, 1)],
+        ))
+        .unwrap();
+        // Sparse controls: qudit 1 is skipped.
+        c.push(Instruction::controlled(
+            2,
+            Gate::shift(1),
+            vec![Control::new(0, 1)],
+        ))
+        .unwrap();
+        c.push(Instruction::controlled(
+            2,
+            Gate::givens(1, 2, 0.4, 0.2),
+            vec![Control::new(0, 2), Control::new(1, 1)],
+        ))
+        .unwrap();
+        let mut reference = StateDd::ground(&d);
+        for instr in c.iter() {
+            reference = reference.apply(instr).unwrap();
+        }
+        let fused = StateDd::ground(&d).apply_circuit(&c).unwrap();
+        assert!((fused.fidelity(&reference) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn consuming_application_matches_compacted_result() {
+        let d = dims(&[3, 3, 2]);
+        let c = synthesized_shape_circuit(&d);
+        let compacted = StateDd::ground(&d).apply_circuit(&c).unwrap();
+        let mut cache = ComputeCache::new();
+        let raw = StateDd::ground(&d)
+            .apply_circuit_consuming(&c, &mut cache)
+            .unwrap();
+        // Same state, and the live node count agrees with the compacted
+        // diagram even though the raw arena may hold superseded nodes.
+        assert!((raw.fidelity(&compacted) - 1.0).abs() < 1e-12);
+        assert_eq!(raw.live_node_count(), compacted.node_count());
+        assert!(raw.node_count() >= raw.live_node_count());
+    }
+
+    #[test]
+    fn identity_instructions_still_validate_their_controls() {
+        // The identity fast path must not skip validation: a zero-angle
+        // gate with a below-target control fails whole-circuit application
+        // exactly as it fails the per-instruction path.
+        let d = dims(&[2, 2]);
+        let bad =
+            Instruction::controlled(0, Gate::givens(0, 1, 0.0, 0.0), vec![Control::new(1, 1)]);
+        let mut c = Circuit::new(d.clone());
+        c.push(bad.clone()).unwrap();
+        let per_instruction = StateDd::ground(&d).apply(&bad).unwrap_err();
+        let whole_circuit = StateDd::ground(&d).apply_circuit(&c).unwrap_err();
+        assert_eq!(per_instruction, whole_circuit);
+        assert!(matches!(
+            whole_circuit,
+            ApplyError::ControlNotAboveTarget {
+                control: 1,
+                target: 0
+            }
+        ));
+    }
+
+    #[test]
+    fn identity_only_circuits_leave_the_state_untouched() {
+        let d = dims(&[3, 2]);
+        let mut c = Circuit::new(d.clone());
+        c.push(Instruction::local(0, Gate::givens(0, 1, 0.0, 0.0)))
+            .unwrap();
+        c.push(Instruction::controlled(
+            1,
+            Gate::z_rotation(0, 1, 0.0),
+            vec![Control::new(0, 1)],
+        ))
+        .unwrap();
+        let a = Complex::real(1.0 / 6.0_f64.sqrt());
+        let dd = StateDd::from_amplitudes(&d, &[a; 6], BuildOptions::default()).unwrap();
+        let out = dd.apply_circuit(&c).unwrap();
+        assert_eq!(out.node_count(), dd.node_count());
+        assert!((out.fidelity(&dd) - 1.0).abs() < 1e-15);
     }
 
     #[test]

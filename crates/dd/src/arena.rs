@@ -255,10 +255,23 @@ impl DdArena {
         for e in &mut edges {
             e.weight = e.weight / norm;
         }
-        let phase = edges
-            .iter()
-            .find(|e| !e.is_zero(tol))
-            .map_or(0.0, |e| e.weight.arg());
+        let lead = edges.iter().find(|e| !e.is_zero(tol)).map(|e| e.weight);
+        // Fast path for an already phase-free leading weight (the common
+        // case when re-interning nodes that were canonical before an edit):
+        // skips `arg`/`cis`/`from_polar` transcendentals entirely.
+        if lead.is_none_or(|w| w.im == 0.0 && w.re > 0.0) {
+            for e in &mut edges {
+                if e.is_zero(tol) {
+                    e.weight = Complex::ZERO;
+                }
+            }
+            let target = self.intern(level, edges)?;
+            if target.is_terminal() {
+                return Ok(Edge::ZERO);
+            }
+            return Ok(Edge::new(Complex::real(norm), target));
+        }
+        let phase = lead.map_or(0.0, Complex::arg);
         let unphase = Complex::cis(-phase);
         for e in &mut edges {
             e.weight *= unphase;
@@ -318,6 +331,15 @@ impl ComputeCache {
     pub fn begin_op(&mut self) {
         self.rec.clear();
         self.sum.clear();
+    }
+
+    /// Clears only the per-instruction transform memo, keeping the
+    /// weighted-sum memo. Sound *within* one circuit application on one
+    /// (append-only) arena: sums are matrix-independent, so their entries
+    /// stay valid across instructions — until a compaction rebuilds the
+    /// arena, at which point the caller must [`ComputeCache::begin_op`].
+    pub fn begin_instruction(&mut self) {
+        self.rec.clear();
     }
 }
 

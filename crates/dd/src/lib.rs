@@ -175,6 +175,17 @@ impl StateDd {
         &self.arena
     }
 
+    /// Number of nodes reachable from the root. Equals
+    /// [`StateDd::node_count`] on a compacted diagram; on an uncompacted
+    /// one (e.g. the result of [`StateDd::apply_circuit_consuming`]) it
+    /// counts only the live diagram, not superseded arena garbage.
+    #[must_use]
+    pub fn live_node_count(&self) -> usize {
+        let mut reachable = vec![false; self.arena.len()];
+        self.mark_reachable(&mut reachable);
+        reachable.iter().filter(|&&r| r).count()
+    }
+
     /// Consumes the diagram and returns its arena, so a worker can
     /// [`reset`](DdArena::reset) and reuse the grown node store and
     /// canonicalization indices for the next job instead of reallocating

@@ -22,7 +22,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use mdq_circuit::Circuit;
-use mdq_core::{Direction, ProductRule, SynthesisReport};
+use mdq_core::{Direction, ProductRule, SynthesisReport, VerificationReport};
 use mdq_num::Complex;
 
 use crate::request::{PrepareRequest, StatePayload};
@@ -41,12 +41,17 @@ pub struct CacheStats {
     pub evictions: u64,
 }
 
-/// A cached preparation: the synthesized circuit and its metrics, shared
-/// between the store and every report served from it.
+/// A cached preparation: the synthesized circuit, its metrics, and — when
+/// the entry was produced by a verified job — the replay-verification
+/// outcome, shared between the store and every report served from it.
 #[derive(Debug)]
 pub(crate) struct CachedPreparation {
     pub(crate) circuit: Circuit,
     pub(crate) report: SynthesisReport,
+    /// `Some` iff the entry's circuit was replay-verified when it was
+    /// computed. Requests that demand verification are only ever served
+    /// entries where this is `Some` (see [`CircuitCache::get`]).
+    pub(crate) verification: Option<VerificationReport>,
 }
 
 /// The canonical identity of a preparation request; see the
@@ -295,10 +300,17 @@ impl CircuitCache {
 
     /// Looks up an exact key under its fingerprint, counting a hit or miss
     /// and refreshing the entry's LRU stamp on a hit.
+    ///
+    /// With `require_verified`, an entry without a verification report is
+    /// *not* served (counted as a miss): a request that demands
+    /// verification must never silently reuse an unverified entry — the
+    /// caller re-runs the pipeline with verification and
+    /// [`CircuitCache::insert`] upgrades the entry in place.
     pub(crate) fn get(
         &self,
         fingerprint: u64,
         key: &CanonicalKey,
+        require_verified: bool,
     ) -> Option<Arc<CachedPreparation>> {
         let mut shard = self
             .shard(fingerprint)
@@ -309,7 +321,11 @@ impl CircuitCache {
         let found = shard
             .map
             .get_mut(&fingerprint)
-            .and_then(|bucket| bucket.iter_mut().find(|e| e.key == *key))
+            .and_then(|bucket| {
+                bucket.iter_mut().find(|e| {
+                    e.key == *key && !(require_verified && e.value.verification.is_none())
+                })
+            })
             .map(|entry| {
                 entry.last_used = tick;
                 Arc::clone(&entry.value)
@@ -325,7 +341,9 @@ impl CircuitCache {
     /// Stores a preparation under its key, evicting the shard's
     /// least-recently-used entry first when the shard is at its bound. If
     /// another worker raced the same key in first, the existing entry wins
-    /// (both are bit-identical by construction).
+    /// (both are bit-identical by construction) — unless the new value is
+    /// verified and the stored one is not, in which case the verified
+    /// value replaces it so the verification outcome is retained.
     pub(crate) fn insert(
         &self,
         fingerprint: u64,
@@ -336,11 +354,14 @@ impl CircuitCache {
             .shard(fingerprint)
             .lock()
             .expect("cache shard poisoned");
-        if shard
+        if let Some(existing) = shard
             .map
-            .get(&fingerprint)
-            .is_some_and(|bucket| bucket.iter().any(|e| e.key == key))
+            .get_mut(&fingerprint)
+            .and_then(|bucket| bucket.iter_mut().find(|e| e.key == key))
         {
+            if existing.value.verification.is_none() && value.verification.is_some() {
+                existing.value = value;
+            }
             return;
         }
         if let Some(capacity) = self.shard_capacity {
@@ -547,7 +568,7 @@ mod tests {
         let a = Complex::real(0.5);
         let req = dense_request(&[a, a, a, a]);
         let (fp, key) = canonical_key(&req).unwrap();
-        assert!(cache.get(fp, &key).is_none());
+        assert!(cache.get(fp, &key, false).is_none());
         let prepared =
             mdq_core::prepare(&dims(&[2, 2]), &[a, a, a, a], PrepareOptions::exact()).unwrap();
         cache.insert(
@@ -556,9 +577,10 @@ mod tests {
             Arc::new(CachedPreparation {
                 circuit: prepared.circuit.clone(),
                 report: prepared.report.clone(),
+                verification: None,
             }),
         );
-        let served = cache.get(fp, &key).expect("entry stored");
+        let served = cache.get(fp, &key, false).expect("entry stored");
         assert_eq!(served.circuit, prepared.circuit);
         let stats = cache.stats();
         assert_eq!(stats.hits, 1);
@@ -575,8 +597,9 @@ mod tests {
         assert_eq!(CircuitCache::new(16).shards.len(), 16);
     }
 
-    /// A distinct single-qudit request per index, with a stable entry.
-    fn keyed_entry(i: usize) -> (u64, CanonicalKey, Arc<CachedPreparation>) {
+    /// A distinct single-qudit request per index, with a stable entry
+    /// (shared with the `lru_model` proptest module).
+    pub(super) fn keyed_entry(i: usize) -> (u64, CanonicalKey, Arc<CachedPreparation>) {
         let d = dims(&[2]);
         let theta = 0.1 + 0.7 * i as f64 / 10.0;
         let amps = vec![Complex::real(theta.cos()), Complex::real(theta.sin())];
@@ -589,6 +612,7 @@ mod tests {
             Arc::new(CachedPreparation {
                 circuit: prepared.circuit.clone(),
                 report: prepared.report.clone(),
+                verification: None,
             }),
         )
     }
@@ -603,14 +627,17 @@ mod tests {
         cache.insert(fp0, k0.clone(), v0);
         cache.insert(fp1, k1.clone(), v1);
         // Touch entry 0 so entry 1 becomes the LRU victim.
-        assert!(cache.get(fp0, &k0).is_some());
+        assert!(cache.get(fp0, &k0, false).is_some());
         cache.insert(fp2, k2.clone(), v2);
         let stats = cache.stats();
         assert_eq!(stats.entries, 2, "bound holds");
         assert_eq!(stats.evictions, 1, "one eviction counted");
-        assert!(cache.get(fp0, &k0).is_some(), "recently used survives");
-        assert!(cache.get(fp2, &k2).is_some(), "new entry admitted");
-        assert!(cache.get(fp1, &k1).is_none(), "LRU entry evicted");
+        assert!(
+            cache.get(fp0, &k0, false).is_some(),
+            "recently used survives"
+        );
+        assert!(cache.get(fp2, &k2, false).is_some(), "new entry admitted");
+        assert!(cache.get(fp1, &k1, false).is_none(), "LRU entry evicted");
     }
 
     #[test]
@@ -642,5 +669,179 @@ mod tests {
         let stats = cache.stats();
         assert_eq!(stats.entries, 1);
         assert_eq!(stats.evictions, 0, "duplicate insert is a no-op");
+    }
+
+    /// A `keyed_entry` with a verification report attached.
+    fn verified_entry(i: usize) -> (u64, CanonicalKey, Arc<CachedPreparation>) {
+        let (fp, key, value) = keyed_entry(i);
+        (
+            fp,
+            key,
+            Arc::new(CachedPreparation {
+                circuit: value.circuit.clone(),
+                report: value.report.clone(),
+                verification: Some(VerificationReport {
+                    fidelity: 1.0,
+                    replay_nodes: 2,
+                    duration: std::time::Duration::default(),
+                }),
+            }),
+        )
+    }
+
+    #[test]
+    fn verified_lookups_skip_unverified_entries() {
+        let cache = CircuitCache::new(1);
+        let (fp, key, unverified) = keyed_entry(0);
+        cache.insert(fp, key.clone(), unverified);
+        // An unverified serving sees the entry; a verified request must not.
+        assert!(cache.get(fp, &key, false).is_some());
+        assert!(cache.get(fp, &key, true).is_none());
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1), "skip counts as miss");
+    }
+
+    #[test]
+    fn verified_insert_upgrades_an_unverified_entry_in_place() {
+        let cache = CircuitCache::new(1);
+        let (fp, key, unverified) = keyed_entry(0);
+        cache.insert(fp, key.clone(), unverified);
+        let (_, _, verified) = verified_entry(0);
+        cache.insert(fp, key.clone(), verified);
+        assert_eq!(cache.len(), 1, "upgrade replaces, never duplicates");
+        let served = cache.get(fp, &key, true).expect("entry now verified");
+        assert!(served.verification.is_some());
+        // The reverse never downgrades: an unverified insert over a
+        // verified entry keeps the verification.
+        let (_, _, plain) = keyed_entry(0);
+        cache.insert(fp, key.clone(), plain);
+        assert!(cache.get(fp, &key, true).is_some());
+    }
+}
+
+/// Model-based property test of the per-shard LRU (satellite of the
+/// admission-control PR): arbitrary insert/get sequences run against a
+/// reference implementation tracking membership, stamps, hit/miss counts
+/// and evictions — then every evicted key is reinserted and must replay
+/// bit-identical.
+#[cfg(test)]
+mod lru_model {
+    use super::tests::keyed_entry;
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Reference LRU over key indices — a `BTreeMap` from key index to
+    /// last-used stamp — mirroring the cache's exact semantics: `get`
+    /// restamps on hit; `insert` of a present key is a no-op; `insert` of
+    /// a fresh key evicts the least-recently-stamped entry when at
+    /// capacity.
+    struct Model {
+        capacity: usize,
+        /// Key index → last-used stamp.
+        entries: std::collections::BTreeMap<usize, u64>,
+        clock: u64,
+        hits: u64,
+        misses: u64,
+        evictions: u64,
+    }
+
+    impl Model {
+        fn new(capacity: usize) -> Self {
+            Model {
+                capacity,
+                entries: std::collections::BTreeMap::new(),
+                clock: 0,
+                hits: 0,
+                misses: 0,
+                evictions: 0,
+            }
+        }
+
+        fn get(&mut self, key: usize) -> bool {
+            self.clock += 1;
+            let clock = self.clock;
+            if let Some(stamp) = self.entries.get_mut(&key) {
+                *stamp = clock;
+                self.hits += 1;
+                true
+            } else {
+                self.misses += 1;
+                false
+            }
+        }
+
+        fn insert(&mut self, key: usize) {
+            if self.entries.contains_key(&key) {
+                return;
+            }
+            if self.entries.len() >= self.capacity {
+                let victim = self
+                    .entries
+                    .iter()
+                    .min_by_key(|(_, &stamp)| stamp)
+                    .map(|(&k, _)| k)
+                    .expect("capacity > 0");
+                self.entries.remove(&victim);
+                self.evictions += 1;
+            }
+            self.clock += 1;
+            self.entries.insert(key, self.clock);
+        }
+
+        fn contains(&self, key: usize) -> bool {
+            self.entries.contains_key(&key)
+        }
+    }
+
+    const KEYS: usize = 6;
+    const CAPACITY: usize = 3;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// The cache's LRU agrees with the reference model on membership,
+        /// hit/miss/eviction counts and the capacity bound after every
+        /// operation, and evicted-then-reinserted entries still replay the
+        /// bit-identical circuit.
+        #[test]
+        fn prop_lru_matches_reference_model(
+            ops in proptest::collection::vec((0u8..2, 0usize..KEYS), 1..40)
+        ) {
+            // One shard so the model's global LRU is the cache's LRU.
+            let cache = CircuitCache::with_capacity(1, Some(CAPACITY));
+            let mut model = Model::new(CAPACITY);
+            let entries: Vec<_> = (0..KEYS).map(keyed_entry).collect();
+            for &(op, key_index) in &ops {
+                let (fp, key, value) = &entries[key_index];
+                if op == 0 {
+                    let served = cache.get(*fp, key, false);
+                    let expected = model.get(key_index);
+                    prop_assert_eq!(served.is_some(), expected);
+                    if let Some(served) = served {
+                        prop_assert_eq!(&served.circuit, &value.circuit);
+                    }
+                } else {
+                    cache.insert(*fp, key.clone(), Arc::clone(value));
+                    model.insert(key_index);
+                }
+                let stats = cache.stats();
+                prop_assert!(stats.entries <= CAPACITY, "capacity never exceeded");
+                prop_assert_eq!(stats.entries, model.entries.len());
+                prop_assert_eq!(stats.evictions, model.evictions);
+                prop_assert_eq!(stats.hits, model.hits);
+                prop_assert_eq!(stats.misses, model.misses);
+            }
+            // Every evicted key, reinserted, must replay bit-identical to
+            // the circuit originally prepared for it.
+            for (key_index, (fp, key, value)) in entries.iter().enumerate() {
+                if !model.contains(key_index) {
+                    cache.insert(*fp, key.clone(), Arc::clone(value));
+                    let served = cache
+                        .get(*fp, key, false)
+                        .expect("reinserted entry is served");
+                    prop_assert_eq!(&served.circuit, &value.circuit);
+                }
+            }
+        }
     }
 }

@@ -3,8 +3,6 @@
 
 use std::thread;
 
-use mdq_core::PrepareError;
-
 use crate::cache::{CacheStats, CircuitCache};
 use crate::request::{PrepareReport, PrepareRequest};
 use crate::scheduler::SchedulingPolicy;
@@ -34,6 +32,14 @@ pub struct EngineConfig {
     /// Queue discipline of the scheduler (size-aware by default; FIFO is
     /// the pre-service baseline).
     pub scheduling: SchedulingPolicy,
+    /// Admission bound on the scheduler queue (`None` is unbounded, the
+    /// default): with at most this many jobs queued,
+    /// [`EngineService::try_submit`](crate::EngineService::try_submit)
+    /// rejects further submissions with
+    /// [`EngineError::QueueFull`](crate::EngineError) and
+    /// [`EngineService::submit`](crate::EngineService::submit) parks until
+    /// space frees. Clamped to a minimum of 1.
+    pub queue_depth: Option<usize>,
 }
 
 impl Default for EngineConfig {
@@ -48,6 +54,7 @@ impl Default for EngineConfig {
             use_cache: true,
             cache_capacity: None,
             scheduling: SchedulingPolicy::SizeAware,
+            queue_depth: None,
         }
     }
 }
@@ -95,6 +102,14 @@ impl EngineConfig {
         self.scheduling = scheduling;
         self
     }
+
+    /// Bounds the scheduler queue at `depth` jobs (minimum 1) — the
+    /// admission-control switch. See [`EngineConfig::queue_depth`].
+    #[must_use]
+    pub fn with_queue_depth(mut self, depth: usize) -> Self {
+        self.queue_depth = Some(depth);
+        self
+    }
 }
 
 /// Aggregate counters of a service/engine, cumulative since construction.
@@ -102,8 +117,21 @@ impl EngineConfig {
 pub struct EngineStats {
     /// Successfully served jobs (computed or cached).
     pub jobs: u64,
-    /// Jobs that returned a [`PrepareError`].
+    /// Jobs that returned a [`PrepareError`](mdq_core::PrepareError).
     pub failures: u64,
+    /// Submissions refused by admission control
+    /// ([`EngineError::QueueFull`](crate::EngineError) from
+    /// [`EngineService::try_submit`](crate::EngineService::try_submit)).
+    pub rejected: u64,
+    /// Jobs served with a passing verification attached (fresh replay or
+    /// verified cache entry).
+    pub verified: u64,
+    /// Jobs that failed their demanded verification
+    /// ([`EngineError::VerificationFailed`](crate::EngineError)).
+    pub verification_failures: u64,
+    /// Deepest the scheduler queue has ever been — sizing signal for
+    /// [`EngineConfig::with_queue_depth`].
+    pub high_watermark: usize,
     /// Prepared-circuit cache counters.
     pub cache: CacheStats,
     /// Total weight-table lookups across the persistent worker arenas
@@ -193,13 +221,15 @@ impl BatchEngine {
     ///
     /// Panics if the worker pool died mid-batch (a worker panicked) — the
     /// failure surfaces here rather than hanging the caller.
-    pub fn run(&self, requests: &[PrepareRequest]) -> Vec<Result<PrepareReport, PrepareError>> {
+    pub fn run(&self, requests: &[PrepareRequest]) -> Vec<Result<PrepareReport, EngineError>> {
         let handles = self.service.submit_batch(requests.iter().cloned());
         handles
             .into_iter()
             .map(|handle| match handle.wait() {
                 Ok(report) => Ok(report),
-                Err(EngineError::Prepare(error)) => Err(error),
+                Err(error @ (EngineError::Prepare(_) | EngineError::VerificationFailed { .. })) => {
+                    Err(error)
+                }
                 // We hold the service, so nobody can have shut it down;
                 // seeing Shutdown/QueueClosed here means the pool died.
                 Err(other) => panic!("engine worker pool stopped mid-batch: {other}"),
@@ -211,7 +241,7 @@ impl BatchEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mdq_core::PrepareOptions;
+    use mdq_core::{PrepareError, PrepareOptions};
     use mdq_num::radix::Dims;
     use mdq_num::Complex;
     use mdq_states::{ghz, w_state};
@@ -311,7 +341,10 @@ mod tests {
         let engine = BatchEngine::new(EngineConfig::default().with_workers(2));
         let results = engine.run(&[ok.clone(), bad, ok]);
         assert!(results[0].is_ok());
-        assert!(matches!(results[1], Err(PrepareError::Build(_))));
+        assert!(matches!(
+            results[1],
+            Err(EngineError::Prepare(PrepareError::Build(_)))
+        ));
         assert!(results[2].is_ok());
         let stats = engine.stats();
         assert_eq!(stats.jobs, 2);
@@ -327,7 +360,10 @@ mod tests {
             w_state(&d),
             PrepareOptions::exact().without_zero_subtrees(),
         )]);
-        assert!(matches!(results[0], Err(PrepareError::Build(_))));
+        assert!(matches!(
+            results[0],
+            Err(EngineError::Prepare(PrepareError::Build(_)))
+        ));
     }
 
     #[test]

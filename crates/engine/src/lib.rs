@@ -39,6 +39,20 @@
 //!   the pipeline options ([`cache`] module); identical requests are
 //!   served the stored circuit. Optionally bounded with per-shard LRU
 //!   eviction ([`EngineConfig::with_cache_capacity`]).
+//! * **Admission control** — [`EngineConfig::with_queue_depth`] bounds the
+//!   scheduler queue: [`EngineService::try_submit`] refuses overflow with
+//!   [`EngineError::QueueFull`] (the request handed back by value in an
+//!   [`AdmissionError`]), while the blocking [`EngineService::submit`]
+//!   parks on a condvar until space frees. Shed load and the queue's
+//!   high-watermark are visible in [`EngineStats`].
+//! * **Verification mode** — [`PrepareRequest::with_verification`] makes
+//!   the worker replay the synthesized circuit by decision-diagram
+//!   simulation ([`Preparer::replay`](mdq_core::Preparer::replay)) and
+//!   compare the fidelity against the requested target; a
+//!   [`VerificationReport`] rides on the [`PrepareReport`], jobs below the
+//!   floor fail with [`EngineError::VerificationFailed`], and cache
+//!   entries record whether they were verified — a verified request never
+//!   silently reuses an unverified entry.
 //! * **Deterministic by construction** — every circuit is bit-identical
 //!   to what a sequential [`prepare`](mdq_core::prepare) loop would
 //!   produce, regardless of worker count, scheduling order, priorities, or
@@ -95,7 +109,12 @@ pub use cache::{CacheStats, CircuitCache};
 pub use engine::{BatchEngine, EngineConfig, EngineStats};
 pub use request::{PrepareReport, PrepareRequest, StatePayload};
 pub use scheduler::{Priority, SchedulingPolicy};
-pub use service::{EngineError, EngineService, JobHandle};
+pub use service::{AdmissionError, EngineError, EngineService, JobHandle};
+
+// Re-exported for convenience: the verification vocabulary lives in
+// `mdq-core` (the replay hook is on `Preparer`), but it is configured and
+// consumed through the engine's request/report types.
+pub use mdq_core::{VerificationPolicy, VerificationReport};
 
 // Compile-time Send/Sync audit: every type that crosses the engine's worker
 // threads (requests in, reports out, the shared cache and service state)
@@ -116,6 +135,9 @@ const _: () = {
     assert_send_sync::<StatePayload>();
     assert_send_sync::<Priority>();
     assert_send_sync::<SchedulingPolicy>();
+    assert_send_sync::<AdmissionError>();
+    assert_send_sync::<VerificationPolicy>();
+    assert_send_sync::<VerificationReport>();
     // A JobHandle wraps an mpsc receiver: movable across threads, but
     // deliberately single-consumer (not Sync).
     assert_send::<JobHandle>();

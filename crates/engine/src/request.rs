@@ -5,6 +5,7 @@ use std::time::Duration;
 use mdq_circuit::Circuit;
 use mdq_core::{
     prepare, prepare_sparse, PreparationResult, PrepareError, PrepareOptions, SynthesisReport,
+    VerificationPolicy, VerificationReport,
 };
 use mdq_num::radix::Dims;
 use mdq_num::Complex;
@@ -82,6 +83,19 @@ impl PrepareRequest {
         self
     }
 
+    /// Demands serving-time verification for this request (builder style):
+    /// workers replay the synthesized circuit by decision-diagram
+    /// simulation and fail the job with
+    /// [`EngineError::VerificationFailed`](crate::EngineError) when the
+    /// measured fidelity against the requested target falls below the
+    /// policy's floor. Shorthand for setting
+    /// [`PrepareOptions::verification`] on the request's options.
+    #[must_use]
+    pub fn with_verification(mut self, verification: VerificationPolicy) -> Self {
+        self.options.verification = verification;
+        self
+    }
+
     /// The scheduler's size estimate for this request — what the
     /// size-aware policy orders equal-priority jobs by (dense: the full
     /// amplitude-vector length; sparse: support size × register width).
@@ -121,6 +135,11 @@ pub struct PrepareReport {
     pub circuit: Circuit,
     /// The pipeline metrics (the paper's Table-1 columns).
     pub report: SynthesisReport,
+    /// The replay-verification outcome: `Some` when this serving carries a
+    /// verification — freshly measured, or recorded on the cache entry the
+    /// job was answered from (so a cached report always discloses whether
+    /// the entry was verified). `None` on unverified servings.
+    pub verification: Option<VerificationReport>,
     /// Whether the job was answered from the prepared-circuit cache.
     pub from_cache: bool,
     /// Wall-clock time this job spent in its worker (cache lookup included).

@@ -93,6 +93,22 @@ impl Job {
     }
 }
 
+/// Why [`Scheduler::try_push`] refused a job. The job itself is handed
+/// back to the caller alongside this, so nothing about it (request, reply
+/// channel) leaks into the queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum PushRefusal {
+    /// The queue is at its configured depth bound.
+    Full {
+        /// Jobs queued at the moment of refusal (== the bound).
+        depth: usize,
+        /// The configured bound.
+        limit: usize,
+    },
+    /// The queue no longer accepts submissions (closing or aborted).
+    Closed,
+}
+
 /// Min-order sort key: (priority reversed, cost, sequence number). Lower
 /// pops first.
 type SortKey = (u8, u64, u64);
@@ -127,14 +143,23 @@ struct Shared {
     /// Tear-down: the heap has been rejected wholesale and workers exit
     /// immediately after their in-flight job.
     aborted: bool,
+    /// Deepest the queue has ever been — the admission-control observable
+    /// ([`EngineStats::high_watermark`](crate::EngineStats)).
+    high_watermark: usize,
 }
 
 /// The condvar-guarded job queue shared between the service front-end and
 /// its workers; see the [module documentation](self).
 pub(crate) struct Scheduler {
     policy: SchedulingPolicy,
+    /// Admission bound on the number of queued (not yet picked-up) jobs;
+    /// `None` admits unboundedly.
+    depth: Option<usize>,
     shared: Mutex<Shared>,
+    /// Workers wait here for jobs.
     available: Condvar,
+    /// Blocking submitters wait here for queue space (bounded queues only).
+    space: Condvar,
 }
 
 impl std::fmt::Debug for Scheduler {
@@ -147,11 +172,15 @@ impl std::fmt::Debug for Scheduler {
 }
 
 impl Scheduler {
-    pub(crate) fn new(policy: SchedulingPolicy) -> Self {
+    pub(crate) fn new(policy: SchedulingPolicy, depth: Option<usize>) -> Self {
         Scheduler {
             policy,
+            // A zero bound would deadlock blocking submitters forever;
+            // clamp to at least one queue slot.
+            depth: depth.map(|d| d.max(1)),
             shared: Mutex::new(Shared::default()),
             available: Condvar::new(),
+            space: Condvar::new(),
         }
     }
 
@@ -166,19 +195,55 @@ impl Scheduler {
         }
     }
 
-    /// Enqueues a job under sequence number `seq`; if the queue is already
-    /// closed the job is rejected with [`EngineError::QueueClosed`].
+    /// Enqueues under `seq`, parking on the space condvar while a bounded
+    /// queue is full — the blocking admission path. If the queue is (or
+    /// becomes, while parked) closed, the job is rejected with
+    /// [`EngineError::QueueClosed`] through its own reply channel.
     pub(crate) fn push(&self, job: Job, seq: u64) {
         let key = Reverse(self.sort_key(&job.request, seq));
         let mut shared = self.shared.lock().expect("scheduler poisoned");
-        if shared.closed || shared.aborted {
-            drop(shared);
-            job.reject(EngineError::QueueClosed);
-            return;
+        loop {
+            if shared.closed || shared.aborted {
+                drop(shared);
+                job.reject(EngineError::QueueClosed);
+                return;
+            }
+            match self.depth {
+                Some(limit) if shared.heap.len() >= limit => {
+                    shared = self.space.wait(shared).expect("scheduler poisoned");
+                }
+                _ => break,
+            }
         }
         shared.heap.push(Queued { key, job });
+        shared.high_watermark = shared.high_watermark.max(shared.heap.len());
         drop(shared);
         self.available.notify_one();
+    }
+
+    /// Non-blocking admission: enqueues under `seq`, or hands the job back
+    /// untouched (nothing queued, reply channel still owned by the caller)
+    /// with the refusal reason — full or closed.
+    // The large Err variant is the point: a refused job is handed back
+    // whole (request + reply channel) so nothing leaks into the queue.
+    #[allow(clippy::result_large_err)]
+    pub(crate) fn try_push(&self, job: Job, seq: u64) -> Result<(), (Job, PushRefusal)> {
+        let key = Reverse(self.sort_key(&job.request, seq));
+        let mut shared = self.shared.lock().expect("scheduler poisoned");
+        if shared.closed || shared.aborted {
+            return Err((job, PushRefusal::Closed));
+        }
+        if let Some(limit) = self.depth {
+            if shared.heap.len() >= limit {
+                let depth = shared.heap.len();
+                return Err((job, PushRefusal::Full { depth, limit }));
+            }
+        }
+        shared.heap.push(Queued { key, job });
+        shared.high_watermark = shared.high_watermark.max(shared.heap.len());
+        drop(shared);
+        self.available.notify_one();
+        Ok(())
     }
 
     /// Blocks until a job is available and returns it, or returns `None`
@@ -190,6 +255,9 @@ impl Scheduler {
                 return None;
             }
             if let Some(queued) = shared.heap.pop() {
+                drop(shared);
+                // A slot freed up: wake one parked blocking submitter.
+                self.space.notify_one();
                 return Some(queued.job);
             }
             if shared.closed {
@@ -204,6 +272,9 @@ impl Scheduler {
     pub(crate) fn close(&self) {
         self.shared.lock().expect("scheduler poisoned").closed = true;
         self.available.notify_all();
+        // Parked blocking submitters must wake to observe the close and
+        // reject their jobs instead of waiting for space forever.
+        self.space.notify_all();
     }
 
     /// Abort mode: refuse new submissions and resolve every queued job to
@@ -216,6 +287,7 @@ impl Scheduler {
             shared.heap.drain().map(|queued| queued.job).collect()
         };
         self.available.notify_all();
+        self.space.notify_all();
         for job in drained {
             job.reject(EngineError::Shutdown);
         }
@@ -224,6 +296,14 @@ impl Scheduler {
     /// Jobs currently queued (not yet picked up by a worker).
     pub(crate) fn len(&self) -> usize {
         self.shared.lock().expect("scheduler poisoned").heap.len()
+    }
+
+    /// Deepest the queue has ever been.
+    pub(crate) fn high_watermark(&self) -> usize {
+        self.shared
+            .lock()
+            .expect("scheduler poisoned")
+            .high_watermark
     }
 }
 
@@ -260,7 +340,7 @@ mod tests {
     /// Pushes the given requests in order and returns the space sizes in
     /// pop order.
     fn pop_order(policy: SchedulingPolicy, requests: Vec<PrepareRequest>) -> Vec<usize> {
-        let scheduler = Scheduler::new(policy);
+        let scheduler = Scheduler::new(policy, None);
         let mut receivers = Vec::new();
         for (seq, request) in requests.into_iter().enumerate() {
             let (job, rx) = job(request);
@@ -305,7 +385,7 @@ mod tests {
     fn equal_keys_fall_back_to_submission_order() {
         // Three distinct registers with the same space size (cost 6 each):
         // ties must resolve in submission order.
-        let scheduler = Scheduler::new(SchedulingPolicy::SizeAware);
+        let scheduler = Scheduler::new(SchedulingPolicy::SizeAware, None);
         let shapes: [&[usize]; 3] = [&[2, 3], &[3, 2], &[6]];
         for (seq, shape) in shapes.iter().enumerate() {
             let (j, _rx) = job(dense(shape, Priority::Normal));
@@ -349,7 +429,7 @@ mod tests {
 
     #[test]
     fn abort_rejects_queued_jobs_with_shutdown() {
-        let scheduler = Scheduler::new(SchedulingPolicy::SizeAware);
+        let scheduler = Scheduler::new(SchedulingPolicy::SizeAware, None);
         let (j1, rx1) = job(dense(&[2, 2], Priority::Normal));
         let (j2, rx2) = job(dense(&[3, 3], Priority::Normal));
         scheduler.push(j1, 0);
@@ -365,8 +445,90 @@ mod tests {
     }
 
     #[test]
+    fn bounded_queue_refuses_when_full_and_frees_on_pop() {
+        let scheduler = Scheduler::new(SchedulingPolicy::Fifo, Some(2));
+        let (j1, _rx1) = job(dense(&[2, 2], Priority::Normal));
+        let (j2, _rx2) = job(dense(&[3, 3], Priority::Normal));
+        assert!(scheduler.try_push(j1, 0).is_ok());
+        assert!(scheduler.try_push(j2, 1).is_ok());
+        // Full: the job comes back untouched, with the refusal reason.
+        let (j3, _rx3) = job(dense(&[2, 3], Priority::Normal));
+        let (returned, refusal) = scheduler.try_push(j3, 2).unwrap_err();
+        assert_eq!(refusal, PushRefusal::Full { depth: 2, limit: 2 });
+        assert_eq!(returned.request.dims.as_slice(), &[2, 3]);
+        assert_eq!(scheduler.len(), 2);
+        assert_eq!(scheduler.high_watermark(), 2);
+        // Popping frees a slot; admission resumes.
+        assert!(scheduler.pop().is_some());
+        assert!(scheduler.try_push(returned, 3).is_ok());
+        assert_eq!(scheduler.high_watermark(), 2, "watermark is a maximum");
+    }
+
+    #[test]
+    fn blocking_push_parks_until_space_frees() {
+        let scheduler = Scheduler::new(SchedulingPolicy::Fifo, Some(1));
+        let (j1, _rx1) = job(dense(&[2, 2], Priority::Normal));
+        scheduler.push(j1, 0);
+        std::thread::scope(|s| {
+            let pusher = s.spawn(|| {
+                let (j2, rx2) = job(dense(&[3, 3], Priority::Normal));
+                // Parks: the queue is full until the main thread pops.
+                scheduler.push(j2, 1);
+                rx2
+            });
+            // Pop one job; the parked pusher must wake and enqueue.
+            assert!(scheduler.pop().is_some());
+            let _rx2 = pusher.join().unwrap();
+            assert_eq!(scheduler.len(), 1);
+        });
+    }
+
+    #[test]
+    fn close_wakes_parked_pushers_with_queue_closed() {
+        let scheduler = Scheduler::new(SchedulingPolicy::Fifo, Some(1));
+        let (j1, _rx1) = job(dense(&[2, 2], Priority::Normal));
+        scheduler.push(j1, 0);
+        std::thread::scope(|s| {
+            let pusher = s.spawn(|| {
+                let (j2, rx2) = job(dense(&[3, 3], Priority::Normal));
+                scheduler.push(j2, 1); // parks on the full queue
+                rx2
+            });
+            // Give the pusher a moment to park, then close: it must wake
+            // and reject its job rather than wait for space forever.
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            scheduler.close();
+            let rx2 = pusher.join().unwrap();
+            assert!(matches!(rx2.recv().unwrap(), Err(EngineError::QueueClosed)));
+        });
+    }
+
+    #[test]
+    fn zero_depth_is_clamped_to_one() {
+        let scheduler = Scheduler::new(SchedulingPolicy::Fifo, Some(0));
+        let (j1, _rx1) = job(dense(&[2, 2], Priority::Normal));
+        assert!(scheduler.try_push(j1, 0).is_ok(), "one slot always exists");
+        let (j2, _rx2) = job(dense(&[3, 3], Priority::Normal));
+        assert!(matches!(
+            scheduler.try_push(j2, 1),
+            Err((_, PushRefusal::Full { limit: 1, .. }))
+        ));
+    }
+
+    #[test]
+    fn try_push_after_close_reports_closed() {
+        let scheduler = Scheduler::new(SchedulingPolicy::Fifo, None);
+        scheduler.close();
+        let (j, _rx) = job(dense(&[2, 2], Priority::Normal));
+        assert!(matches!(
+            scheduler.try_push(j, 0),
+            Err((_, PushRefusal::Closed))
+        ));
+    }
+
+    #[test]
     fn close_drains_before_exit() {
-        let scheduler = Scheduler::new(SchedulingPolicy::Fifo);
+        let scheduler = Scheduler::new(SchedulingPolicy::Fifo, None);
         let (j, _rx) = job(dense(&[2, 2], Priority::Normal));
         scheduler.push(j, 0);
         scheduler.close();

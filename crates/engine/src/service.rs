@@ -20,15 +20,16 @@ use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
-use mdq_core::{PrepareError, Preparer};
+use mdq_core::{PrepareError, Preparer, VerificationReport};
 
 use crate::cache::{canonical_key, CachedPreparation, CircuitCache};
 use crate::engine::{EngineConfig, EngineStats};
 use crate::request::{PrepareReport, PrepareRequest, StatePayload};
-use crate::scheduler::{Job, Scheduler};
+use crate::scheduler::{Job, PushRefusal, Scheduler};
 
 /// Unified error type of the service: either the pipeline itself failed,
-/// or the service stopped before (or instead of) running the job.
+/// or the service refused / stopped before (or instead of) running the
+/// job, or the result failed its demanded verification.
 #[derive(Debug, Clone, PartialEq)]
 pub enum EngineError {
     /// The preparation pipeline rejected or failed the job.
@@ -38,6 +39,24 @@ pub enum EngineError {
     Shutdown,
     /// The job was submitted after the service had stopped accepting work.
     QueueClosed,
+    /// Admission control refused the job: the scheduler queue was at its
+    /// configured bound ([`EngineConfig::with_queue_depth`]) when
+    /// [`EngineService::try_submit`] ran. The job was never queued.
+    QueueFull {
+        /// Jobs queued at the moment of refusal.
+        depth: usize,
+        /// The configured queue bound.
+        limit: usize,
+    },
+    /// The job ran, but the replayed circuit's fidelity against the
+    /// requested target fell below the demanded
+    /// [`VerificationPolicy`](mdq_core::VerificationPolicy) floor.
+    VerificationFailed {
+        /// The fidelity actually measured by the replay.
+        fidelity: f64,
+        /// The minimum the request demanded.
+        threshold: f64,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -48,6 +67,18 @@ impl fmt::Display for EngineError {
             EngineError::QueueClosed => {
                 write!(f, "engine service no longer accepts submissions")
             }
+            EngineError::QueueFull { depth, limit } => {
+                write!(f, "admission refused: queue at {depth} of {limit} slots")
+            }
+            EngineError::VerificationFailed {
+                fidelity,
+                threshold,
+            } => {
+                write!(
+                    f,
+                    "verification failed: replay fidelity {fidelity} below threshold {threshold}"
+                )
+            }
         }
     }
 }
@@ -56,7 +87,10 @@ impl std::error::Error for EngineError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             EngineError::Prepare(e) => Some(e),
-            EngineError::Shutdown | EngineError::QueueClosed => None,
+            EngineError::Shutdown
+            | EngineError::QueueClosed
+            | EngineError::QueueFull { .. }
+            | EngineError::VerificationFailed { .. } => None,
         }
     }
 }
@@ -64,6 +98,34 @@ impl std::error::Error for EngineError {
 impl From<PrepareError> for EngineError {
     fn from(e: PrepareError) -> Self {
         EngineError::Prepare(e)
+    }
+}
+
+/// A refused [`EngineService::try_submit`]: the request is handed back
+/// untouched (so the caller can retry, reroute, or shed it) together with
+/// the refusal — [`EngineError::QueueFull`] or [`EngineError::QueueClosed`].
+///
+/// Nothing about a refused submission outlives this value: the job was
+/// never queued, no [`JobHandle`] exists for it, and the per-job reply
+/// channel is torn down before the error is returned — dropping an
+/// `AdmissionError` cannot deadlock a worker or leak a channel.
+#[derive(Debug)]
+pub struct AdmissionError {
+    /// The rejected request, returned to the caller by value.
+    pub request: PrepareRequest,
+    /// Why admission was refused.
+    pub error: EngineError,
+}
+
+impl fmt::Display for AdmissionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.error)
+    }
+}
+
+impl std::error::Error for AdmissionError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.error)
     }
 }
 
@@ -159,6 +221,12 @@ struct ServiceShared {
     seq: AtomicU64,
     jobs: AtomicU64,
     failures: AtomicU64,
+    /// Submissions refused by admission control ([`EngineError::QueueFull`]).
+    rejected: AtomicU64,
+    /// Jobs served with a passing verification attached.
+    verified: AtomicU64,
+    /// Jobs whose replay fidelity fell below the demanded floor.
+    verification_failures: AtomicU64,
     /// Jobs whose pipeline ran on a worker's *retained* scratch arena —
     /// the observable proof of worker persistence across submissions.
     arena_reuses: AtomicU64,
@@ -166,24 +234,57 @@ struct ServiceShared {
 }
 
 impl ServiceShared {
-    /// Cache probe → pipeline on miss → cache fill, on one worker's
-    /// preparer. The single serving path of the whole crate.
+    /// Threshold gate shared by the fresh and cached serving paths: `Ok`
+    /// when the request demands no verification or the measured fidelity
+    /// clears the floor, [`EngineError::VerificationFailed`] otherwise.
+    fn check_verification(
+        &self,
+        min_fidelity: Option<f64>,
+        verification: Option<&VerificationReport>,
+    ) -> Result<(), EngineError> {
+        let Some(threshold) = min_fidelity else {
+            return Ok(());
+        };
+        let measured = verification
+            .expect("verification demanded, so a report was measured or served")
+            .fidelity;
+        if measured < threshold {
+            self.verification_failures.fetch_add(1, Ordering::Relaxed);
+            return Err(EngineError::VerificationFailed {
+                fidelity: measured,
+                threshold,
+            });
+        }
+        self.verified.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Cache probe → pipeline on miss → replay verification (when the
+    /// request demands it) → cache fill, on one worker's preparer. The
+    /// single serving path of the whole crate.
     fn serve(
         &self,
         preparer: &mut Preparer,
         request: &PrepareRequest,
-    ) -> Result<PrepareReport, PrepareError> {
+    ) -> Result<PrepareReport, EngineError> {
+        let min_fidelity = request.options.verification.min_fidelity();
         let key = if self.config.use_cache {
             canonical_key(request)
         } else {
             None
         };
         if let Some((fingerprint, key)) = &key {
-            if let Some(cached) = self.cache.get(*fingerprint, key) {
+            // A verified request never silently reuses an unverified
+            // entry: `get` skips entries without a verification report
+            // when one is demanded (counted as a miss), so the pipeline
+            // re-runs below and upgrades the entry.
+            if let Some(cached) = self.cache.get(*fingerprint, key, min_fidelity.is_some()) {
+                self.check_verification(min_fidelity, cached.verification.as_ref())?;
                 self.jobs.fetch_add(1, Ordering::Relaxed);
                 return Ok(PrepareReport {
                     circuit: cached.circuit.clone(),
                     report: cached.report.clone(),
+                    verification: cached.verification.clone(),
                     from_cache: true,
                     elapsed: Duration::default(),
                     queue_wait: Duration::default(),
@@ -194,41 +295,71 @@ impl ServiceShared {
         let warm_start = preparer.has_scratch();
         let outcome = match &request.payload {
             StatePayload::Dense(amplitudes) => {
-                preparer.prepare_recycled(&request.dims, amplitudes, request.options)
+                preparer.prepare(&request.dims, amplitudes, request.options)
             }
             StatePayload::Sparse(entries) => {
-                preparer.prepare_sparse_recycled(&request.dims, entries, request.options)
+                preparer.prepare_sparse(&request.dims, entries, request.options)
             }
         };
-        match outcome {
-            Ok((circuit, report)) => {
-                if warm_start {
-                    self.arena_reuses.fetch_add(1, Ordering::Relaxed);
-                }
-                if let Some((fingerprint, key)) = key {
-                    self.cache.insert(
-                        fingerprint,
-                        key,
-                        Arc::new(CachedPreparation {
-                            circuit: circuit.clone(),
-                            report: report.clone(),
-                        }),
-                    );
-                }
-                self.jobs.fetch_add(1, Ordering::Relaxed);
-                Ok(PrepareReport {
-                    circuit,
-                    report,
-                    from_cache: false,
-                    elapsed: Duration::default(),
-                    queue_wait: Duration::default(),
-                })
-            }
+        let result = match outcome {
+            Ok(result) => result,
             Err(error) => {
                 self.failures.fetch_add(1, Ordering::Relaxed);
-                Err(error)
+                return Err(EngineError::Prepare(error));
             }
+        };
+        if warm_start {
+            self.arena_reuses.fetch_add(1, Ordering::Relaxed);
         }
+        let verification = if request.options.verification.is_enabled() {
+            let measured = match &request.payload {
+                StatePayload::Dense(amplitudes) => {
+                    preparer.verify_dense(&result.circuit, amplitudes)
+                }
+                StatePayload::Sparse(entries) => {
+                    preparer.verify_sparse(&result.circuit, entries, request.options.tolerance)
+                }
+            };
+            match measured {
+                Ok(report) => Some(report),
+                Err(error) => {
+                    self.failures.fetch_add(1, Ordering::Relaxed);
+                    // The pipeline itself succeeded: reclaim the result's
+                    // arena so a failing replay never costs this worker
+                    // its warmed scratch state.
+                    preparer.recycle(result);
+                    return Err(EngineError::Prepare(error));
+                }
+            }
+        } else {
+            None
+        };
+        let (circuit, report) = preparer.recycle(result);
+        if let Some((fingerprint, key)) = key {
+            // Filled even when the threshold check below fails: the
+            // circuit itself is valid and the measured fidelity is part of
+            // the entry, so identical verified requests fail fast from the
+            // cache with the same verdict.
+            self.cache.insert(
+                fingerprint,
+                key,
+                Arc::new(CachedPreparation {
+                    circuit: circuit.clone(),
+                    report: report.clone(),
+                    verification: verification.clone(),
+                }),
+            );
+        }
+        self.check_verification(min_fidelity, verification.as_ref())?;
+        self.jobs.fetch_add(1, Ordering::Relaxed);
+        Ok(PrepareReport {
+            circuit,
+            report,
+            verification,
+            from_cache: false,
+            elapsed: Duration::default(),
+            queue_wait: Duration::default(),
+        })
     }
 
     /// The loop of one persistent worker: pop, serve, reply, publish
@@ -254,7 +385,7 @@ impl ServiceShared {
             }
             // A dropped handle is not an error — the caller abandoned the
             // result, not the job.
-            let _ = job.reply.send(outcome.map_err(EngineError::Prepare));
+            let _ = job.reply.send(outcome);
             if let Some(stats) = preparer.weight_stats() {
                 let (lookups, insertions) = if stats.lookups >= seen.0 && stats.insertions >= seen.1
                 {
@@ -276,6 +407,10 @@ impl ServiceShared {
         EngineStats {
             jobs: self.jobs.load(Ordering::Relaxed),
             failures: self.failures.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            verified: self.verified.load(Ordering::Relaxed),
+            verification_failures: self.verification_failures.load(Ordering::Relaxed),
+            high_watermark: self.scheduler.high_watermark(),
             cache: self.cache.stats(),
             weight_lookups: self
                 .workers
@@ -348,11 +483,14 @@ impl EngineService {
     pub fn new(config: EngineConfig) -> Self {
         let workers = config.workers.max(1);
         let shared = Arc::new(ServiceShared {
-            scheduler: Scheduler::new(config.scheduling),
+            scheduler: Scheduler::new(config.scheduling, config.queue_depth),
             cache: CircuitCache::with_capacity(config.cache_shards, config.cache_capacity),
             seq: AtomicU64::new(0),
             jobs: AtomicU64::new(0),
             failures: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            verified: AtomicU64::new(0),
+            verification_failures: AtomicU64::new(0),
             arena_reuses: AtomicU64::new(0),
             workers: (0..workers).map(|_| WorkerSlot::default()).collect(),
             config,
@@ -402,10 +540,23 @@ impl EngineService {
         self.shared.stats()
     }
 
-    /// Enqueues one request and returns immediately with its handle — the
-    /// non-blocking front-end. The job runs when the scheduler picks it,
-    /// ordered by [`Priority`](crate::Priority) / size under the default
-    /// policy.
+    /// Enqueues one request and returns its handle. The job runs when the
+    /// scheduler picks it, ordered by [`Priority`](crate::Priority) / size
+    /// under the default policy.
+    ///
+    /// On an unbounded queue (the default) this never blocks. With
+    /// [`EngineConfig::with_queue_depth`] set, a full queue makes this
+    /// **park on a condvar until space frees** — the backpressure
+    /// submission path. Callers that must not block use
+    /// [`EngineService::try_submit`] instead.
+    ///
+    /// **Fairness caveat:** admission is not FIFO-fair across submitters.
+    /// When a worker frees a slot, a concurrently arriving submission
+    /// (blocking or [`try_submit`](EngineService::try_submit)) can take it
+    /// before a parked submitter re-acquires the lock; under a sustained
+    /// non-blocking flood a parked `submit` therefore has no bounded wait.
+    /// Streams mixing both paths should treat `try_submit` as the shedding
+    /// tier and reserve blocking `submit` for low-rate must-run work.
     pub fn submit(&self, request: PrepareRequest) -> JobHandle {
         let (reply, rx) = channel();
         let seq = self.shared.seq.fetch_add(1, Ordering::Relaxed);
@@ -418,6 +569,50 @@ impl EngineService {
             seq,
         );
         JobHandle::new(rx)
+    }
+
+    /// Non-blocking admission: enqueues the request if the scheduler queue
+    /// has room, or returns it to the caller inside an [`AdmissionError`]
+    /// — [`EngineError::QueueFull`] when the
+    /// [`EngineConfig::with_queue_depth`] bound is hit (counted in
+    /// [`EngineStats::rejected`](crate::EngineStats)),
+    /// [`EngineError::QueueClosed`] when the service stopped accepting
+    /// work. A refused job is never queued and leaves no handle or channel
+    /// behind.
+    ///
+    /// # Errors
+    ///
+    /// [`AdmissionError`] carrying the request back, as above.
+    // The large Err variant is deliberate: the refused request is returned
+    // to the caller by value so it can be retried or rerouted.
+    #[allow(clippy::result_large_err)]
+    pub fn try_submit(&self, request: PrepareRequest) -> Result<JobHandle, AdmissionError> {
+        let (reply, rx) = channel();
+        let seq = self.shared.seq.fetch_add(1, Ordering::Relaxed);
+        let job = Job {
+            request,
+            submitted_at: Instant::now(),
+            reply,
+        };
+        match self.shared.scheduler.try_push(job, seq) {
+            Ok(()) => Ok(JobHandle::new(rx)),
+            Err((job, refusal)) => {
+                let error = match refusal {
+                    PushRefusal::Full { depth, limit } => {
+                        self.shared.rejected.fetch_add(1, Ordering::Relaxed);
+                        EngineError::QueueFull { depth, limit }
+                    }
+                    PushRefusal::Closed => EngineError::QueueClosed,
+                };
+                // `rx` and the job's reply sender both die right here:
+                // nothing of a refused submission reaches the queue or a
+                // worker, so dropping the error cannot leak or deadlock.
+                Err(AdmissionError {
+                    request: job.request,
+                    error,
+                })
+            }
+        }
     }
 
     /// Enqueues a whole batch, returning one handle per request in the
@@ -478,6 +673,7 @@ mod tests {
     use mdq_core::PrepareOptions;
     use mdq_num::radix::Dims;
     use mdq_states::{ghz, w_state};
+    use rand::SeedableRng;
 
     fn dims(v: &[usize]) -> Dims {
         Dims::new(v.to_vec()).unwrap()
@@ -603,6 +799,226 @@ mod tests {
         for handle in handles {
             assert!(handle.wait().is_ok(), "drained jobs deliver real results");
         }
+    }
+
+    #[test]
+    fn zero_duration_wait_timeout_is_a_pure_poll() {
+        // Driven through a raw reply channel so the pending/resolved/dead
+        // states are fully deterministic (no racing worker).
+        let (tx, rx) = channel();
+        let mut handle = JobHandle::new(rx);
+        // Pending: a zero-duration wait returns None and blocks for nothing.
+        assert!(handle.wait_timeout(Duration::ZERO).is_none());
+        assert!(handle.try_wait().is_none());
+        tx.send(Err(EngineError::Shutdown)).unwrap();
+        // Resolved: the zero-duration wait sees the outcome and retains it.
+        assert!(matches!(
+            handle.wait_timeout(Duration::ZERO),
+            Some(Err(EngineError::Shutdown))
+        ));
+        drop(tx);
+        assert!(matches!(
+            handle.wait_timeout(Duration::ZERO),
+            Some(Err(EngineError::Shutdown))
+        ));
+        // A handle whose channel died unresolved reads as Shutdown, even
+        // with a zero-duration poll.
+        let (tx2, rx2) = channel::<Result<PrepareReport, EngineError>>();
+        let mut dead = JobHandle::new(rx2);
+        drop(tx2);
+        assert!(matches!(
+            dead.wait_timeout(Duration::ZERO),
+            Some(Err(EngineError::Shutdown))
+        ));
+    }
+
+    #[test]
+    fn try_submit_admits_on_an_unbounded_queue() {
+        let d = dims(&[3, 3]);
+        let service = EngineService::new(EngineConfig::default().with_workers(1));
+        let handle = service
+            .try_submit(PrepareRequest::dense(
+                d.clone(),
+                ghz(&d),
+                PrepareOptions::exact(),
+            ))
+            .expect("unbounded queue always admits");
+        assert!(handle.wait().is_ok());
+        assert_eq!(service.stats().rejected, 0);
+        service.shutdown();
+    }
+
+    #[test]
+    fn rejected_submission_returns_the_request_and_counts() {
+        let d = dims(&[9, 5, 6, 3]);
+        // One worker, one queue slot: occupy the worker with an expensive
+        // job, fill the slot, then flood — rejections must occur, each
+        // handing the request back untouched.
+        let service = EngineService::new(
+            EngineConfig::default()
+                .with_workers(1)
+                .with_queue_depth(1)
+                .without_cache(),
+        );
+        let busy = service.submit(PrepareRequest::dense(
+            d.clone(),
+            w_state(&d),
+            PrepareOptions::exact(),
+        ));
+        let cheap_dims = dims(&[2, 2]);
+        let cheap = PrepareRequest::dense(
+            cheap_dims.clone(),
+            ghz(&cheap_dims),
+            PrepareOptions::exact(),
+        );
+        let mut accepted = Vec::new();
+        let mut rejections = 0u64;
+        for _ in 0..64 {
+            match service.try_submit(cheap.clone()) {
+                Ok(handle) => accepted.push(handle),
+                Err(refused) => {
+                    assert_eq!(refused.request, cheap, "request returned by value");
+                    assert!(
+                        matches!(refused.error, EngineError::QueueFull { limit: 1, .. }),
+                        "unexpected refusal: {:?}",
+                        refused.error
+                    );
+                    // Dropping the AdmissionError (and the request inside)
+                    // must be inert — regression guard for the
+                    // never-queued-job channel.
+                    drop(refused);
+                    rejections += 1;
+                }
+            }
+        }
+        assert!(rejections > 0, "a saturated queue must reject");
+        busy.wait().expect("busy job finishes");
+        for handle in accepted {
+            handle.wait().expect("accepted jobs resolve");
+        }
+        let stats = service.stats();
+        assert_eq!(stats.rejected, rejections);
+        assert_eq!(stats.high_watermark, 1, "rejections imply a full queue");
+        service.shutdown();
+    }
+
+    #[test]
+    fn verification_attaches_a_passing_report() {
+        let d = dims(&[3, 6, 2]);
+        let service = EngineService::new(EngineConfig::default().with_workers(1));
+        let request = PrepareRequest::dense(d.clone(), ghz(&d), PrepareOptions::exact())
+            .with_verification(mdq_core::VerificationPolicy::replay(0.99));
+        let report = service.submit(request.clone()).wait().expect("verifies");
+        let verification = report.verification.expect("report attached");
+        assert!((verification.fidelity - 1.0).abs() < 1e-9);
+        assert!(verification.replay_nodes > 0);
+        // Bit-identical to the unverified sequential pipeline.
+        let want = request.prepare_sequential().unwrap();
+        assert_eq!(report.circuit, want.circuit);
+        // The verified entry is in the cache; a repeat is served from it,
+        // verification report included.
+        let again = service.submit(request).wait().expect("cache hit");
+        assert!(again.from_cache);
+        assert!(again.verification.is_some());
+        let stats = service.stats();
+        assert_eq!(stats.verified, 2);
+        assert_eq!(stats.verification_failures, 0);
+        service.shutdown();
+    }
+
+    #[test]
+    fn below_threshold_jobs_fail_fresh_and_from_cache() {
+        // An approximated random state reaches a fidelity strictly below 1;
+        // demanding anything above the reached value must fail the job. The
+        // demanded floor is calibrated from a sequential replay, so the
+        // failure is deterministic by construction.
+        let d = dims(&[3, 6, 2]);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(13);
+        let target = mdq_states::random_state(&d, mdq_states::RandomKind::ReImUniform, &mut rng);
+        let opts = PrepareOptions::approximated(0.9).without_zero_subtrees();
+        let sequential = mdq_core::prepare(&d, &target, opts).unwrap();
+        assert!(sequential.report.pruned_mass > 0.0, "budget 0.1 must prune");
+        let reached = mdq_core::Preparer::new()
+            .verify_dense(&sequential.circuit, &target)
+            .unwrap()
+            .fidelity;
+        assert!(reached < 1.0 - 1e-9);
+        let floor = (reached + 1.0) / 2.0;
+
+        let service = EngineService::new(EngineConfig::default().with_workers(1));
+        let request = PrepareRequest::dense(d.clone(), target, opts)
+            .with_verification(mdq_core::VerificationPolicy::replay(floor));
+        let first = service.submit(request.clone()).wait();
+        let Err(EngineError::VerificationFailed {
+            fidelity,
+            threshold,
+        }) = first
+        else {
+            panic!("expected VerificationFailed, got {first:?}");
+        };
+        assert!(fidelity < threshold);
+        assert!(
+            (fidelity - reached).abs() < 1e-12,
+            "engine measures the same fidelity as the sequential replay"
+        );
+        // The measured entry is cached: the identical request fails fast
+        // with the *same* verdict, without re-running the pipeline.
+        let second = service.submit(request.clone()).wait();
+        assert_eq!(
+            second.unwrap_err(),
+            EngineError::VerificationFailed {
+                fidelity,
+                threshold
+            }
+        );
+        let stats = service.stats();
+        assert_eq!(stats.verification_failures, 2);
+        assert_eq!(stats.jobs, 0);
+        assert_eq!(stats.cache.hits, 1, "second attempt hit the entry");
+        // An *unverified* request for the same state is served the (valid)
+        // circuit from the cache.
+        let relaxed = request.with_verification(mdq_core::VerificationPolicy::Off);
+        let served = service.submit(relaxed).wait().expect("circuit is valid");
+        assert!(served.from_cache);
+        service.shutdown();
+    }
+
+    #[test]
+    fn verified_requests_never_reuse_unverified_entries() {
+        let d = dims(&[3, 6, 2]);
+        let service = EngineService::new(EngineConfig::default().with_workers(1));
+        let plain = PrepareRequest::dense(d.clone(), ghz(&d), PrepareOptions::exact());
+        let unverified = service.submit(plain.clone()).wait().unwrap();
+        assert!(unverified.verification.is_none());
+        // Same state, verification demanded: must re-run (and upgrade the
+        // entry), not silently serve the unverified one.
+        let strict = plain
+            .clone()
+            .with_verification(mdq_core::VerificationPolicy::replay(0.99));
+        let verified = service.submit(strict.clone()).wait().unwrap();
+        assert!(!verified.from_cache, "unverified entry was not reused");
+        assert!(verified.verification.is_some());
+        // The upgraded entry now serves verified requests from cache.
+        let again = service.submit(strict).wait().unwrap();
+        assert!(again.from_cache);
+        assert!(again.verification.is_some());
+        service.shutdown();
+    }
+
+    #[test]
+    fn sparse_jobs_verify_too() {
+        let d = dims(&[3, 4, 2, 5, 3, 2, 4, 3]);
+        let service = EngineService::new(EngineConfig::default().with_workers(1));
+        let request = PrepareRequest::sparse(
+            d.clone(),
+            mdq_states::sparse::ghz(&d),
+            PrepareOptions::exact(),
+        )
+        .with_verification(mdq_core::VerificationPolicy::replay(0.999));
+        let report = service.submit(request).wait().expect("verifies");
+        let verification = report.verification.expect("report attached");
+        assert!((verification.fidelity - 1.0).abs() < 1e-9);
+        service.shutdown();
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //! | [`sim`] | dense mixed-radix state-vector simulator |
 //! | [`states`] | benchmark state generators (GHZ, W, embedded W, random, …) |
 //! | [`core`] | the synthesis algorithm and the three-step pipeline |
-//! | [`engine`] | persistent preparation service: non-blocking submission, size-aware scheduling, warm worker arenas, LRU-bounded circuit cache |
+//! | [`engine`] | persistent preparation service: non-blocking submission, size-aware scheduling, warm worker arenas, LRU-bounded circuit cache, bounded admission control, replay-verification mode |
 //!
 //! This facade re-exports all of them; depend on the individual crates for a
 //! narrower dependency surface.
