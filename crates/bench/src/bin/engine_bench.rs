@@ -30,11 +30,22 @@
 //! time), and a one-slot-queue service is flooded through `try_submit` to
 //! record the rejection rate and queue high-watermark.
 //!
+//! With `--fairness`, a starvation section measures what wait-time aging
+//! buys: two expensive jobs are submitted ahead of a small-job flood on a
+//! single size-aware worker, once with aging off (the queued large job
+//! pops dead last — the pre-aging starvation baseline) and once with the
+//! aging default. Worst-case and p99.9 queue wait over *all* jobs, the
+//! starved large class's worst wait, and the small-job p99 land in the
+//! JSON; outside `--smoke` the run asserts that aging strictly lowers the
+//! starved job's worst-case wait while keeping the small-job p99 within
+//! 2× of the no-aging baseline.
+//!
 //! Flags:
 //! * `--smoke`     — tiny batch, worker counts {1, 2} (CI keep-alive mode);
 //! * `--jobs N`    — batch size (default 48);
 //! * `--streaming` — additionally run the EngineService queue-wait section;
 //! * `--verify`    — additionally run the verification + admission section;
+//! * `--fairness`  — additionally run the aging/starvation section;
 //! * `--out PATH`  — output path (default `BENCH_engine.json`).
 
 use std::fmt::Write as _;
@@ -43,7 +54,7 @@ use std::time::{Duration, Instant};
 use mdq_bench::{dims3, dims4, flag_value};
 use mdq_core::{PrepareOptions, VerificationPolicy};
 use mdq_engine::{
-    BatchEngine, EngineConfig, EngineService, JobHandle, PrepareRequest, SchedulingPolicy,
+    Aging, BatchEngine, EngineConfig, EngineService, JobHandle, PrepareRequest, SchedulingPolicy,
 };
 use mdq_num::radix::Dims;
 use mdq_states::{ghz, random_state, w_state, RandomKind};
@@ -67,11 +78,27 @@ struct StreamingRun {
     large_p99_us: f64,
 }
 
+/// Queue-wait measurements of one starvation run under one aging setting.
+struct FairnessRun {
+    aging: &'static str,
+    /// Worst queue wait over *all* jobs. In a fully pre-queued batch the
+    /// last-popped job always waits ≈ the makespan, so this is reported
+    /// for context but stays ~constant across aging settings.
+    worst_us: f64,
+    p999_us: f64,
+    /// Worst queue wait of the large (starvation-prone) class — the
+    /// quantity aging actually bounds: with aging off it grows with the
+    /// flood length; with aging on it is capped at the decay horizon.
+    large_worst_us: f64,
+    small_p99_us: f64,
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let smoke = args.iter().any(|a| a == "--smoke");
     let streaming = args.iter().any(|a| a == "--streaming");
     let verify = args.iter().any(|a| a == "--verify");
+    let fairness = args.iter().any(|a| a == "--fairness");
     let jobs: usize = if smoke {
         8
     } else {
@@ -188,7 +215,11 @@ fn main() {
         );
     }
     out.push_str("  ],\n");
-    let comma = if streaming || verify { "," } else { "" };
+    let comma = if streaming || verify || fairness {
+        ","
+    } else {
+        ""
+    };
     let _ = writeln!(
         out,
         "  \"cache\": {{\"hits\": {}, \"misses\": {}, \"entries\": {}, \"evictions\": {}, \
@@ -247,7 +278,7 @@ fn main() {
             );
         }
         out.push_str("  }");
-        out.push_str(if verify { ",\n" } else { "\n" });
+        out.push_str(if verify || fairness { ",\n" } else { "\n" });
     }
 
     if verify {
@@ -353,13 +384,94 @@ fn main() {
             verified.as_secs_f64() * 1e3
         );
         out.push_str("  },\n");
+        let comma = if fairness { "," } else { "" };
         let _ = writeln!(
             out,
             "  \"admission\": {{\"queue_depth\": 1, \"burst\": {burst}, \
              \"rejected\": {}, \"rejection_rate\": {rejection_rate:.3}, \
-             \"high_watermark\": {}}}",
+             \"high_watermark\": {}}}{comma}",
             stats.rejected, stats.high_watermark
         );
+    }
+
+    if fairness {
+        let (small_jobs, large_jobs) = if smoke { (16, 2) } else { (1000, 2) };
+        // Interleaved repetitions with a per-metric median keep the
+        // comparison stable against load spikes on shared CI hardware
+        // (the same approach the verification section takes).
+        let reps = if smoke { 1 } else { 3 };
+        println!(
+            "\nfairness section: {large_jobs} large ahead of {small_jobs} small jobs, \
+             1 size-aware worker, aging off vs on (median of {reps})"
+        );
+        let epoch = Duration::from_micros(500);
+        let (mut off_reps, mut on_reps) = (Vec::new(), Vec::new());
+        for _ in 0..reps {
+            off_reps.push(run_fairness(
+                Aging::Off,
+                "aging_off",
+                small_jobs,
+                large_jobs,
+            ));
+            on_reps.push(run_fairness(
+                Aging::HalveEvery(epoch),
+                "aging_on",
+                small_jobs,
+                large_jobs,
+            ));
+        }
+        let runs = [median_fairness(off_reps), median_fairness(on_reps)];
+        for run in &runs {
+            println!(
+                "{:<28} worst queue-wait {:>9.0} µs   p99.9 {:>9.0} µs   \
+                 starved-large worst {:>9.0} µs   small p99 {:>9.0} µs",
+                format!("fairness, {}", run.aging),
+                run.worst_us,
+                run.p999_us,
+                run.large_worst_us,
+                run.small_p99_us
+            );
+        }
+        println!(
+            "starved-large worst queue wait: aging cuts it {:.1}x; \
+             small-job p99 at {:.2}x the no-aging baseline",
+            runs[0].large_worst_us / runs[1].large_worst_us.max(1.0),
+            runs[1].small_p99_us / runs[0].small_p99_us.max(1.0)
+        );
+        if !smoke {
+            assert!(
+                runs[1].large_worst_us < runs[0].large_worst_us,
+                "aging must lower the starved large job's worst queue wait below \
+                 the no-aging baseline ({:.0} µs vs {:.0} µs)",
+                runs[1].large_worst_us,
+                runs[0].large_worst_us
+            );
+            assert!(
+                runs[1].small_p99_us <= 2.0 * runs[0].small_p99_us,
+                "aging must keep the small-job p99 queue wait within 2x the \
+                 no-aging baseline ({:.0} µs vs {:.0} µs)",
+                runs[1].small_p99_us,
+                runs[0].small_p99_us
+            );
+        }
+        out.push_str("  \"fairness\": {\n");
+        let _ = writeln!(
+            out,
+            "    \"small_jobs\": {small_jobs}, \"large_jobs\": {large_jobs}, \
+             \"workers\": 1, \"aging_epoch_us\": {}, \"repetitions\": {reps},",
+            epoch.as_micros()
+        );
+        for (i, run) in runs.iter().enumerate() {
+            let comma = if i + 1 == runs.len() { "" } else { "," };
+            let _ = writeln!(
+                out,
+                "    \"{}\": {{\"worst_queue_wait_us\": {:.1}, \
+                 \"queue_wait_p999_us\": {:.1}, \"large_worst_queue_wait_us\": {:.1}, \
+                 \"small_queue_wait_p99_us\": {:.1}}}{comma}",
+                run.aging, run.worst_us, run.p999_us, run.large_worst_us, run.small_p99_us
+            );
+        }
+        out.push_str("  }\n");
     }
 
     out.push_str("}\n");
@@ -415,6 +527,82 @@ fn run_streaming(
         small_p50_us: percentile_us(&small_waits, 0.50),
         small_p99_us: percentile_us(&small_waits, 0.99),
         large_p99_us: percentile_us(&large_waits, 0.99),
+    }
+}
+
+/// Runs the starvation workload under one aging setting: two dense random
+/// jobs on the 4-qudit Table-1 register (~milliseconds each, estimated
+/// cost 810) are submitted *first*, then a flood of GHZ jobs on the
+/// 3-qudit register (tens of µs each, cost 36). On one size-aware worker
+/// the first large job pins the pool, so with aging off the second large
+/// job's frozen key keeps it behind the entire flood — its queue wait
+/// grows with the flood length. With aging on, its effective cost decays
+/// below the smalls' within ~5 epochs and it pops mid-flood, bounding its
+/// wait at the decay horizon. The large jobs are kept much cheaper than
+/// the flood's total drain time so the promotion delays only a sliver of
+/// the small class — that proportion, not luck, is what keeps the
+/// small-job p99 within the asserted 2× of the no-aging baseline.
+fn run_fairness(
+    aging: Aging,
+    name: &'static str,
+    small_jobs: usize,
+    large_jobs: usize,
+) -> FairnessRun {
+    let d_large = dims4();
+    let d_small = dims3();
+    let opts = PrepareOptions::exact().without_zero_subtrees();
+    let large: Vec<PrepareRequest> = (0..large_jobs)
+        .map(|job| {
+            let mut rng = StdRng::seed_from_u64(0xFA_12 + job as u64);
+            PrepareRequest::dense(
+                d_large.clone(),
+                random_state(&d_large, RandomKind::ReImUniform, &mut rng),
+                opts,
+            )
+        })
+        .collect();
+    let small: Vec<PrepareRequest> =
+        vec![PrepareRequest::dense(d_small.clone(), ghz(&d_small), opts); small_jobs];
+
+    let service = EngineService::new(
+        EngineConfig::default()
+            .with_workers(1)
+            .without_cache()
+            .with_scheduling(SchedulingPolicy::SizeAware)
+            .with_aging(aging),
+    );
+    let large_handles = service.submit_batch(large);
+    let small_handles = service.submit_batch(small);
+    let small_waits = harvest_queue_waits(small_handles);
+    let large_waits = harvest_queue_waits(large_handles);
+    service.shutdown();
+
+    let mut all_waits = small_waits.clone();
+    all_waits.extend_from_slice(&large_waits);
+    all_waits.sort_unstable();
+    FairnessRun {
+        aging: name,
+        worst_us: percentile_us(&all_waits, 1.0),
+        p999_us: percentile_us(&all_waits, 0.999),
+        large_worst_us: percentile_us(&large_waits, 1.0),
+        small_p99_us: percentile_us(&small_waits, 0.99),
+    }
+}
+
+/// Collapses repeated fairness runs of one aging setting into a single
+/// row by taking the per-metric median.
+fn median_fairness(reps: Vec<FairnessRun>) -> FairnessRun {
+    let median = |pick: fn(&FairnessRun) -> f64| -> f64 {
+        let mut values: Vec<f64> = reps.iter().map(pick).collect();
+        values.sort_unstable_by(f64::total_cmp);
+        values[values.len() / 2]
+    };
+    FairnessRun {
+        aging: reps[0].aging,
+        worst_us: median(|r| r.worst_us),
+        p999_us: median(|r| r.p999_us),
+        large_worst_us: median(|r| r.large_worst_us),
+        small_p99_us: median(|r| r.small_p99_us),
     }
 }
 

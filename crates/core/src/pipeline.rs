@@ -219,6 +219,30 @@ impl PrepareOptions {
         self.verification = verification;
         self
     }
+
+    /// Validates the thresholds of these options exactly as the pipeline
+    /// itself will: the fidelity threshold and any demanded verification
+    /// floor must lie in `(0, 1]`. Exposed so admission layers (the
+    /// engine's submit path) can reject invalid options *before* queueing
+    /// a job, with the identical error the worker would have produced.
+    ///
+    /// # Errors
+    ///
+    /// [`PrepareError::InvalidThreshold`] /
+    /// [`PrepareError::InvalidVerification`], as [`prepare`] returns them.
+    pub fn validate(&self) -> Result<(), PrepareError> {
+        if let Some(t) = self.fidelity_threshold {
+            if !(t > 0.0 && t <= 1.0) {
+                return Err(PrepareError::InvalidThreshold(t));
+            }
+        }
+        if let Some(t) = self.verification.min_fidelity() {
+            if !(t > 0.0 && t <= 1.0) {
+                return Err(PrepareError::InvalidVerification(t));
+            }
+        }
+        Ok(())
+    }
 }
 
 impl Default for PrepareOptions {
@@ -308,17 +332,7 @@ pub fn prepare(
 }
 
 fn validate_threshold(opts: &PrepareOptions) -> Result<(), PrepareError> {
-    if let Some(t) = opts.fidelity_threshold {
-        if !(t > 0.0 && t <= 1.0) {
-            return Err(PrepareError::InvalidThreshold(t));
-        }
-    }
-    if let Some(t) = opts.verification.min_fidelity() {
-        if !(t > 0.0 && t <= 1.0) {
-            return Err(PrepareError::InvalidVerification(t));
-        }
-    }
-    Ok(())
+    opts.validate()
 }
 
 /// Runs approximation, reduction and synthesis on an already-built diagram —

@@ -5,7 +5,7 @@ use std::thread;
 
 use crate::cache::{CacheStats, CircuitCache};
 use crate::request::{PrepareReport, PrepareRequest};
-use crate::scheduler::SchedulingPolicy;
+use crate::scheduler::{Aging, SchedulingPolicy};
 use crate::service::{EngineError, EngineService};
 
 /// Configuration of an [`EngineService`] (and of the [`BatchEngine`]
@@ -32,6 +32,15 @@ pub struct EngineConfig {
     /// Queue discipline of the scheduler (size-aware by default; FIFO is
     /// the pre-service baseline).
     pub scheduling: SchedulingPolicy,
+    /// Wait-time aging of the size-aware scheduler — the starvation guard
+    /// (on by default at [`Aging::DEFAULT_EPOCH`]): every epoch of queue
+    /// wait halves a job's effective cost, and long waits eventually
+    /// promote it across [`Priority`](crate::Priority) classes, so no
+    /// accepted job can be deferred indefinitely by a stream of smaller or
+    /// higher-priority work. Ignored under [`SchedulingPolicy::Fifo`],
+    /// which is starvation-free by construction. See
+    /// [`Aging`](crate::Aging) for the tuning trade-off.
+    pub aging: Aging,
     /// Admission bound on the scheduler queue (`None` is unbounded, the
     /// default): with at most this many jobs queued,
     /// [`EngineService::try_submit`](crate::EngineService::try_submit)
@@ -54,6 +63,7 @@ impl Default for EngineConfig {
             use_cache: true,
             cache_capacity: None,
             scheduling: SchedulingPolicy::SizeAware,
+            aging: Aging::default(),
             queue_depth: None,
         }
     }
@@ -103,6 +113,17 @@ impl EngineConfig {
         self
     }
 
+    /// Overrides the size-aware scheduler's wait-time aging — the
+    /// starvation guard. [`Aging::Off`] restores the raw (frozen) sort key
+    /// as a baseline for fairness measurements; a smaller
+    /// [`Aging::HalveEvery`] epoch bounds queue waits tighter at the cost
+    /// of the small-job latency win. See [`EngineConfig::aging`].
+    #[must_use]
+    pub fn with_aging(mut self, aging: Aging) -> Self {
+        self.aging = aging;
+        self
+    }
+
     /// Bounds the scheduler queue at `depth` jobs (minimum 1) — the
     /// admission-control switch. See [`EngineConfig::queue_depth`].
     #[must_use]
@@ -146,6 +167,13 @@ pub struct EngineStats {
     pub arena_reuses: u64,
     /// Jobs currently waiting in the scheduler queue.
     pub queued: usize,
+    /// Blocking submitters currently **parked on the admission ticket
+    /// queue** of a bounded scheduler
+    /// ([`EngineConfig::with_queue_depth`]), waiting for freed slots that
+    /// are handed out strictly in arrival order. A sustained nonzero value
+    /// means submitters outpace the pool — the backpressure gauge of
+    /// FIFO-fair admission.
+    pub parked: usize,
 }
 
 /// The batch-mode compatibility wrapper over [`EngineService`]: submit a

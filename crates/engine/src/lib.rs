@@ -28,10 +28,13 @@
 //!   returns a [`JobHandle`] immediately; the handle resolves through a
 //!   per-job channel with blocking, polling, and timeout waits. No
 //!   external async runtime — std mpsc + condvar only.
-//! * **Size-aware scheduling** — the default
+//! * **Size-aware scheduling with wait-time aging** — the default
 //!   [`SchedulingPolicy::SizeAware`] orders by caller [`Priority`], then
 //!   by estimated job cost, so large Table-1 jobs stop head-of-line
-//!   blocking small ones ([`scheduler`] module docs); `Fifo` is the
+//!   blocking small ones; wait-time [`Aging`] (on by default) halves a
+//!   queued job's effective cost every epoch and eventually promotes it
+//!   across priority classes, so no accepted job starves under a
+//!   sustained small-job flood ([`scheduler`] module docs); `Fifo` is the
 //!   baseline. Scheduling never changes results, only queue waits
 //!   ([`PrepareReport::queue_wait`]).
 //! * **Prepared-circuit cache** — requests are fingerprinted by a content
@@ -39,12 +42,16 @@
 //!   the pipeline options ([`cache`] module); identical requests are
 //!   served the stored circuit. Optionally bounded with per-shard LRU
 //!   eviction ([`EngineConfig::with_cache_capacity`]).
-//! * **Admission control** — [`EngineConfig::with_queue_depth`] bounds the
-//!   scheduler queue: [`EngineService::try_submit`] refuses overflow with
-//!   [`EngineError::QueueFull`] (the request handed back by value in an
-//!   [`AdmissionError`]), while the blocking [`EngineService::submit`]
-//!   parks on a condvar until space frees. Shed load and the queue's
-//!   high-watermark are visible in [`EngineStats`].
+//! * **FIFO-fair admission control** — [`EngineConfig::with_queue_depth`]
+//!   bounds the scheduler queue: [`EngineService::try_submit`] refuses
+//!   overflow with [`EngineError::QueueFull`] (the request handed back by
+//!   value in an [`AdmissionError`]), while the blocking
+//!   [`EngineService::submit`] parks on a **ticketed waiter queue** —
+//!   freed slots go to parked submitters strictly in arrival order, and a
+//!   non-blocking flood is refused rather than allowed to steal an owed
+//!   slot. Shed load, the queue's high-watermark, parked submitters
+//!   ([`EngineStats::parked`]) and per-job admission waits
+//!   ([`PrepareReport::admission_wait`]) are all observable.
 //! * **Verification mode** — [`PrepareRequest::with_verification`] makes
 //!   the worker replay the synthesized circuit by decision-diagram
 //!   simulation ([`Preparer::replay`](mdq_core::Preparer::replay)) and
@@ -108,7 +115,7 @@ mod service;
 pub use cache::{CacheStats, CircuitCache};
 pub use engine::{BatchEngine, EngineConfig, EngineStats};
 pub use request::{PrepareReport, PrepareRequest, StatePayload};
-pub use scheduler::{Priority, SchedulingPolicy};
+pub use scheduler::{Aging, Priority, SchedulingPolicy};
 pub use service::{AdmissionError, EngineError, EngineService, JobHandle};
 
 // Re-exported for convenience: the verification vocabulary lives in
@@ -135,6 +142,7 @@ const _: () = {
     assert_send_sync::<StatePayload>();
     assert_send_sync::<Priority>();
     assert_send_sync::<SchedulingPolicy>();
+    assert_send_sync::<Aging>();
     assert_send_sync::<AdmissionError>();
     assert_send_sync::<VerificationPolicy>();
     assert_send_sync::<VerificationReport>();

@@ -7,6 +7,7 @@ use mdq_core::{
     prepare, prepare_sparse, PreparationResult, PrepareError, PrepareOptions, SynthesisReport,
     VerificationPolicy, VerificationReport,
 };
+use mdq_dd::{BuildOptions, StateDd};
 use mdq_num::radix::Dims;
 use mdq_num::Complex;
 
@@ -104,6 +105,36 @@ impl PrepareRequest {
         crate::scheduler::estimate_cost(self)
     }
 
+    /// Validates this request exactly as the pipeline will — option
+    /// thresholds first ([`PrepareOptions::validate`]), then the payload
+    /// against the register (length/digits, finiteness, nonzero norm at
+    /// the request's tolerance) through the same
+    /// [`StateDd`](mdq_dd::StateDd) pre-validation the
+    /// [`Preparer`](mdq_core::Preparer) runs. The
+    /// [`EngineService`](crate::EngineService) calls this at **admission**,
+    /// so a malformed request fails its handle immediately instead of
+    /// occupying a queue slot and a worker.
+    ///
+    /// # Errors
+    ///
+    /// The identical [`PrepareError`] the sequential pipeline would return,
+    /// in the identical precedence order.
+    pub fn validate(&self) -> Result<(), PrepareError> {
+        self.options.validate()?;
+        // Only the tolerance feeds validation (node limits gate the build,
+        // not the payload), matching the worker's build options.
+        let build_opts = BuildOptions::default().tolerance(self.options.tolerance);
+        match &self.payload {
+            StatePayload::Dense(amplitudes) => {
+                StateDd::validate_amplitudes(&self.dims, amplitudes, build_opts)?;
+            }
+            StatePayload::Sparse(entries) => {
+                StateDd::validate_sparse(&self.dims, entries, build_opts)?;
+            }
+        }
+        Ok(())
+    }
+
     /// Runs this request through the one-shot sequential pipeline
     /// ([`prepare`] or [`prepare_sparse`], by payload) — the reference the
     /// engine's output is bit-identical to, and the single dispatch point
@@ -146,6 +177,15 @@ pub struct PrepareReport {
     pub elapsed: Duration,
     /// Time between submission and a worker picking the job up — the
     /// latency-under-load observable of the streaming service (zero when
-    /// the job was served synchronously, e.g. in unit helpers).
+    /// the job was served synchronously, e.g. in unit helpers). Includes
+    /// [`PrepareReport::admission_wait`] when the submitter parked.
     pub queue_wait: Duration,
+    /// Time this job's blocking submitter spent **parked on the admission
+    /// ticket queue** before the job entered the scheduler — the wait
+    /// provenance of bounded admission
+    /// ([`EngineConfig::with_queue_depth`](crate::EngineConfig)). Zero for
+    /// jobs admitted without parking (free slot, unbounded queue, or the
+    /// non-blocking [`try_submit`](crate::EngineService::try_submit)
+    /// path, which refuses instead of parking).
+    pub admission_wait: Duration,
 }

@@ -288,6 +288,7 @@ impl ServiceShared {
                     from_cache: true,
                     elapsed: Duration::default(),
                     queue_wait: Duration::default(),
+                    admission_wait: Duration::default(),
                 });
             }
         }
@@ -359,6 +360,7 @@ impl ServiceShared {
             from_cache: false,
             elapsed: Duration::default(),
             queue_wait: Duration::default(),
+            admission_wait: Duration::default(),
         })
     }
 
@@ -382,6 +384,7 @@ impl ServiceShared {
             if let Ok(report) = &mut outcome {
                 report.elapsed = started.elapsed();
                 report.queue_wait = queue_wait;
+                report.admission_wait = job.admission_wait;
             }
             // A dropped handle is not an error — the caller abandoned the
             // result, not the job.
@@ -424,6 +427,7 @@ impl ServiceShared {
                 .sum(),
             arena_reuses: self.arena_reuses.load(Ordering::Relaxed),
             queued: self.scheduler.len(),
+            parked: self.scheduler.parked(),
         }
     }
 }
@@ -483,7 +487,7 @@ impl EngineService {
     pub fn new(config: EngineConfig) -> Self {
         let workers = config.workers.max(1);
         let shared = Arc::new(ServiceShared {
-            scheduler: Scheduler::new(config.scheduling, config.queue_depth),
+            scheduler: Scheduler::new(config.scheduling, config.queue_depth, config.aging),
             cache: CircuitCache::with_capacity(config.cache_shards, config.cache_capacity),
             seq: AtomicU64::new(0),
             jobs: AtomicU64::new(0),
@@ -540,45 +544,78 @@ impl EngineService {
         self.shared.stats()
     }
 
+    /// Validation shared by both admission paths: a malformed request —
+    /// invalid thresholds or a payload the pipeline would reject — fails
+    /// **at admission** with the identical [`PrepareError`] the worker
+    /// would have produced, resolved straight onto the reply channel. It
+    /// never occupies a queue slot, never displaces well-formed work under
+    /// the size-aware policy, and counts as a failure exactly as a
+    /// worker-side rejection would.
+    fn admit_validated(&self, job: Job) -> Option<Job> {
+        match job.request.validate() {
+            Ok(()) => Some(job),
+            Err(error) => {
+                self.shared.failures.fetch_add(1, Ordering::Relaxed);
+                // Resolves the caller's handle through the job's own reply
+                // channel, exactly as a worker-side failure would.
+                job.reject(EngineError::Prepare(error));
+                None
+            }
+        }
+    }
+
     /// Enqueues one request and returns its handle. The job runs when the
     /// scheduler picks it, ordered by [`Priority`](crate::Priority) / size
-    /// under the default policy.
+    /// under the default policy, with wait-time aging
+    /// ([`EngineConfig::aging`]) guaranteeing no accepted job starves.
     ///
     /// On an unbounded queue (the default) this never blocks. With
     /// [`EngineConfig::with_queue_depth`] set, a full queue makes this
-    /// **park on a condvar until space frees** — the backpressure
-    /// submission path. Callers that must not block use
-    /// [`EngineService::try_submit`] instead.
+    /// **park on the admission ticket queue until space frees** — the
+    /// backpressure submission path. Admission is FIFO-fair: slots freed
+    /// by workers are handed to parked submitters strictly in arrival
+    /// order, and a concurrent [`try_submit`](EngineService::try_submit)
+    /// flood is refused rather than allowed to steal an owed slot, so
+    /// every parked submitter's wait is bounded by the pops ahead of its
+    /// ticket. The time spent parked is reported per job as
+    /// [`PrepareReport::admission_wait`](crate::PrepareReport) and in
+    /// aggregate as [`EngineStats::parked`](crate::EngineStats). Callers
+    /// that must not block use `try_submit` instead.
     ///
-    /// **Fairness caveat:** admission is not FIFO-fair across submitters.
-    /// When a worker frees a slot, a concurrently arriving submission
-    /// (blocking or [`try_submit`](EngineService::try_submit)) can take it
-    /// before a parked submitter re-acquires the lock; under a sustained
-    /// non-blocking flood a parked `submit` therefore has no bounded wait.
-    /// Streams mixing both paths should treat `try_submit` as the shedding
-    /// tier and reserve blocking `submit` for low-rate must-run work.
+    /// Malformed requests (payload or options the pipeline would reject)
+    /// fail their handle immediately with the identical
+    /// [`EngineError::Prepare`] error, without consuming a queue slot.
     pub fn submit(&self, request: PrepareRequest) -> JobHandle {
         let (reply, rx) = channel();
         let seq = self.shared.seq.fetch_add(1, Ordering::Relaxed);
-        self.shared.scheduler.push(
-            Job {
-                request,
-                submitted_at: Instant::now(),
-                reply,
-            },
-            seq,
-        );
+        let job = Job {
+            request,
+            submitted_at: Instant::now(),
+            admission_wait: Duration::ZERO,
+            reply,
+        };
+        if let Some(job) = self.admit_validated(job) {
+            self.shared.scheduler.push(job, seq);
+        }
         JobHandle::new(rx)
     }
 
     /// Non-blocking admission: enqueues the request if the scheduler queue
-    /// has room, or returns it to the caller inside an [`AdmissionError`]
-    /// — [`EngineError::QueueFull`] when the
-    /// [`EngineConfig::with_queue_depth`] bound is hit (counted in
-    /// [`EngineStats::rejected`](crate::EngineStats)),
+    /// has room **and no blocking submitters are parked**, or returns it
+    /// to the caller inside an [`AdmissionError`] —
+    /// [`EngineError::QueueFull`] when the
+    /// [`EngineConfig::with_queue_depth`] bound is hit or a parked
+    /// [`submit`](EngineService::submit) holds a ticket for the next freed
+    /// slot (counted in [`EngineStats::rejected`](crate::EngineStats)),
     /// [`EngineError::QueueClosed`] when the service stopped accepting
-    /// work. A refused job is never queued and leaves no handle or channel
-    /// behind.
+    /// work. Refusing while tickets are outstanding is what makes bounded
+    /// admission FIFO-fair: a non-blocking flood sheds load instead of
+    /// starving parked submitters. A refused job is never queued and
+    /// leaves no handle or channel behind.
+    ///
+    /// Malformed requests that pass admission control still fail their
+    /// handle immediately with [`EngineError::Prepare`], exactly as
+    /// [`submit`](EngineService::submit) does.
     ///
     /// # Errors
     ///
@@ -592,7 +629,11 @@ impl EngineService {
         let job = Job {
             request,
             submitted_at: Instant::now(),
+            admission_wait: Duration::ZERO,
             reply,
+        };
+        let Some(job) = self.admit_validated(job) else {
+            return Ok(JobHandle::new(rx));
         };
         match self.shared.scheduler.try_push(job, seq) {
             Ok(()) => Ok(JobHandle::new(rx)),

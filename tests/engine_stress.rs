@@ -30,7 +30,8 @@ use std::time::{Duration, Instant};
 use mdq::circuit::Circuit;
 use mdq::core::{prepare, PrepareOptions, Preparer, VerificationPolicy};
 use mdq::engine::{
-    EngineConfig, EngineError, EngineService, JobHandle, PrepareRequest, Priority, SchedulingPolicy,
+    Aging, EngineConfig, EngineError, EngineService, JobHandle, PrepareRequest, Priority,
+    SchedulingPolicy,
 };
 use mdq::num::radix::Dims;
 use mdq::num::Complex;
@@ -551,5 +552,302 @@ fn dropping_handles_mid_flight_never_deadlocks() {
     }
     assert_eq!(service.stats().rejected, rejected);
     // Shutdown after the chaos is clean (would hang or panic on a leak).
+    service.shutdown();
+}
+
+/// Size of the small-job flood in the starvation scenarios. Large enough
+/// that the aged and the un-aged pop counts are separated by an order of
+/// magnitude, small enough that draining it (the aging-off case must
+/// complete every small before the probe) stays fast.
+const FLOOD: u64 = 600;
+
+/// The pop-count ceiling asserted for the probe with aging on. The
+/// expected value is ~(blockers + 1); the generous slack absorbs smalls
+/// that workers complete between the probe's handle resolving and the
+/// observer thread waking to sample the `jobs` counter (each small runs
+/// ~300 µs, so even a multi-millisecond scheduling hiccup costs only tens
+/// of counts). Still 4× below `FLOOD`, so the aged and un-aged regimes
+/// cannot be confused.
+const AGED_POP_BOUND: u64 = 150;
+
+/// The deterministic starvation scenario of this PR's tentpole: all
+/// workers are pinned by expensive High-priority blockers, one large
+/// `probe_priority` probe job is queued, then a `FLOOD`-deep small-job
+/// flood is queued behind it. Returns `stats.jobs` at the instant the
+/// probe's handle resolved — the number of jobs (blockers, smalls, probe)
+/// that completed up to and including the probe.
+///
+/// With aging **off**, the probe's frozen sort key (cost 810 against the
+/// smalls' 216) means every queued small pops first: the count is ≥
+/// `FLOOD` — the starvation the caveat used to document. With aging
+/// **on**, the probe's effective cost decays to zero while the blockers
+/// pin the workers (≥ milliseconds, against a 250 µs epoch), so it pops
+/// with the oldest jobs and the count stays ≤ `AGED_POP_BOUND`.
+///
+/// Determinism: the blockers are `2 × workers` dense random jobs on the
+/// Table-1 register `[4,7,4,4,3,5]` (milliseconds each) at `High`
+/// priority, so the pool stays pinned — first by the running blockers,
+/// then by the queued ones, which outrank every Normal job under both
+/// aging settings — for the entire (sub-millisecond) submission of the
+/// probe and the flood. The probe is a *basis state* on `[9,5,6,3]`:
+/// estimated cost 810 (it is the dense payload length that is scheduled),
+/// but near-zero pipeline time, so the sampled counter is not inflated by
+/// smalls completing while the probe itself runs. The smalls are dense
+/// random jobs on `[6,6,6]` — cost 216, a few hundred µs each — rather
+/// than microsecond toys: the `jobs` counter is sampled *after* the
+/// probe's handle resolves, and the smalls must be slow enough that the
+/// handful a worker completes before the observer thread wakes cannot
+/// approach the bound.
+fn starvation_probe_pops(workers: usize, aging: Aging, probe_priority: Priority) -> u64 {
+    let blocker_dims = dims(&[4, 7, 4, 4, 3, 5]);
+    let probe_dims = dims(&[9, 5, 6, 3]);
+    let small_dims = dims(&[6, 6, 6]);
+    let service = EngineService::new(
+        EngineConfig::default()
+            .with_workers(workers)
+            .with_scheduling(SchedulingPolicy::SizeAware)
+            .with_aging(aging)
+            .without_cache(),
+    );
+    let mut rng = StdRng::seed_from_u64(0xA61);
+    let blockers: Vec<JobHandle> = (0..2 * workers)
+        .map(|_| {
+            service.submit(
+                PrepareRequest::dense(
+                    blocker_dims.clone(),
+                    random_state(&blocker_dims, RandomKind::ReImUniform, &mut rng),
+                    PrepareOptions::exact(),
+                )
+                .with_priority(Priority::High),
+            )
+        })
+        .collect();
+    // A one-hot amplitude vector: scheduled at dense cost 810, served in
+    // near-zero time.
+    let mut basis = vec![Complex::ZERO; probe_dims.space_size()];
+    basis[0] = Complex::ONE;
+    let probe = service.submit(
+        PrepareRequest::dense(probe_dims.clone(), basis, PrepareOptions::exact())
+            .with_priority(probe_priority),
+    );
+    let small = PrepareRequest::dense(
+        small_dims.clone(),
+        random_state(&small_dims, RandomKind::ReImUniform, &mut rng),
+        PrepareOptions::exact(),
+    );
+    // The flood handles are deliberately dropped: the scenario only cares
+    // how many of these jobs pop before the probe, which the service's own
+    // `jobs` counter reports.
+    for _ in 0..FLOOD {
+        drop(service.submit(small.clone()));
+    }
+    probe.wait().expect("the probe job completes");
+    let jobs_at_probe = service.stats().jobs;
+    for blocker in blockers {
+        blocker.wait().expect("blocker jobs complete");
+    }
+    // Abort the un-popped remainder of the flood instead of draining it.
+    service.shutdown_now();
+    jobs_at_probe
+}
+
+/// Tentpole: with aging off a queued large job starves behind the
+/// pre-queued small-job flood (every small pops first — the documented
+/// pre-PR behaviour, kept as the measurable baseline), while wait-time
+/// aging bounds the same probe's pops at 1, 2, and 4 workers.
+#[test]
+fn aging_bounds_the_starved_probe_at_every_worker_count() {
+    for workers in [1usize, 2, 4] {
+        let starved = starvation_probe_pops(workers, Aging::Off, Priority::Normal);
+        assert!(
+            starved >= FLOOD,
+            "aging off at {workers} workers: the probe must starve behind \
+             the whole flood (popped after only {starved} jobs)"
+        );
+        let aged = starvation_probe_pops(
+            workers,
+            Aging::HalveEvery(Duration::from_micros(250)),
+            Priority::Normal,
+        );
+        assert!(
+            aged <= AGED_POP_BOUND,
+            "aging on at {workers} workers: the probe must pop within \
+             {AGED_POP_BOUND} jobs, took {aged}"
+        );
+    }
+}
+
+/// Tentpole: aging also promotes across priority classes — a `Low` probe
+/// under a `Normal` flood starves with aging off, but the promotion term
+/// (one class per `Aging::PRIORITY_PROMOTION_EPOCHS` epochs of wait)
+/// bounds it with aging on, exactly like the same-class case.
+#[test]
+fn aging_promotes_a_low_priority_probe_past_a_normal_flood() {
+    let starved = starvation_probe_pops(1, Aging::Off, Priority::Low);
+    assert!(
+        starved >= FLOOD,
+        "a Low probe under a Normal flood must starve without aging \
+         (popped after only {starved} jobs)"
+    );
+    let aged = starvation_probe_pops(
+        1,
+        Aging::HalveEvery(Duration::from_micros(100)),
+        Priority::Low,
+    );
+    assert!(
+        aged <= AGED_POP_BOUND,
+        "promotion must lift the Low probe past the Normal flood within \
+         {AGED_POP_BOUND} jobs, took {aged}"
+    );
+}
+
+/// Tentpole: FIFO-fair bounded admission end-to-end. With the single
+/// worker pinned and the one queue slot taken, three blocking submitters
+/// park one at a time (each observed via `EngineStats::parked` before the
+/// next arrives, so their ticket order is pinned); a concurrent burst of
+/// `try_submit`s is refused rather than allowed to steal the slots the
+/// parked submitters are owed; and as the worker frees slots the parked
+/// submitters admit strictly in ticket (arrival) order, each reporting its
+/// park time as `PrepareReport::admission_wait`.
+#[test]
+fn parked_submitters_admit_in_ticket_order_with_observable_waits() {
+    let blocker_dims = dims(&[4, 7, 4, 4, 3, 5]);
+    let small_dims = dims(&[2, 2]);
+    let service = EngineService::new(
+        EngineConfig::default()
+            .with_workers(1)
+            .with_queue_depth(1)
+            .with_scheduling(SchedulingPolicy::Fifo)
+            .without_cache(),
+    );
+    let mut rng = StdRng::seed_from_u64(0xF41);
+    // Pin the worker on an expensive job, then take the single queue slot.
+    let blocker = service.submit(PrepareRequest::dense(
+        blocker_dims.clone(),
+        random_state(&blocker_dims, RandomKind::ReImUniform, &mut rng),
+        PrepareOptions::exact(),
+    ));
+    let filler = service.submit(PrepareRequest::dense(
+        small_dims.clone(),
+        ghz(&small_dims),
+        PrepareOptions::exact(),
+    ));
+    let small = PrepareRequest::dense(
+        small_dims.clone(),
+        ghz(&small_dims),
+        PrepareOptions::exact(),
+    );
+
+    let admission_order = std::sync::Mutex::new(Vec::new());
+    let refused = AtomicU64::new(0);
+    let parked_seen = AtomicU64::new(0);
+    let submitter_reports: Vec<JobHandle> = thread::scope(|scope| {
+        let mut submitters = Vec::new();
+        for id in 0..3usize {
+            let service = &service;
+            let small = &small;
+            let admission_order = &admission_order;
+            submitters.push(scope.spawn(move || {
+                let handle = service.submit(small.clone());
+                // `submit` returns only once the job is enqueued, and the
+                // ticket queue admits in arrival order — so the order of
+                // these records is the admission order.
+                admission_order.lock().unwrap().push(id);
+                handle
+            }));
+            // Park the submitters strictly one at a time: their tickets
+            // (and so their arrival order) are pinned, not racy.
+            let deadline = Instant::now() + Duration::from_secs(30);
+            while service.stats().parked < id + 1 {
+                assert!(Instant::now() < deadline, "submitter {id} must park");
+                thread::yield_now();
+            }
+        }
+        parked_seen.store(service.stats().parked as u64, Ordering::Relaxed);
+        // With three ticket holders parked, non-blocking admission must be
+        // refused throughout — whether the queue is momentarily full or a
+        // freed slot is owed to a ticket, a probe can never steal it.
+        for _ in 0..64 {
+            match service.try_submit(small.clone()) {
+                Ok(_) => panic!("try_submit must not steal a slot owed to a parked submitter"),
+                Err(refusal) => {
+                    assert!(
+                        matches!(refusal.error, EngineError::QueueFull { limit: 1, .. }),
+                        "unexpected refusal: {:?}",
+                        refusal.error
+                    );
+                    refused.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        submitters
+            .into_iter()
+            .map(|s| s.join().expect("submitter thread never panics"))
+            .collect()
+    });
+
+    assert_eq!(parked_seen.load(Ordering::Relaxed), 3, "all three parked");
+    assert_eq!(
+        *admission_order.lock().unwrap(),
+        vec![0, 1, 2],
+        "parked submitters admit strictly in ticket (arrival) order"
+    );
+    blocker.wait().expect("blocker completes");
+    filler.wait().expect("filler completes");
+    for handle in submitter_reports {
+        let report = handle.wait().expect("parked submission completes");
+        assert!(
+            !report.admission_wait.is_zero(),
+            "a parked submitter's wait is reported as admission_wait"
+        );
+        assert!(
+            report.queue_wait >= report.admission_wait,
+            "queue_wait is measured from submission and so includes the park"
+        );
+    }
+    let stats = service.stats();
+    assert_eq!(stats.rejected, refused.load(Ordering::Relaxed));
+    assert_eq!(stats.parked, 0, "no submitter left parked");
+    assert_eq!(stats.jobs, 5, "blocker + filler + three parked submissions");
+    service.shutdown();
+}
+
+/// Satellite regression: a malformed payload — here an empty-support
+/// sparse request, whose estimated cost used to be 0 (sorting ahead of
+/// every real job) — is rejected **at admission** with the same error the
+/// pipeline would produce: the handle resolves immediately, nothing is
+/// queued, and no worker ran it.
+#[test]
+fn empty_support_sparse_requests_fail_at_admission() {
+    let d = dims(&[3, 3]);
+    let service = EngineService::new(EngineConfig::default().with_workers(1).without_cache());
+    let empty = PrepareRequest::sparse(d.clone(), vec![], PrepareOptions::exact());
+    let want = empty
+        .prepare_sequential()
+        .expect_err("empty support must fail the sequential pipeline too");
+    match service.submit(empty.clone()).wait() {
+        Err(EngineError::Prepare(got)) => {
+            assert_eq!(
+                got.to_string(),
+                want.to_string(),
+                "admission rejects with the pipeline's own error"
+            );
+        }
+        other => panic!("expected an admission-time Prepare error, got {other:?}"),
+    }
+    // try_submit validates too, and validation precedes admission control:
+    // the outcome of a malformed request never depends on queue state.
+    let handle = service
+        .try_submit(empty)
+        .expect("malformed requests are not admission refusals");
+    assert!(matches!(handle.wait(), Err(EngineError::Prepare(_))));
+    let stats = service.stats();
+    assert_eq!(stats.failures, 2, "both rejections count as failures");
+    assert_eq!(stats.jobs, 0);
+    assert_eq!(stats.rejected, 0, "failed validation is not shed load");
+    assert_eq!(
+        stats.high_watermark, 0,
+        "a malformed request never occupies a queue slot"
+    );
     service.shutdown();
 }
