@@ -30,6 +30,16 @@
 //! time), and a one-slot-queue service is flooded through `try_submit` to
 //! record the rejection rate and queue high-watermark.
 //!
+//! With `--warmstart`, a warm-start section measures what the persistent
+//! cache snapshot buys a restarted process: a cold service runs the whole
+//! mixed workload (paying the pipeline), snapshots its cache to disk, and
+//! shuts down; a second service loads the snapshot at construction and
+//! replays the same stream. The JSON records the snapshot's entry count
+//! and file size, the load time, and cold vs. snapshot-loaded throughput;
+//! every snapshot-served circuit is asserted bit-identical to the
+//! sequential pipeline, and outside `--smoke` the run asserts the
+//! snapshot-loaded service is at least 2× the cold throughput.
+//!
 //! With `--fairness`, a starvation section measures what wait-time aging
 //! buys: two expensive jobs are submitted ahead of a small-job flood on a
 //! single size-aware worker, once with aging off (the queued large job
@@ -45,6 +55,7 @@
 //! * `--jobs N`    — batch size (default 48);
 //! * `--streaming` — additionally run the EngineService queue-wait section;
 //! * `--verify`    — additionally run the verification + admission section;
+//! * `--warmstart` — additionally run the snapshot warm-start section;
 //! * `--fairness`  — additionally run the aging/starvation section;
 //! * `--out PATH`  — output path (default `BENCH_engine.json`).
 
@@ -98,6 +109,7 @@ fn main() {
     let smoke = args.iter().any(|a| a == "--smoke");
     let streaming = args.iter().any(|a| a == "--streaming");
     let verify = args.iter().any(|a| a == "--verify");
+    let warmstart = args.iter().any(|a| a == "--warmstart");
     let fairness = args.iter().any(|a| a == "--fairness");
     let jobs: usize = if smoke {
         8
@@ -215,7 +227,7 @@ fn main() {
         );
     }
     out.push_str("  ],\n");
-    let comma = if streaming || verify || fairness {
+    let comma = if warmstart || streaming || verify || fairness {
         ","
     } else {
         ""
@@ -226,6 +238,110 @@ fn main() {
          \"warm_jobs_per_sec\": {warm_jobs_per_sec:.1}, \"bit_identical\": {identical}}}{comma}",
         stats.cache.hits, stats.cache.misses, stats.cache.entries, stats.cache.evictions
     );
+
+    if warmstart {
+        let workers = *worker_counts.last().unwrap();
+        let snap_path = std::env::temp_dir().join(format!(
+            "engine_bench_warmstart_{}.mdqsnap",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&snap_path);
+
+        // Cold pass: a fresh service pays the pipeline for every distinct
+        // request, then snapshots its filled cache to disk.
+        let cold_service = EngineService::new(EngineConfig::default().with_workers(workers));
+        let t = Instant::now();
+        for handle in cold_service.submit_batch(requests.iter().cloned()) {
+            handle.wait().expect("cold warm-start job succeeds");
+        }
+        let cold_wall = t.elapsed();
+        let snap_stats = cold_service
+            .snapshot_to(&snap_path)
+            .expect("snapshot saves");
+        cold_service.shutdown();
+
+        // Snapshot pass: a restarted service loads the file at
+        // construction and replays the identical stream from the cache.
+        let warm_service = EngineService::new(
+            EngineConfig::default()
+                .with_workers(workers)
+                .with_warm_start(&snap_path),
+        );
+        let load = match warm_service.warm_start_load() {
+            Some(Ok(load)) => *load,
+            other => panic!("warm start failed: {other:?}"),
+        };
+        assert_eq!(load.skipped, 0, "a fresh snapshot round-trips in full");
+        let t = Instant::now();
+        let reports: Vec<_> = warm_service
+            .submit_batch(requests.iter().cloned())
+            .into_iter()
+            .map(|handle| handle.wait().expect("snapshot-served job succeeds"))
+            .collect();
+        let snap_wall = t.elapsed();
+        warm_service.shutdown();
+        let _ = std::fs::remove_file(&snap_path);
+
+        let snap_hits = reports.iter().filter(|r| r.from_cache).count();
+        assert_eq!(
+            snap_hits,
+            requests.len(),
+            "the replayed stream must be served entirely from the snapshot"
+        );
+        let mut snap_identical = true;
+        for (request, report) in requests.iter().zip(&reports) {
+            snap_identical &= report.circuit
+                == request
+                    .prepare_sequential()
+                    .expect("sequential reference runs")
+                    .circuit;
+        }
+        assert!(
+            snap_identical,
+            "snapshot-served circuits must be bit-identical to the sequential pipeline"
+        );
+        let cold_jobs_per_sec = requests.len() as f64 / cold_wall.as_secs_f64();
+        let snap_jobs_per_sec = requests.len() as f64 / snap_wall.as_secs_f64();
+        let snap_speedup = snap_jobs_per_sec / cold_jobs_per_sec;
+        println!(
+            "\nwarm-start section: {} entries, {} bytes on disk, loaded in {:?}",
+            snap_stats.entries, snap_stats.bytes, load.duration
+        );
+        println!(
+            "{:<28} {:>12.1} jobs/s\n{:<28} {:>12.1} jobs/s   ({snap_speedup:.1}x cold, \
+             {snap_hits}/{} from snapshot, bit-identical: {snap_identical})",
+            format!("cold start, {workers} worker(s)"),
+            cold_jobs_per_sec,
+            "snapshot-loaded",
+            snap_jobs_per_sec,
+            requests.len()
+        );
+        if !smoke {
+            assert!(
+                snap_speedup >= 2.0,
+                "a snapshot-loaded service must serve the replayed stream at \
+                 least 2x the cold-start throughput (measured {snap_speedup:.2}x)"
+            );
+        }
+        let comma = if streaming || verify || fairness {
+            ","
+        } else {
+            ""
+        };
+        let _ = writeln!(
+            out,
+            "  \"warmstart\": {{\"entries\": {}, \"file_bytes\": {}, \
+             \"load_ms\": {:.3}, \"loaded\": {}, \"skipped\": {}, \
+             \"cold_jobs_per_sec\": {cold_jobs_per_sec:.1}, \
+             \"snapshot_jobs_per_sec\": {snap_jobs_per_sec:.1}, \
+             \"speedup\": {snap_speedup:.2}, \"bit_identical\": {snap_identical}}}{comma}",
+            snap_stats.entries,
+            snap_stats.bytes,
+            load.duration.as_secs_f64() * 1e3,
+            load.loaded,
+            load.skipped
+        );
+    }
 
     if streaming {
         let (small_jobs, large_jobs) = if smoke { (8, 2) } else { (48, 6) };

@@ -118,34 +118,108 @@ pub fn to_text(circuit: &Circuit) -> Result<String, SerializeError> {
     }
     out.push('\n');
     for (index, instr) in circuit.iter().enumerate() {
-        let body = match &instr.gate {
-            Gate::Givens { lo, hi, theta, phi } => {
-                format!(
-                    "givens q{} lo{lo} hi{hi} theta{theta} phi{phi}",
-                    instr.qudit
-                )
-            }
-            Gate::ZRotation { lo, hi, theta } => {
-                format!("zrot q{} lo{lo} hi{hi} theta{theta}", instr.qudit)
-            }
-            Gate::PhaseLevel { level, angle } => {
-                format!("phase q{} level{level} angle{angle}", instr.qudit)
-            }
-            Gate::Shift { amount } => format!("shift q{} amount{amount}", instr.qudit),
-            Gate::Fourier { inverse: false } => format!("fourier q{}", instr.qudit),
-            Gate::Fourier { inverse: true } => format!("fourier- q{}", instr.qudit),
-            Gate::Unitary(_) => return Err(SerializeError::UnsupportedGate { index }),
-        };
-        out.push_str(&body);
-        if !instr.controls.is_empty() {
-            out.push_str(" ctrl");
-            for c in &instr.controls {
-                let _ = write!(out, " {}@{}", c.qudit, c.level);
-            }
-        }
+        out.push_str(&instruction_text(instr, index)?);
         out.push('\n');
     }
     Ok(out)
+}
+
+/// The textual form of one instruction (gate body plus control tail), shared
+/// by [`to_text`] and [`to_line`].
+///
+/// Angles are written through Rust's shortest-round-trip float formatting,
+/// which is guaranteed to parse back to the **bit-identical** `f64` for every
+/// finite value (including `-0.0` and subnormals) — the property the engine's
+/// snapshot format depends on, pinned by the serialize round-trip proptests.
+fn instruction_text(instr: &Instruction, index: usize) -> Result<String, SerializeError> {
+    use std::fmt::Write as _;
+    let mut out = match &instr.gate {
+        Gate::Givens { lo, hi, theta, phi } => {
+            format!(
+                "givens q{} lo{lo} hi{hi} theta{theta} phi{phi}",
+                instr.qudit
+            )
+        }
+        Gate::ZRotation { lo, hi, theta } => {
+            format!("zrot q{} lo{lo} hi{hi} theta{theta}", instr.qudit)
+        }
+        Gate::PhaseLevel { level, angle } => {
+            format!("phase q{} level{level} angle{angle}", instr.qudit)
+        }
+        Gate::Shift { amount } => format!("shift q{} amount{amount}", instr.qudit),
+        Gate::Fourier { inverse: false } => format!("fourier q{}", instr.qudit),
+        Gate::Fourier { inverse: true } => format!("fourier- q{}", instr.qudit),
+        Gate::Unitary(_) => return Err(SerializeError::UnsupportedGate { index }),
+    };
+    if !instr.controls.is_empty() {
+        out.push_str(" ctrl");
+        for c in &instr.controls {
+            let _ = write!(out, " {}@{}", c.qudit, c.level);
+        }
+    }
+    Ok(out)
+}
+
+/// Serializes a circuit **body** to a single line: the instructions of
+/// [`to_text`]'s format joined by `" ; "`, without the header and `dims`
+/// lines (the register travels separately). The empty circuit serializes to
+/// the empty string. This is the embedded form used by records that must
+/// hold a whole circuit in one field, such as the engine's cache snapshots.
+///
+/// # Errors
+///
+/// Returns [`SerializeError::UnsupportedGate`] for explicit-unitary gates.
+///
+/// # Examples
+///
+/// ```
+/// use mdq_circuit::{serialize, Circuit, Gate, Instruction};
+/// use mdq_num::radix::Dims;
+///
+/// let dims = Dims::new(vec![3, 2])?;
+/// let mut c = Circuit::new(dims.clone());
+/// c.push(Instruction::local(0, Gate::fourier()))?;
+/// c.push(Instruction::local(1, Gate::shift(1)))?;
+/// let line = serialize::to_line(&c)?;
+/// assert_eq!(line, "fourier q0 ; shift q1 amount1");
+/// assert_eq!(serialize::from_line(dims, &line)?, c);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn to_line(circuit: &Circuit) -> Result<String, SerializeError> {
+    let mut out = String::new();
+    for (index, instr) in circuit.iter().enumerate() {
+        if index > 0 {
+            out.push_str(" ; ");
+        }
+        out.push_str(&instruction_text(instr, index)?);
+    }
+    Ok(out)
+}
+
+/// Parses a single-line circuit body produced by [`to_line`] against the
+/// given register. Whitespace-only input yields the empty circuit.
+///
+/// # Errors
+///
+/// Returns [`ParseError::BadLine`]/[`ParseError::Invalid`] with `line` set
+/// to the **1-based instruction position** within the line.
+pub fn from_line(dims: Dims, text: &str) -> Result<Circuit, ParseError> {
+    let mut circuit = Circuit::new(dims);
+    if text.trim().is_empty() {
+        return Ok(circuit);
+    }
+    for (index, segment) in text.split(';').enumerate() {
+        let position = index + 1;
+        let instr = parse_instruction(segment.trim()).map_err(|reason| ParseError::BadLine {
+            line: position,
+            reason,
+        })?;
+        circuit.push(instr).map_err(|e| ParseError::Invalid {
+            line: position,
+            reason: e.to_string(),
+        })?;
+    }
+    Ok(circuit)
 }
 
 /// Parses a circuit from the `mdqc` text format.
@@ -349,6 +423,49 @@ mod tests {
     fn malformed_controls_are_reported() {
         let err = from_text("mdqc 1\ndims 2 2\nshift q0 amount1 ctrl 1-0\n").unwrap_err();
         assert!(matches!(err, ParseError::BadLine { .. }), "{err}");
+    }
+
+    #[test]
+    fn line_round_trip_preserves_circuit() {
+        let c = sample();
+        let line = to_line(&c).unwrap();
+        assert!(!line.contains('\n'), "single line form");
+        let back = from_line(c.dims().clone(), &line).unwrap();
+        assert_eq!(c, back);
+    }
+
+    #[test]
+    fn empty_circuit_round_trips_through_the_line_form() {
+        let dims = Dims::new(vec![2, 3]).unwrap();
+        let c = Circuit::new(dims.clone());
+        let line = to_line(&c).unwrap();
+        assert!(line.is_empty());
+        assert_eq!(from_line(dims.clone(), &line).unwrap(), c);
+        assert_eq!(from_line(dims, "   ").unwrap(), c);
+    }
+
+    #[test]
+    fn line_errors_carry_the_instruction_position() {
+        let dims = Dims::new(vec![2, 2]).unwrap();
+        let err = from_line(dims.clone(), "shift q0 amount1 ; warp q1").unwrap_err();
+        assert!(matches!(err, ParseError::BadLine { line: 2, .. }), "{err}");
+        // Validation failures too: level 5 does not exist on a qubit.
+        let err = from_line(dims.clone(), "phase q0 level5 angle0.5").unwrap_err();
+        assert!(matches!(err, ParseError::Invalid { line: 1, .. }), "{err}");
+        // An empty segment between separators is malformed, not skipped.
+        let err = from_line(dims, "shift q0 amount1 ; ; shift q1 amount1").unwrap_err();
+        assert!(matches!(err, ParseError::BadLine { line: 2, .. }), "{err}");
+    }
+
+    #[test]
+    fn line_form_rejects_unitary_gates() {
+        let mut c = Circuit::new(Dims::new(vec![2]).unwrap());
+        c.push(Instruction::local(0, Gate::Unitary(CMatrix::identity(2))))
+            .unwrap();
+        assert_eq!(
+            to_line(&c).unwrap_err(),
+            SerializeError::UnsupportedGate { index: 0 }
+        );
     }
 
     #[test]

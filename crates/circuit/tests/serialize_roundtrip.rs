@@ -1,0 +1,223 @@
+//! Property tests pinning the guarantee the engine's cache snapshots depend
+//! on: the `mdqc` text serialization (and its single-line embedded form)
+//! round-trips every serializable circuit **bit-exactly** — structure,
+//! integer fields, and every `f64` angle down to its exact bit pattern.
+//!
+//! Angles are drawn from raw random 64-bit patterns (exponent-clamped to
+//! finite), so the suite covers subnormals, negative zero, extreme
+//! magnitudes, and values whose shortest decimal form needs all 17
+//! significant digits. If Rust's float formatting were ever lossy for any
+//! finite value, these tests would fail and the format would have to move
+//! to hex-bits encoding; with shortest-round-trip formatting they pass.
+
+use mdq_circuit::{serialize, Circuit, Control, Gate, Instruction};
+use mdq_num::radix::Dims;
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+
+/// Reinterprets raw bits as a **finite** f64: a pattern whose exponent is
+/// all-ones (inf/NaN) has its top exponent bit cleared, which preserves the
+/// randomized mantissa and sign while guaranteeing finiteness.
+fn finite_from_bits(bits: u64) -> f64 {
+    let value = f64::from_bits(bits);
+    if value.is_finite() {
+        value
+    } else {
+        f64::from_bits(bits & !(1 << 62))
+    }
+}
+
+/// One raw instruction draw: gate kind selector, target selector, two
+/// level/amount selectors, and two raw angle bit patterns, plus a control
+/// mask and a control-level selector. Everything is reduced modulo the
+/// register inside [`build_instruction`], so every draw is valid.
+type RawInstruction = (u8, u64, (u64, u64), (u64, u64), u64, u64);
+
+fn build_instruction(dims: &Dims, raw: &RawInstruction) -> Instruction {
+    let (kind, qudit_sel, (a, b), (theta_bits, phi_bits), ctrl_mask, ctrl_level_sel) = *raw;
+    let width = dims.len();
+    let qudit = (qudit_sel % width as u64) as usize;
+    let d = dims.dim(qudit);
+    // Two *distinct* levels below `d` (dims are always >= 2), ordered so the
+    // `lo < hi` constructor contract holds.
+    let x = (a % d as u64) as usize;
+    let mut y = (b % d as u64) as usize;
+    if y == x {
+        y = (x + 1) % d;
+    }
+    let (lo, hi) = (x.min(y), x.max(y));
+    let theta = finite_from_bits(theta_bits);
+    let phi = finite_from_bits(phi_bits);
+    let gate = match kind % 6 {
+        0 => Gate::givens(lo, hi, theta, phi),
+        1 => Gate::z_rotation(lo, hi, theta),
+        2 => Gate::phase(lo, phi),
+        3 => Gate::shift(a as i64 % 1_000),
+        4 => Gate::fourier(),
+        _ => Gate::fourier_inverse(),
+    };
+    // Mixed controls: any subset of the *other* qudits, each at a level
+    // selected within its own dimension.
+    let controls: Vec<Control> = (0..width)
+        .filter(|&q| q != qudit && ctrl_mask & (1 << (q % 64)) != 0)
+        .map(|q| {
+            let cd = dims.dim(q) as u64;
+            Control::new(q, (ctrl_level_sel.rotate_left(q as u32) % cd) as usize)
+        })
+        .collect();
+    Instruction::controlled(qudit, gate, controls)
+}
+
+/// Bitwise equality of two circuits: identical structure and, for every
+/// angle, identical `f64::to_bits` (stricter than `PartialEq`, which treats
+/// `0.0 == -0.0`).
+fn assert_bit_identical(a: &Circuit, b: &Circuit) -> Result<(), TestCaseError> {
+    prop_assert_eq!(a.dims().as_slice(), b.dims().as_slice());
+    prop_assert_eq!(a.len(), b.len());
+    for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+        prop_assert_eq!(x.qudit, y.qudit, "target of instruction {}", i);
+        prop_assert_eq!(&x.controls, &y.controls, "controls of instruction {}", i);
+        match (&x.gate, &y.gate) {
+            (
+                Gate::Givens { lo, hi, theta, phi },
+                Gate::Givens {
+                    lo: lo2,
+                    hi: hi2,
+                    theta: theta2,
+                    phi: phi2,
+                },
+            ) => {
+                prop_assert_eq!((lo, hi), (lo2, hi2), "givens levels of {}", i);
+                prop_assert_eq!(theta.to_bits(), theta2.to_bits(), "theta bits of {}", i);
+                prop_assert_eq!(phi.to_bits(), phi2.to_bits(), "phi bits of {}", i);
+            }
+            (
+                Gate::ZRotation { lo, hi, theta },
+                Gate::ZRotation {
+                    lo: lo2,
+                    hi: hi2,
+                    theta: theta2,
+                },
+            ) => {
+                prop_assert_eq!((lo, hi), (lo2, hi2), "zrot levels of {}", i);
+                prop_assert_eq!(theta.to_bits(), theta2.to_bits(), "theta bits of {}", i);
+            }
+            (
+                Gate::PhaseLevel { level, angle },
+                Gate::PhaseLevel {
+                    level: level2,
+                    angle: angle2,
+                },
+            ) => {
+                prop_assert_eq!(level, level2, "phase level of {}", i);
+                prop_assert_eq!(angle.to_bits(), angle2.to_bits(), "angle bits of {}", i);
+            }
+            (gx, gy) => prop_assert_eq!(gx, gy, "gate of instruction {}", i),
+        }
+    }
+    Ok(())
+}
+
+fn build_circuit(dims_spec: &[usize], raws: &[RawInstruction]) -> Circuit {
+    let dims = Dims::new(dims_spec.to_vec()).expect("generated register is valid");
+    let mut circuit = Circuit::new(dims.clone());
+    for raw in raws {
+        circuit
+            .push(build_instruction(&dims, raw))
+            .expect("generated instruction is valid");
+    }
+    circuit
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// `to_text`/`from_text` round-trips arbitrary circuits over mixed
+    /// registers bit-exactly, angles included.
+    #[test]
+    fn prop_text_round_trip_is_bit_exact(
+        dims_spec in proptest::collection::vec(2usize..6, 1..5),
+        raws in proptest::collection::vec(
+            (0u8..6, 0u64..u64::MAX, (0u64..u64::MAX, 0u64..u64::MAX),
+             (0u64..u64::MAX, 0u64..u64::MAX), 0u64..u64::MAX, 0u64..u64::MAX),
+            0..12,
+        ),
+    ) {
+        let circuit = build_circuit(&dims_spec, &raws);
+        let text = serialize::to_text(&circuit).expect("no unitary gates generated");
+        let back = serialize::from_text(&text).expect("own output parses");
+        assert_bit_identical(&circuit, &back)?;
+    }
+
+    /// The single-line embedded form (`to_line`/`from_line`) round-trips
+    /// bit-exactly too — this is the exact form the engine's snapshot
+    /// records embed.
+    #[test]
+    fn prop_line_round_trip_is_bit_exact(
+        dims_spec in proptest::collection::vec(2usize..6, 1..5),
+        raws in proptest::collection::vec(
+            (0u8..6, 0u64..u64::MAX, (0u64..u64::MAX, 0u64..u64::MAX),
+             (0u64..u64::MAX, 0u64..u64::MAX), 0u64..u64::MAX, 0u64..u64::MAX),
+            0..12,
+        ),
+    ) {
+        let circuit = build_circuit(&dims_spec, &raws);
+        let line = serialize::to_line(&circuit).expect("no unitary gates generated");
+        prop_assert!(!line.contains('\n'));
+        let back = serialize::from_line(circuit.dims().clone(), &line)
+            .expect("own output parses");
+        assert_bit_identical(&circuit, &back)?;
+    }
+}
+
+/// Deterministic angle edge cases: negative zero, the smallest subnormal,
+/// extreme magnitudes, and shortest-representation stress values must all
+/// recover their exact bit patterns through both formats.
+#[test]
+fn angle_edge_cases_round_trip_bit_exactly() {
+    let edge_angles = [
+        0.0,
+        -0.0,
+        f64::MIN_POSITIVE,
+        f64::from_bits(1),                     // smallest positive subnormal
+        f64::from_bits(0x000f_ffff_ffff_ffff), // largest subnormal
+        f64::MAX,
+        -f64::MAX,
+        std::f64::consts::PI,
+        -std::f64::consts::FRAC_PI_3,
+        1.0 + f64::EPSILON,
+        0.1 + 0.2, // classic 17-digit shortest form
+        1e-300,
+        -2.2250738585072014e-308,
+    ];
+    let dims = Dims::new(vec![4, 3]).unwrap();
+    let mut circuit = Circuit::new(dims.clone());
+    for (i, &angle) in edge_angles.iter().enumerate() {
+        let gate = match i % 3 {
+            0 => Gate::givens(0, 3, angle, -angle),
+            1 => Gate::z_rotation(1, 2, angle),
+            _ => Gate::phase(2, angle),
+        };
+        circuit
+            .push(Instruction::controlled(0, gate, vec![Control::new(1, 2)]))
+            .unwrap();
+    }
+    let text = serialize::to_text(&circuit).unwrap();
+    let parsed = serialize::from_text(&text).unwrap();
+    let line = serialize::to_line(&circuit).unwrap();
+    let parsed_line = serialize::from_line(dims, &line).unwrap();
+    for back in [&parsed, &parsed_line] {
+        for (x, y) in circuit.iter().zip(back.iter()) {
+            assert_eq!(format!("{:?}", x.gate), format!("{:?}", y.gate));
+            let bits = |g: &Gate| -> Vec<u64> {
+                match g {
+                    Gate::Givens { theta, phi, .. } => vec![theta.to_bits(), phi.to_bits()],
+                    Gate::ZRotation { theta, .. } => vec![theta.to_bits()],
+                    Gate::PhaseLevel { angle, .. } => vec![angle.to_bits()],
+                    _ => vec![],
+                }
+            };
+            assert_eq!(bits(&x.gate), bits(&y.gate), "lossy angle in {:?}", x.gate);
+        }
+    }
+}

@@ -1,9 +1,12 @@
 //! Engine configuration, aggregate statistics, and the batch-mode
 //! compatibility wrapper over the persistent [`EngineService`].
 
+use std::path::PathBuf;
+use std::sync::Arc;
 use std::thread;
+use std::time::Duration;
 
-use crate::cache::{CacheStats, CircuitCache};
+use crate::cache::{CacheStats, CircuitCache, HotTier};
 use crate::request::{PrepareReport, PrepareRequest};
 use crate::scheduler::{Aging, SchedulingPolicy};
 use crate::service::{EngineError, EngineService};
@@ -49,6 +52,24 @@ pub struct EngineConfig {
     /// [`EngineService::submit`](crate::EngineService::submit) parks until
     /// space frees. Clamped to a minimum of 1.
     pub queue_depth: Option<usize>,
+    /// Maximum age of a cache entry (`None`, the default, never expires):
+    /// entries older than this stop being served and are swept lazily —
+    /// see [`CircuitCache::with_ttl`] and [`CircuitCache::expire`].
+    pub cache_ttl: Option<Duration>,
+    /// Warm-start snapshot path. At construction,
+    /// [`EngineService::new`] loads this snapshot into the cache if the
+    /// file exists (a missing file is a silent cold start, so first boot
+    /// and warm restart share one configuration); at graceful
+    /// [`EngineService::shutdown`](crate::EngineService::shutdown), the
+    /// cache is snapshotted back to the same path, best-effort. See the
+    /// [`snapshot`](crate::snapshot) module for the format and its
+    /// bit-exactness guarantees.
+    pub warm_start: Option<PathBuf>,
+    /// Shared read-mostly hot tier consulted on per-shard cache miss —
+    /// how multiple services in one process exchange hot entries without
+    /// write contention. Build one with [`CircuitCache::freeze`] or
+    /// [`snapshot::load_hot_tier`](crate::snapshot::load_hot_tier).
+    pub hot_tier: Option<Arc<HotTier>>,
 }
 
 impl Default for EngineConfig {
@@ -65,6 +86,9 @@ impl Default for EngineConfig {
             scheduling: SchedulingPolicy::SizeAware,
             aging: Aging::default(),
             queue_depth: None,
+            cache_ttl: None,
+            warm_start: None,
+            hot_tier: None,
         }
     }
 }
@@ -129,6 +153,31 @@ impl EngineConfig {
     #[must_use]
     pub fn with_queue_depth(mut self, depth: usize) -> Self {
         self.queue_depth = Some(depth);
+        self
+    }
+
+    /// Bounds the age of cache entries at `ttl` — the staleness guard for
+    /// long-lived services. See [`EngineConfig::cache_ttl`].
+    #[must_use]
+    pub fn with_cache_ttl(mut self, ttl: Duration) -> Self {
+        self.cache_ttl = Some(ttl);
+        self
+    }
+
+    /// Warm-starts the service from (and snapshots back to) `path` — load
+    /// on construction if the file exists, save on graceful shutdown. See
+    /// [`EngineConfig::warm_start`].
+    #[must_use]
+    pub fn with_warm_start(mut self, path: impl Into<PathBuf>) -> Self {
+        self.warm_start = Some(path.into());
+        self
+    }
+
+    /// Attaches a shared read-mostly hot tier, consulted when a per-shard
+    /// cache lookup misses. See [`EngineConfig::hot_tier`].
+    #[must_use]
+    pub fn with_hot_tier(mut self, tier: Arc<HotTier>) -> Self {
+        self.hot_tier = Some(tier);
         self
     }
 }

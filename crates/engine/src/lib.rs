@@ -41,7 +41,18 @@
 //!   hash of the register, the tolerance-quantized target amplitudes, and
 //!   the pipeline options ([`cache`] module); identical requests are
 //!   served the stored circuit. Optionally bounded with per-shard LRU
-//!   eviction ([`EngineConfig::with_cache_capacity`]).
+//!   eviction ([`EngineConfig::with_cache_capacity`]) and a TTL age bound
+//!   ([`EngineConfig::with_cache_ttl`]).
+//! * **Warm-start persistence** — [`EngineConfig::with_warm_start`] loads
+//!   a [`snapshot`] of the prepared-circuit cache at construction (loads
+//!   re-derive every fingerprint and only admit records that round-trip
+//!   bit-exactly) and snapshots back on graceful shutdown, so a restart
+//!   replays the previous process's work instead of starting cold;
+//!   [`EngineService::snapshot_to`] saves on demand. A frozen read-mostly
+//!   [`HotTier`] ([`CircuitCache::freeze`] /
+//!   [`snapshot::load_hot_tier`]) can be shared by several services in
+//!   one process ([`EngineConfig::with_hot_tier`]), exchanging hot
+//!   entries without write contention.
 //! * **FIFO-fair admission control** — [`EngineConfig::with_queue_depth`]
 //!   bounds the scheduler queue: [`EngineService::try_submit`] refuses
 //!   overflow with [`EngineError::QueueFull`] (the request handed back by
@@ -111,12 +122,14 @@ mod engine;
 mod request;
 pub mod scheduler;
 mod service;
+pub mod snapshot;
 
-pub use cache::{CacheStats, CircuitCache};
+pub use cache::{CacheStats, CircuitCache, HotTier};
 pub use engine::{BatchEngine, EngineConfig, EngineStats};
 pub use request::{PrepareReport, PrepareRequest, StatePayload};
 pub use scheduler::{Aging, Priority, SchedulingPolicy};
 pub use service::{AdmissionError, EngineError, EngineService, JobHandle};
+pub use snapshot::{SnapshotError, SnapshotLoad, SnapshotStats};
 
 // Re-exported for convenience: the verification vocabulary lives in
 // `mdq-core` (the replay hook is on `Preparer`), but it is configured and
@@ -137,6 +150,10 @@ const _: () = {
     assert_send_sync::<EngineError>();
     assert_send_sync::<CircuitCache>();
     assert_send_sync::<CacheStats>();
+    assert_send_sync::<HotTier>();
+    assert_send_sync::<SnapshotError>();
+    assert_send_sync::<SnapshotLoad>();
+    assert_send_sync::<SnapshotStats>();
     assert_send_sync::<PrepareRequest>();
     assert_send_sync::<PrepareReport>();
     assert_send_sync::<StatePayload>();

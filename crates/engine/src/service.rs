@@ -14,6 +14,7 @@
 //! repository's vendored-dependency constraint.
 
 use std::fmt;
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, TryRecvError};
 use std::sync::Arc;
@@ -26,6 +27,7 @@ use crate::cache::{canonical_key, CachedPreparation, CircuitCache};
 use crate::engine::{EngineConfig, EngineStats};
 use crate::request::{PrepareReport, PrepareRequest, StatePayload};
 use crate::scheduler::{Job, PushRefusal, Scheduler};
+use crate::snapshot::{self, SnapshotError, SnapshotLoad, SnapshotStats};
 
 /// Unified error type of the service: either the pipeline itself failed,
 /// or the service refused / stopped before (or instead of) running the
@@ -231,6 +233,10 @@ struct ServiceShared {
     /// the observable proof of worker persistence across submissions.
     arena_reuses: AtomicU64,
     workers: Vec<WorkerSlot>,
+    /// Outcome of the construction-time warm-start load: `None` when no
+    /// [`EngineConfig::warm_start`] path was set or the file did not exist
+    /// yet (a silent cold start), `Some` with the load result otherwise.
+    warm_start_load: Option<Result<SnapshotLoad, SnapshotError>>,
 }
 
 impl ServiceShared {
@@ -486,9 +492,22 @@ impl EngineService {
     #[must_use]
     pub fn new(config: EngineConfig) -> Self {
         let workers = config.workers.max(1);
+        let cache = CircuitCache::with_capacity(config.cache_shards, config.cache_capacity)
+            .with_ttl(config.cache_ttl)
+            .with_hot_tier(config.hot_tier.clone());
+        // Warm start: replay the snapshot into the cache before any worker
+        // runs. A missing file is a silent cold start (first boot and warm
+        // restart share one configuration); an unreadable or corrupt file
+        // is kept as an inspectable error, never a panic — the service
+        // simply starts cold.
+        let warm_start_load = config
+            .warm_start
+            .as_ref()
+            .and_then(|path| path.exists().then(|| snapshot::load_into(&cache, path)));
         let shared = Arc::new(ServiceShared {
             scheduler: Scheduler::new(config.scheduling, config.queue_depth, config.aging),
-            cache: CircuitCache::with_capacity(config.cache_shards, config.cache_capacity),
+            cache,
+            warm_start_load,
             seq: AtomicU64::new(0),
             jobs: AtomicU64::new(0),
             failures: AtomicU64::new(0),
@@ -542,6 +561,28 @@ impl EngineService {
     #[must_use]
     pub fn stats(&self) -> EngineStats {
         self.shared.stats()
+    }
+
+    /// Outcome of the construction-time warm-start load: `None` when no
+    /// [`EngineConfig::warm_start`] path was configured or the snapshot
+    /// file did not exist yet, `Some(Ok(load))` with the loaded/skipped
+    /// counts and load time otherwise, `Some(Err(_))` when the file was
+    /// present but rejected (the service started cold).
+    #[must_use]
+    pub fn warm_start_load(&self) -> Option<&Result<SnapshotLoad, SnapshotError>> {
+        self.shared.warm_start_load.as_ref()
+    }
+
+    /// Snapshots the cache's current contents to `path` (atomically: a
+    /// temp file renamed into place). The service keeps running; entries
+    /// inserted while the snapshot is being written may or may not be
+    /// included.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Io`] if the file cannot be written.
+    pub fn snapshot_to(&self, path: &Path) -> Result<SnapshotStats, SnapshotError> {
+        snapshot::save(&self.shared.cache, path)
     }
 
     /// Validation shared by both admission paths: a malformed request —
@@ -667,10 +708,17 @@ impl EngineService {
 
     /// Graceful shutdown: stops accepting submissions, **drains** every
     /// queued job, then joins the worker pool. All outstanding handles
-    /// resolve with their real results.
+    /// resolve with their real results. With
+    /// [`EngineConfig::with_warm_start`] configured, the drained cache is
+    /// then snapshotted back to the warm-start path (best-effort: a
+    /// failed write is ignored — the next boot is simply colder), so a
+    /// restart replays this process's accumulated work.
     pub fn shutdown(mut self) {
         self.shared.scheduler.close();
         self.join_pool();
+        if let Some(path) = &self.shared.config.warm_start {
+            let _ = snapshot::save(&self.shared.cache, path);
+        }
     }
 
     /// Immediate shutdown: stops accepting submissions and **aborts** the
@@ -1060,6 +1108,102 @@ mod tests {
         let verification = report.verification.expect("report attached");
         assert!((verification.fidelity - 1.0).abs() < 1e-9);
         service.shutdown();
+    }
+
+    #[test]
+    fn warm_start_round_trips_through_graceful_shutdown() {
+        let path =
+            std::env::temp_dir().join(format!("mdq-warmstart-service-{}.snap", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let d = dims(&[3, 6, 2]);
+        let request = PrepareRequest::dense(d.clone(), ghz(&d), PrepareOptions::exact());
+        let config = EngineConfig::default()
+            .with_workers(1)
+            .with_warm_start(&path);
+        let service = EngineService::new(config.clone());
+        assert!(
+            service.warm_start_load().is_none(),
+            "no snapshot yet: silent cold start"
+        );
+        let cold = service.submit(request.clone()).wait().unwrap();
+        assert!(!cold.from_cache);
+        service.shutdown(); // writes the snapshot
+        assert!(path.exists(), "graceful shutdown snapshotted the cache");
+
+        let warmed = EngineService::new(config);
+        let load = warmed
+            .warm_start_load()
+            .expect("snapshot file existed")
+            .as_ref()
+            .expect("snapshot loads cleanly");
+        assert_eq!((load.loaded, load.skipped), (1, 0));
+        let warm = warmed.submit(request.clone()).wait().unwrap();
+        assert!(warm.from_cache, "served from the loaded snapshot");
+        assert_eq!(warm.circuit, cold.circuit);
+        assert_eq!(
+            warm.circuit,
+            request.prepare_sequential().unwrap().circuit,
+            "snapshot-served circuit is bit-identical to sequential prepare"
+        );
+        warmed.shutdown();
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_warm_start_file_starts_cold_with_inspectable_error() {
+        let path =
+            std::env::temp_dir().join(format!("mdq-warmstart-corrupt-{}.snap", std::process::id()));
+        std::fs::write(&path, "mdqsnap 7\nentries 0\ndone\n").unwrap();
+        let service = EngineService::new(
+            EngineConfig::default()
+                .with_workers(1)
+                .with_warm_start(&path),
+        );
+        match service.warm_start_load() {
+            Some(Err(SnapshotError::Version { found: 7, .. })) => {}
+            other => panic!("expected a Version error, got {other:?}"),
+        }
+        // The service still serves, cold.
+        let d = dims(&[3, 3]);
+        let report = service
+            .submit(PrepareRequest::dense(
+                d.clone(),
+                ghz(&d),
+                PrepareOptions::exact(),
+            ))
+            .wait()
+            .unwrap();
+        assert!(!report.from_cache);
+        // Graceful shutdown replaces the bad file with a valid snapshot.
+        service.shutdown();
+        let follow_up = EngineService::new(
+            EngineConfig::default()
+                .with_workers(1)
+                .with_warm_start(&path),
+        );
+        assert!(matches!(follow_up.warm_start_load(), Some(Ok(_))));
+        follow_up.shutdown();
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn hot_tier_shares_entries_across_service_instances() {
+        let d = dims(&[3, 6, 2]);
+        let request = PrepareRequest::dense(d.clone(), w_state(&d), PrepareOptions::exact());
+        let first = EngineService::new(EngineConfig::default().with_workers(1));
+        let original = first.submit(request.clone()).wait().unwrap();
+        let tier = Arc::new(first.cache().freeze());
+        first.shutdown();
+
+        let second =
+            EngineService::new(EngineConfig::default().with_workers(1).with_hot_tier(tier));
+        let served = second.submit(request.clone()).wait().unwrap();
+        assert!(served.from_cache, "answered by the shared tier");
+        assert_eq!(served.circuit, original.circuit);
+        let stats = second.stats();
+        assert_eq!(stats.cache.hot_hits, 1);
+        assert_eq!(stats.cache.entries, 0, "nothing copied into the shards");
+        second.shutdown();
     }
 
     #[test]

@@ -23,6 +23,7 @@
 //! call for. It is timing-sensitive in debug builds; CI runs it in a
 //! dedicated `--release` job.
 
+use std::fs;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::thread;
 use std::time::{Duration, Instant};
@@ -31,7 +32,7 @@ use mdq::circuit::Circuit;
 use mdq::core::{prepare, PrepareOptions, Preparer, VerificationPolicy};
 use mdq::engine::{
     Aging, EngineConfig, EngineError, EngineService, JobHandle, PrepareRequest, Priority,
-    SchedulingPolicy,
+    SchedulingPolicy, SnapshotError,
 };
 use mdq::num::radix::Dims;
 use mdq::num::Complex;
@@ -849,5 +850,302 @@ fn empty_support_sparse_requests_fail_at_admission() {
         stats.high_watermark, 0,
         "a malformed request never occupies a queue slot"
     );
+    service.shutdown();
+}
+
+/// End-to-end warm-start lifecycle over the chaos workload: a first
+/// service runs the mixed templates and snapshots its cache on graceful
+/// shutdown; a second service warm-starts from that file and is then
+/// flooded from several threads — every cacheable template must be served
+/// **from the loaded snapshot**, bit-identical to the sequential
+/// pipeline, with verified entries still verified and the
+/// below-threshold template still failing fast at its calibrated
+/// fidelity, all without a single cache miss. A truncated copy of the
+/// snapshot is rejected with a typed error and that service starts cold.
+#[test]
+fn warm_start_snapshot_replays_the_chaos_workload() {
+    let templates = templates();
+    let path = std::env::temp_dir().join(format!(
+        "mdq_stress_warmstart_{}.mdqsnap",
+        std::process::id()
+    ));
+    let _ = fs::remove_file(&path);
+
+    // Phase 1: a cold service runs every template once; `with_warm_start`
+    // writes the snapshot when the graceful shutdown finishes draining.
+    let first = EngineService::new(
+        EngineConfig::default()
+            .with_workers(2)
+            .with_warm_start(&path),
+    );
+    assert!(
+        first.warm_start_load().is_none(),
+        "a missing snapshot file is a silent cold start"
+    );
+    let handles: Vec<_> = templates
+        .iter()
+        .map(|t| first.submit(t.request.clone()))
+        .collect();
+    for handle in handles {
+        let _ = handle.wait();
+    }
+    let cacheable = templates
+        .iter()
+        .filter(|t| t.expected != Expected::Malformed)
+        .count();
+    assert_eq!(
+        first.cache().stats().entries,
+        cacheable,
+        "every non-malformed template leaves exactly one cache entry"
+    );
+    first.shutdown();
+    assert!(path.exists(), "graceful shutdown wrote the snapshot");
+
+    // Phase 2: a fresh service warm-starts from the snapshot and is
+    // flooded; nothing should ever reach the pipeline again.
+    let second = EngineService::new(
+        EngineConfig::default()
+            .with_workers(2)
+            .with_warm_start(&path),
+    );
+    match second.warm_start_load() {
+        Some(Ok(load)) => {
+            assert_eq!(load.loaded, cacheable, "every record round-trips");
+            assert_eq!(load.skipped, 0, "nothing in a fresh snapshot is stale");
+        }
+        other => panic!("expected a successful warm start, got {other:?}"),
+    }
+    const ROUNDS: usize = 3;
+    let handles: Vec<(usize, JobHandle)> = thread::scope(|scope| {
+        let submitters: Vec<_> = (0..SUBMITTERS)
+            .map(|_| {
+                let templates = &templates;
+                let second = &second;
+                scope.spawn(move || {
+                    let mut admitted = Vec::new();
+                    for _ in 0..ROUNDS {
+                        for (index, template) in templates.iter().enumerate() {
+                            admitted.push((index, second.submit(template.request.clone())));
+                        }
+                    }
+                    admitted
+                })
+            })
+            .collect();
+        submitters
+            .into_iter()
+            .flat_map(|s| s.join().expect("submitter thread never panics"))
+            .collect()
+    });
+    for (index, handle) in handles {
+        let template = &templates[index];
+        match (template.expected, handle.wait()) {
+            (Expected::Success, Ok(report)) => {
+                assert!(
+                    report.from_cache,
+                    "template {index} must be served from the snapshot"
+                );
+                assert_eq!(
+                    &report.circuit,
+                    template.circuit.as_ref().unwrap(),
+                    "template {index}: snapshot-served circuit bit-identical to sequential"
+                );
+                if template.request.options.verification.is_enabled() {
+                    assert!(
+                        report.verification.is_some(),
+                        "a verified entry stays verified across the snapshot"
+                    );
+                }
+            }
+            (Expected::Malformed, Err(EngineError::Prepare(_))) => {}
+            (
+                Expected::BelowThreshold,
+                Err(EngineError::VerificationFailed {
+                    fidelity,
+                    threshold,
+                }),
+            ) => {
+                assert!(fidelity < threshold);
+                assert_eq!(
+                    fidelity.to_bits(),
+                    template.fidelity.unwrap().to_bits(),
+                    "snapshot preserved the replay fidelity bit-exactly"
+                );
+            }
+            (expected, outcome) => {
+                panic!("template {index} ({expected:?}) resolved to {outcome:?}")
+            }
+        }
+    }
+    let cache = second.cache().stats();
+    assert_eq!(cache.misses, 0, "the warm cache never missed");
+    assert_eq!(
+        cache.hits,
+        (cacheable * SUBMITTERS * ROUNDS) as u64,
+        "every cacheable submission was one cache hit (malformed ones fail at admission)"
+    );
+
+    // Phase 3: a truncated copy is rejected with a typed error, and the
+    // service that tried to load it starts cold but still serves.
+    let text = fs::read_to_string(&path).expect("snapshot is readable");
+    let truncated_path = path.with_extension("truncated");
+    let cut = text
+        .trim_end()
+        .strip_suffix("done")
+        .expect("a well-formed snapshot ends in its done footer");
+    fs::write(&truncated_path, cut).expect("truncated copy written");
+    let cold = EngineService::new(
+        EngineConfig::default()
+            .with_workers(1)
+            .with_warm_start(&truncated_path),
+    );
+    assert!(
+        matches!(cold.warm_start_load(), Some(Err(SnapshotError::Truncated))),
+        "a snapshot missing its footer is rejected as truncated, got {:?}",
+        cold.warm_start_load()
+    );
+    assert_eq!(
+        cold.cache().stats().entries,
+        0,
+        "nothing is loaded from a rejected file"
+    );
+    let report = cold
+        .submit(templates[0].request.clone())
+        .wait()
+        .expect("a cold-started service still serves");
+    assert!(
+        !report.from_cache,
+        "first serve after a rejected load is fresh"
+    );
+    assert_eq!(&report.circuit, templates[0].circuit.as_ref().unwrap());
+    cold.shutdown_now();
+    second.shutdown();
+    let _ = fs::remove_file(&path);
+    let _ = fs::remove_file(&truncated_path);
+}
+
+/// TTL expiry racing per-shard LRU eviction under multithreaded load: a
+/// tiny cache (capacity 4, two shards) with a 15 ms TTL is flooded with
+/// eight distinct recurring requests from four threads — one of which
+/// sleeps past the TTL between rounds, so whole generations of entries
+/// expire while the others keep the LRU churning. The chaos is in which
+/// serves hit, expire, or evict; the invariants hold for every
+/// interleaving: results stay bit-identical to the sequential pipeline,
+/// each serve is exactly one hit or one miss, live+removed entries never
+/// exceed insertions, and an explicit future-dated `expire` drains
+/// whatever survived.
+#[test]
+fn ttl_expiry_races_lru_eviction_under_flood() {
+    const DISTINCT: usize = 8;
+    const ROUNDS: usize = 6;
+    const CAPACITY: usize = 4;
+    let ttl = Duration::from_millis(15);
+    let d = dims(&[2, 3, 2]);
+    let mut rng = StdRng::seed_from_u64(0xA6E0);
+    let workload: Vec<(PrepareRequest, Circuit)> = (0..DISTINCT)
+        .map(|_| {
+            let request = PrepareRequest::dense(
+                d.clone(),
+                random_state(&d, RandomKind::ReImUniform, &mut rng),
+                PrepareOptions::exact(),
+            );
+            let circuit = request
+                .prepare_sequential()
+                .expect("reference pipeline runs")
+                .circuit;
+            (request, circuit)
+        })
+        .collect();
+    let service = EngineService::new(
+        EngineConfig::default()
+            .with_workers(2)
+            .with_cache_shards(2)
+            .with_cache_capacity(CAPACITY)
+            .with_cache_ttl(ttl),
+    );
+    thread::scope(|scope| {
+        for submitter in 0..SUBMITTERS {
+            let workload = &workload;
+            let service = &service;
+            scope.spawn(move || {
+                for round in 0..ROUNDS {
+                    if submitter == 0 && round > 0 {
+                        // Outlive the TTL so entries expire mid-flood
+                        // while the other submitters keep hitting.
+                        thread::sleep(ttl + Duration::from_millis(5));
+                    }
+                    let handles: Vec<_> = (0..DISTINCT)
+                        .map(|i| (i, service.submit(workload[i].0.clone())))
+                        .collect();
+                    for (i, handle) in handles {
+                        let report = handle.wait().expect("distinct good jobs succeed");
+                        assert_eq!(
+                            report.circuit, workload[i].1,
+                            "request {i} bit-identical no matter what expired or evicted"
+                        );
+                    }
+                }
+            });
+        }
+    });
+
+    let total = (SUBMITTERS * ROUNDS * DISTINCT) as u64;
+    let stats = service.stats();
+    assert_eq!(stats.jobs, total, "every flooded job completed");
+    let cache = service.cache().stats();
+    assert_eq!(
+        cache.hits + cache.misses,
+        total,
+        "each serve probes the cache exactly once"
+    );
+    assert!(
+        cache.misses >= DISTINCT as u64,
+        "every distinct request misses at least its first serve"
+    );
+    assert!(
+        cache.entries <= CAPACITY,
+        "the LRU bound holds under TTL churn (saw {})",
+        cache.entries
+    );
+    // Every miss attempts one insert; duplicates are dropped, so live
+    // entries plus removals never exceed the miss count…
+    assert!(
+        cache.entries as u64 + cache.evictions + cache.expirations <= cache.misses,
+        "live ({}) + evicted ({}) + expired ({}) entries exceed insert attempts ({})",
+        cache.entries,
+        cache.evictions,
+        cache.expirations,
+        cache.misses
+    );
+    // …and with 8 distinct keys squeezed into 4 slots, removals must
+    // actually have happened — by eviction, expiry, or both.
+    assert!(
+        cache.evictions + cache.expirations >= (DISTINCT - CAPACITY) as u64,
+        "8 keys in 4 slots force at least 4 removals (evicted {}, expired {})",
+        cache.evictions,
+        cache.expirations
+    );
+
+    // An explicit expire dated one TTL into the future out-ages every
+    // surviving entry, and the counters account for the purge.
+    let before = service.cache().stats();
+    let swept = service.cache().expire(Instant::now() + ttl);
+    let after = service.cache().stats();
+    assert_eq!(
+        swept, before.entries as u64,
+        "a future-dated expire drains every live entry"
+    );
+    assert_eq!(after.entries, 0);
+    assert_eq!(after.expirations, before.expirations + swept);
+
+    // The service recovers: the next serve is a clean miss that
+    // repopulates the cache.
+    let report = service
+        .submit(workload[0].0.clone())
+        .wait()
+        .expect("still serving after the purge");
+    assert!(!report.from_cache, "the purge left nothing to serve from");
+    assert_eq!(report.circuit, workload[0].1);
+    assert_eq!(service.cache().stats().entries, 1);
     service.shutdown();
 }
