@@ -1,0 +1,464 @@
+//! Parallel within-job construction: subtree work-splitting with a
+//! deterministic merge.
+//!
+//! The recursive splitting procedure of the paper's §4.1 is embarrassingly
+//! parallel across sibling subtrees: the amplitude range cut at the top `k`
+//! levels yields `∏ dims[0..k]` independent sub-ranges whose diagrams share
+//! nothing *during* construction — all sharing happens when completed
+//! subtrees are interned. The driver here exploits exactly that:
+//!
+//! 1. [`plan_split`] picks the smallest split depth `k` whose task count
+//!    comfortably oversubscribes the requested thread count.
+//! 2. A scoped worker pool builds each task's subtree into a thread-local
+//!    scratch [`DdArena`] (drawn from a [`ScratchPool`], so long-lived
+//!    workers don't re-grow hash maps per job). Work is handed out through
+//!    an atomic counter — whichever thread is free takes the next task.
+//! 3. The merge phase walks the upper levels in the *same* recursion order
+//!    as the sequential builder, re-interning each task's local nodes into
+//!    the caller's arena (bottom-up, in local creation order) exactly at the
+//!    point the sequential build would have created them, then finishing the
+//!    upper nodes with the ordinary normalization path.
+//!
+//! Step 3 is what makes the result deterministic regardless of which thread
+//! built which task: node and weight interning order in the caller's arena
+//! is identical to the sequential build, so first-representative-wins weight
+//! canonicalization resolves identically and `to_amplitudes` of the result
+//! is bit-identical to the sequential path (node ids included — creation
+//! order is reproduced, not just structure).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Mutex};
+use std::thread;
+
+use mdq_num::radix::Dims;
+use mdq_num::Complex;
+
+use crate::arena::{ArenaOverflow, DdArena};
+use crate::build::{BuildError, BuildOptions, Builder};
+use crate::node::{Edge, NodeRef};
+use crate::StateDd;
+
+/// How a multi-threaded build fans out: split the amplitude range at the
+/// top `depth` levels into `tasks` independent subtree tasks, served by
+/// `threads` workers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitPlan {
+    /// Number of top levels consumed by the split (`1 ≤ depth < dims.len()`).
+    pub depth: usize,
+    /// Number of independent subtree tasks (`∏ dims[0..depth]`).
+    pub tasks: usize,
+    /// Worker threads actually used (`≤ tasks`).
+    pub threads: usize,
+}
+
+/// Tasks per requested thread the planner aims for, so uneven subtree costs
+/// still balance across the pool.
+const OVERSPLIT: usize = 4;
+
+/// Plans the subtree split for a `threads`-way build over `dims`, or `None`
+/// when no useful split exists (single-qudit registers, or one thread).
+#[must_use]
+pub fn plan_split(dims: &Dims, threads: usize) -> Option<SplitPlan> {
+    let threads = threads.max(1);
+    if threads <= 1 || dims.len() < 2 {
+        return None;
+    }
+    let target = threads.saturating_mul(OVERSPLIT);
+    let mut tasks = 1usize;
+    let mut depth = 0usize;
+    while depth + 1 < dims.len() && tasks < target {
+        tasks *= dims.dim(depth);
+        depth += 1;
+    }
+    if tasks <= 1 {
+        return None;
+    }
+    Some(SplitPlan {
+        depth,
+        tasks,
+        threads: threads.min(tasks),
+    })
+}
+
+/// A pool of reusable thread-local scratch arenas for multi-threaded builds.
+///
+/// Each subtree task of a parallel build borrows one arena (or creates a
+/// fresh one when the pool runs dry) and returns it after the merge, so a
+/// long-lived worker — the engine's `Preparer` — reuses grown hash-map
+/// capacity across jobs instead of reallocating per task. Sequential builds
+/// never touch the pool.
+#[derive(Debug, Default)]
+pub struct ScratchPool {
+    arenas: Vec<DdArena>,
+}
+
+impl ScratchPool {
+    /// Arenas retained at most; excess scratch from unusually wide builds is
+    /// dropped rather than hoarded.
+    const MAX: usize = 64;
+
+    /// Creates an empty pool.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of pooled arenas currently available.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.arenas.len()
+    }
+
+    /// Whether the pool holds no arenas.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.arenas.is_empty()
+    }
+
+    fn put(&mut self, arena: DdArena) {
+        if self.arenas.len() < Self::MAX {
+            self.arenas.push(arena);
+        }
+    }
+}
+
+/// Per-task outcome: the subtree's upward edge plus its local arena
+/// (`None` for tasks that built nothing — empty sparse branches).
+type TaskResult = Result<(Edge, Option<DdArena>), ArenaOverflow>;
+
+/// The dense parallel driver behind
+/// [`StateDd::from_amplitudes_in_pooled`](StateDd::from_amplitudes_in_pooled).
+/// The caller has validated the input and reset `arena`.
+pub(crate) fn from_amplitudes_split(
+    dims: &Dims,
+    amplitudes: &[Complex],
+    opts: BuildOptions,
+    arena: DdArena,
+    pool: &mut ScratchPool,
+    plan: SplitPlan,
+) -> Result<StateDd, BuildError> {
+    let chunk = dims.space_size() / plan.tasks;
+    let limit = arena.node_limit();
+    let tol = opts.tolerance_value();
+    let scratch = Mutex::new(std::mem::take(&mut pool.arenas));
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel();
+    let mut results: Vec<Option<TaskResult>> = (0..plan.tasks).map(|_| None).collect();
+    thread::scope(|scope| {
+        for _ in 0..plan.threads {
+            let tx = tx.clone();
+            let next = &next;
+            let scratch = &scratch;
+            scope.spawn(move || loop {
+                let t = next.fetch_add(1, Ordering::Relaxed);
+                if t >= plan.tasks {
+                    break;
+                }
+                let mut local = scratch
+                    .lock()
+                    .map(|mut v| v.pop())
+                    .unwrap_or(None)
+                    .unwrap_or_else(|| DdArena::with_node_limit(tol, limit));
+                local.reset_for_tables(tol, limit, 1);
+                let mut b = Builder {
+                    dims,
+                    opts,
+                    arena: local,
+                };
+                let out = b
+                    .build(plan.depth, &amplitudes[t * chunk..(t + 1) * chunk])
+                    .map(|edge| (edge, Some(b.arena)));
+                if tx.send((t, out)).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        for (t, out) in rx {
+            results[t] = Some(out);
+        }
+    });
+    let leftover = scratch.into_inner().unwrap_or_else(|e| e.into_inner());
+    finish_split(dims, opts, arena, pool, plan, results, leftover)
+}
+
+/// The sparse parallel driver behind
+/// [`StateDd::from_sparse_in_pooled`](StateDd::from_sparse_in_pooled):
+/// `dedup` is the validated, sorted, duplicate-summed support. Tasks are
+/// flat-index ranges; empty ranges become zero edges without arena work,
+/// exactly as in the sequential builder.
+pub(crate) fn from_sparse_split(
+    dims: &Dims,
+    dedup: &[(usize, Complex)],
+    opts: BuildOptions,
+    arena: DdArena,
+    pool: &mut ScratchPool,
+    plan: SplitPlan,
+) -> Result<StateDd, BuildError> {
+    let chunk = dims.space_size() / plan.tasks;
+    let strides = dims.strides();
+    let limit = arena.node_limit();
+    let tol = opts.tolerance_value();
+    let mut parts: Vec<&[(usize, Complex)]> = Vec::with_capacity(plan.tasks);
+    let mut rest = dedup;
+    for t in 0..plan.tasks {
+        let upper = (t + 1) * chunk;
+        let split = rest.partition_point(|&(idx, _)| idx < upper);
+        let (part, tail) = rest.split_at(split);
+        parts.push(part);
+        rest = tail;
+    }
+    let work: Vec<usize> = (0..plan.tasks).filter(|&t| !parts[t].is_empty()).collect();
+    let mut results: Vec<Option<TaskResult>> = parts
+        .iter()
+        .map(|part| part.is_empty().then_some(Ok((Edge::ZERO, None))))
+        .collect();
+    let threads = plan.threads.min(work.len()).max(1);
+    let scratch = Mutex::new(std::mem::take(&mut pool.arenas));
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel();
+    thread::scope(|scope| {
+        for _ in 0..threads {
+            let tx = tx.clone();
+            let next = &next;
+            let scratch = &scratch;
+            let work = &work;
+            let parts = &parts;
+            let strides = &strides;
+            scope.spawn(move || loop {
+                let w = next.fetch_add(1, Ordering::Relaxed);
+                let Some(&t) = work.get(w) else { break };
+                let mut local = scratch
+                    .lock()
+                    .map(|mut v| v.pop())
+                    .unwrap_or(None)
+                    .unwrap_or_else(|| DdArena::with_node_limit(tol, limit));
+                local.reset_for_tables(tol, limit, 1);
+                let mut b = Builder {
+                    dims,
+                    opts,
+                    arena: local,
+                };
+                let out = b
+                    .build_sparse(plan.depth, t * chunk, parts[t], strides)
+                    .map(|edge| (edge, Some(b.arena)));
+                if tx.send((t, out)).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        for (t, out) in rx {
+            results[t] = Some(out);
+        }
+    });
+    let leftover = scratch.into_inner().unwrap_or_else(|e| e.into_inner());
+    finish_split(dims, opts, arena, pool, plan, results, leftover)
+}
+
+/// The single-threaded merge phase shared by both drivers: assembles the
+/// top `plan.depth` levels in sequential recursion order, merging each
+/// task's local arena at the exact point the sequential build would have
+/// created those nodes.
+fn finish_split(
+    dims: &Dims,
+    opts: BuildOptions,
+    arena: DdArena,
+    pool: &mut ScratchPool,
+    plan: SplitPlan,
+    results: Vec<Option<TaskResult>>,
+    leftover: Vec<DdArena>,
+) -> Result<StateDd, BuildError> {
+    // task_strides[level] = tasks spanned by one branch at `level`, i.e.
+    // ∏ dims[level+1..depth].
+    let mut task_strides = vec![1usize; plan.depth];
+    for level in (0..plan.depth.saturating_sub(1)).rev() {
+        task_strides[level] = task_strides[level + 1] * dims.dim(level + 1);
+    }
+    let mut merger = Merger {
+        builder: Builder { dims, opts, arena },
+        results,
+        task_strides,
+        depth: plan.depth,
+        recycled: leftover,
+    };
+    let root = merger.assemble(0, 0);
+    for scratch in merger.recycled.drain(..) {
+        pool.put(scratch);
+    }
+    let root_edge = root?;
+    debug_assert!(!root_edge.is_zero(opts.tolerance_value().value()));
+    let root_weight = Complex::cis(root_edge.weight.arg());
+    Ok(StateDd::from_parts(
+        dims.clone(),
+        merger.builder.arena,
+        root_edge.target,
+        root_weight,
+        !opts.keeps_zero_subtrees(),
+    ))
+}
+
+struct Merger<'a> {
+    builder: Builder<'a>,
+    results: Vec<Option<TaskResult>>,
+    task_strides: Vec<usize>,
+    depth: usize,
+    recycled: Vec<DdArena>,
+}
+
+impl Merger<'_> {
+    /// Rebuilds the top levels exactly as the sequential recursion would:
+    /// at the split boundary the task's subtree is merged in; above it the
+    /// ordinary `finish_node` normalization runs. Task errors surface at
+    /// the same recursion position the sequential build would fail at.
+    fn assemble(&mut self, level: usize, base: usize) -> Result<Edge, ArenaOverflow> {
+        if level == self.depth {
+            let (up, local) = self.results[base]
+                .take()
+                .expect("every subtree task produced a result")?;
+            let Some(local) = local else {
+                return Ok(up);
+            };
+            let edge = self.merge_subtree(up, &local)?;
+            self.recycled.push(local);
+            return Ok(edge);
+        }
+        let d = self.builder.dims.dim(level);
+        let stride = self.task_strides[level];
+        let mut edges = Vec::with_capacity(d);
+        for k in 0..d {
+            edges.push(self.assemble(level + 1, base + k * stride)?);
+        }
+        self.builder.finish_node(level, edges)
+    }
+
+    /// Re-interns a task's local nodes into the caller's arena in local
+    /// creation order (children precede parents by the arena invariant),
+    /// remapping successor references through the id map. Canonical builds
+    /// intern (the local weights are already normalized); `keep_zero` tree
+    /// builds copy every node unshared, preserving tree positions.
+    fn merge_subtree(&mut self, up: Edge, local: &DdArena) -> Result<Edge, ArenaOverflow> {
+        let keep_zero = self.builder.opts.keeps_zero_subtrees();
+        let mut map: Vec<NodeRef> = Vec::with_capacity(local.len());
+        for node in local.nodes() {
+            let edges: Vec<Edge> = node
+                .edges()
+                .iter()
+                .map(|e| Edge::new(e.weight, remap(e.target, &map)))
+                .collect();
+            let target = if keep_zero {
+                self.builder.arena.alloc_unshared(node.level(), edges)?
+            } else {
+                self.builder.arena.intern(node.level(), edges)?
+            };
+            map.push(target);
+        }
+        Ok(Edge::new(up.weight, remap(up.target, &map)))
+    }
+}
+
+fn remap(r: NodeRef, map: &[NodeRef]) -> NodeRef {
+    match r {
+        NodeRef::Terminal => NodeRef::Terminal,
+        NodeRef::Node(id) => map[id.index()],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdq_num::Tolerance;
+
+    fn dims(v: &[usize]) -> Dims {
+        Dims::new(v.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn plan_split_needs_threads_and_levels() {
+        assert_eq!(plan_split(&dims(&[2, 2]), 1), None);
+        assert_eq!(plan_split(&dims(&[7]), 4), None);
+    }
+
+    #[test]
+    fn plan_split_oversubscribes_threads() {
+        let plan = plan_split(&dims(&[2, 2, 2, 2, 2, 2]), 4).unwrap();
+        assert_eq!(plan.tasks, 16); // first prefix product ≥ 4 × OVERSPLIT
+        assert_eq!(plan.depth, 4);
+        assert_eq!(plan.threads, 4);
+    }
+
+    #[test]
+    fn plan_split_caps_depth_below_register_length() {
+        let plan = plan_split(&dims(&[2, 2]), 8).unwrap();
+        assert_eq!(plan.depth, 1);
+        assert_eq!(plan.tasks, 2);
+        assert_eq!(plan.threads, 2);
+    }
+
+    fn bits(dd: &StateDd) -> Vec<(u64, u64)> {
+        dd.to_amplitudes()
+            .iter()
+            .map(|a| (a.re.to_bits(), a.im.to_bits()))
+            .collect()
+    }
+
+    #[test]
+    fn parallel_dense_build_is_bit_identical_and_pool_recycles() {
+        let d = dims(&[3, 4, 2, 3]);
+        let amps: Vec<Complex> = (0..d.space_size())
+            .map(|i| Complex::new((i as f64 * 0.731).sin(), (i as f64 * 0.413).cos()))
+            .collect();
+        let seq = StateDd::from_amplitudes(&d, &amps, BuildOptions::default()).unwrap();
+        let mut pool = ScratchPool::new();
+        for threads in [2, 4] {
+            let opts = BuildOptions::default().build_threads(threads);
+            let par = StateDd::from_amplitudes_in_pooled(&d, &amps, opts, opts.arena(), &mut pool)
+                .unwrap();
+            assert_eq!(bits(&par), bits(&seq));
+            assert_eq!(par.node_count(), seq.node_count());
+            assert!(!pool.is_empty());
+        }
+    }
+
+    #[test]
+    fn parallel_sparse_build_is_bit_identical() {
+        let d = dims(&[3, 4, 2, 3]);
+        let entries: Vec<(Vec<usize>, Complex)> = vec![
+            (vec![0, 0, 0, 0], Complex::real(0.5)),
+            (vec![2, 3, 1, 2], Complex::new(0.0, -0.5)),
+            (vec![1, 2, 0, 1], Complex::from_polar(0.5, 1.0)),
+        ];
+        let seq = StateDd::from_sparse(&d, &entries, BuildOptions::default()).unwrap();
+        for threads in [2, 4] {
+            let opts = BuildOptions::default().build_threads(threads);
+            let par = StateDd::from_sparse(&d, &entries, opts).unwrap();
+            assert_eq!(bits(&par), bits(&seq));
+            assert_eq!(par.node_count(), seq.node_count());
+        }
+    }
+
+    #[test]
+    fn parallel_build_surfaces_node_limit() {
+        let d = dims(&[2, 2, 2, 2]);
+        let amps: Vec<Complex> = (0..16).map(|i| Complex::real(1.0 + i as f64)).collect();
+        let opts = BuildOptions::default().build_threads(4).node_limit(2);
+        let err = StateDd::from_amplitudes(&d, &amps, opts).unwrap_err();
+        assert_eq!(err, BuildError::ArenaOverflow { limit: 2 });
+    }
+
+    #[test]
+    fn parallel_build_with_explicit_shards_matches() {
+        let d = dims(&[2, 3, 2, 2]);
+        let amps: Vec<Complex> = (0..d.space_size())
+            .map(|i| Complex::new(1.0 / (1.0 + i as f64), (i as f64).sqrt()))
+            .collect();
+        let seq = StateDd::from_amplitudes(&d, &amps, BuildOptions::default()).unwrap();
+        let opts = BuildOptions::default()
+            .build_threads(2)
+            .table_shards(8)
+            .tolerance(Tolerance::default());
+        let par = StateDd::from_amplitudes(&d, &amps, opts).unwrap();
+        assert_eq!(bits(&par), bits(&seq));
+        assert_eq!(par.arena().table_shards(), 8);
+    }
+}

@@ -36,6 +36,7 @@
 #![warn(missing_docs)]
 
 mod complex;
+mod sharded;
 mod table;
 mod tolerance;
 
@@ -43,6 +44,7 @@ pub mod matrix;
 pub mod radix;
 
 pub use complex::Complex;
+pub use sharded::ShardedComplexTable;
 pub use table::{distinct_complex_count, CanonicalId, ComplexTable, ComplexTableStats};
 pub use tolerance::Tolerance;
 
@@ -54,6 +56,7 @@ const _: () = {
     assert_send_sync::<Complex>();
     assert_send_sync::<Tolerance>();
     assert_send_sync::<ComplexTable>();
+    assert_send_sync::<ShardedComplexTable>();
     assert_send_sync::<ComplexTableStats>();
     assert_send_sync::<radix::Dims>();
     assert_send_sync::<matrix::CMatrix>();

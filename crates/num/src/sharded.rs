@@ -1,0 +1,390 @@
+//! A sharded canonical store for complex numbers.
+//!
+//! [`ShardedComplexTable`] fans a [`ComplexTable`] out over several
+//! fingerprint-selected shards so that concurrent hash-consing workloads (the
+//! parallel DD build in `mdq-dd`) don't serialize on one table. Routing is by
+//! the value's *supercell* — a block of tolerance-grid cells much wider than
+//! the 3×3 probe neighbourhood — so a lookup touches at most the four shards
+//! whose supercells cover the neighbourhood, in a deterministic order.
+//!
+//! With one shard the wrapper is bit-for-bit the plain [`ComplexTable`]:
+//! identical canonical ids, identical first-representative-wins behaviour.
+
+use std::collections::HashMap;
+
+use crate::table::{CanonicalId, ComplexTable, ComplexTableStats};
+use crate::{Complex, Tolerance};
+
+/// Tolerance-grid cells per supercell edge (`1 << SUPER_SHIFT`). Supercells
+/// are 2⁶ = 64 cells wide, so the 3×3 cell probe neighbourhood spans at most
+/// a 2×2 block of supercells.
+const SUPER_SHIFT: u32 = 6;
+
+/// Mixes one 64-bit word into an FNV-1a style fingerprint.
+#[inline]
+fn fnv_mix(h: u64, x: u64) -> u64 {
+    (h ^ x).wrapping_mul(0x0000_0100_0000_01b3)
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// A [`ComplexTable`] fanned out over fingerprint-selected shards.
+///
+/// Canonical ids are global: `global = local * shards + shard`, so with one
+/// shard the mapping is the identity and the wrapper behaves exactly like the
+/// plain table. Counters ([`ComplexTableStats`]) are kept at the wrapper
+/// level and survive [`clear`](Self::clear) / [`reset`](Self::reset) /
+/// [`configure`](Self::configure), mirroring [`ComplexTable`]'s contract.
+///
+/// # Examples
+///
+/// ```
+/// use mdq_num::{Complex, ShardedComplexTable, Tolerance};
+///
+/// let mut table = ShardedComplexTable::new(Tolerance::new(1e-9), 4);
+/// let a = table.insert(Complex::new(0.5, 0.0));
+/// let b = table.insert(Complex::new(0.5 + 1e-12, 0.0));
+/// assert_eq!(a, b);
+/// assert_eq!(table.len(), 1);
+/// assert_eq!(table.shard_count(), 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ShardedComplexTable {
+    tolerance: Tolerance,
+    shards: Vec<ComplexTable>,
+    /// Per-home-shard exact-bit-pattern caches holding *global* ids. Kept at
+    /// the wrapper level so the shard tables stay byte-identical to the
+    /// sequential path regardless of probe order.
+    exact: Vec<HashMap<(u64, u64), u32>>,
+    mask: usize,
+    lookups: u64,
+    insertions: u64,
+    exact_hits: u64,
+}
+
+impl ShardedComplexTable {
+    /// Creates an empty table with the given tolerance, fanned out over
+    /// `shards` shards (rounded up to a power of two, minimum 1).
+    #[must_use]
+    pub fn new(tolerance: Tolerance, shards: usize) -> Self {
+        let n = shards.max(1).next_power_of_two();
+        Self {
+            tolerance,
+            shards: (0..n).map(|_| ComplexTable::new(tolerance)).collect(),
+            exact: (0..n).map(|_| HashMap::new()).collect(),
+            mask: n - 1,
+            lookups: 0,
+            insertions: 0,
+            exact_hits: 0,
+        }
+    }
+
+    /// Number of shards (always a power of two).
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The tolerance used for canonicalization.
+    #[must_use]
+    pub fn tolerance(&self) -> Tolerance {
+        self.tolerance
+    }
+
+    /// Number of distinct canonical values across all shards.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(ComplexTable::len).sum()
+    }
+
+    /// Whether the table holds no values.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(ComplexTable::is_empty)
+    }
+
+    /// Aggregated usage counters: `len` summed over shards, traffic counters
+    /// from the wrapper (cumulative, surviving `clear`/`reset`/`configure`).
+    #[must_use]
+    pub fn stats(&self) -> ComplexTableStats {
+        ComplexTableStats {
+            len: self.len(),
+            lookups: self.lookups,
+            insertions: self.insertions,
+            exact_hits: self.exact_hits,
+        }
+    }
+
+    /// Removes every canonical value from every shard, keeping capacity and
+    /// the cumulative counters.
+    pub fn clear(&mut self) {
+        for shard in &mut self.shards {
+            shard.clear();
+        }
+        for cache in &mut self.exact {
+            cache.clear();
+        }
+    }
+
+    /// [`clear`](Self::clear) plus a tolerance change.
+    pub fn reset(&mut self, tolerance: Tolerance) {
+        self.tolerance = tolerance;
+        for shard in &mut self.shards {
+            shard.reset(tolerance);
+        }
+        for cache in &mut self.exact {
+            cache.clear();
+        }
+    }
+
+    /// Re-targets the table at a (possibly different) shard count and
+    /// tolerance, clearing every value. When the shard count is unchanged
+    /// this is [`reset`](Self::reset) and keeps allocated capacity;
+    /// otherwise the shard vectors are rebuilt at the new width. Counters
+    /// survive either way.
+    pub fn configure(&mut self, tolerance: Tolerance, shards: usize) {
+        let n = shards.max(1).next_power_of_two();
+        if n == self.shards.len() {
+            self.reset(tolerance);
+            return;
+        }
+        self.tolerance = tolerance;
+        self.shards = (0..n).map(|_| ComplexTable::new(tolerance)).collect();
+        self.exact = (0..n).map(|_| HashMap::new()).collect();
+        self.mask = n - 1;
+    }
+
+    fn cell(&self, v: Complex) -> (i64, i64) {
+        // Must match `ComplexTable::cell` so shard-local buckets line up.
+        let t = self.tolerance.value().max(f64::MIN_POSITIVE);
+        let w = 2.0 * t;
+        ((v.re / w).floor() as i64, (v.im / w).floor() as i64)
+    }
+
+    fn shard_of_supercell(&self, sx: i64, sy: i64) -> usize {
+        let h = fnv_mix(fnv_mix(FNV_OFFSET, sx as u64), sy as u64);
+        (h as usize) & self.mask
+    }
+
+    fn shard_of_cell(&self, cell: (i64, i64)) -> usize {
+        self.shard_of_supercell(cell.0 >> SUPER_SHIFT, cell.1 >> SUPER_SHIFT)
+    }
+
+    fn global(&self, local: CanonicalId, shard: usize) -> CanonicalId {
+        let n = self.shards.len() as u64;
+        let gid = local.index() as u64 * n + shard as u64;
+        CanonicalId::from_raw(u32::try_from(gid).expect("sharded complex table overflow"))
+    }
+
+    fn split(&self, id: CanonicalId) -> (usize, usize) {
+        let n = self.shards.len();
+        (id.index() / n, id.index() % n)
+    }
+
+    /// Probes the shards covering the 3×3 cell neighbourhood of `v`, in a
+    /// deterministic row-major supercell order.
+    fn probe(&self, v: Complex) -> Option<CanonicalId> {
+        if self.mask == 0 {
+            return self.shards[0].lookup(v).map(|id| self.global(id, 0));
+        }
+        let (cx, cy) = self.cell(v);
+        let (sx0, sx1) = ((cx - 1) >> SUPER_SHIFT, (cx + 1) >> SUPER_SHIFT);
+        let (sy0, sy1) = ((cy - 1) >> SUPER_SHIFT, (cy + 1) >> SUPER_SHIFT);
+        let mut seen = [usize::MAX; 4];
+        let mut n = 0;
+        for sx in sx0..=sx1 {
+            for sy in sy0..=sy1 {
+                let s = self.shard_of_supercell(sx, sy);
+                if seen[..n].contains(&s) {
+                    continue;
+                }
+                seen[n] = s;
+                n += 1;
+                if let Some(local) = self.shards[s].lookup(v) {
+                    return Some(self.global(local, s));
+                }
+            }
+        }
+        None
+    }
+
+    /// Inserts a value, returning the global canonical id of an existing
+    /// entry within tolerance if one exists in any covering shard.
+    pub fn insert(&mut self, v: Complex) -> CanonicalId {
+        self.lookups += 1;
+        let bits = (v.re.to_bits(), v.im.to_bits());
+        let home = self.shard_of_cell(self.cell(v));
+        if let Some(&gid) = self.exact[home].get(&bits) {
+            self.exact_hits += 1;
+            return CanonicalId::from_raw(gid);
+        }
+        let id = match self.probe(v) {
+            Some(id) => id,
+            None => {
+                self.insertions += 1;
+                let local = self.shards[home].push_new(v);
+                self.global(local, home)
+            }
+        };
+        // Same proportional bound as the plain table, per home shard.
+        if self.exact[home].len() >= 4 * self.shards[home].len() + 1024 {
+            self.exact[home].clear();
+        }
+        self.exact[home].insert(bits, u32::try_from(id.index()).expect("id overflow"));
+        id
+    }
+
+    /// Finds the global canonical id for a value already in the table, if
+    /// any, without inserting or counting.
+    #[must_use]
+    pub fn lookup(&self, v: Complex) -> Option<CanonicalId> {
+        self.probe(v)
+    }
+
+    /// The canonical representative for a global id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id does not belong to this table.
+    #[must_use]
+    pub fn value(&self, id: CanonicalId) -> Complex {
+        let (local, shard) = self.split(id);
+        self.shards[shard].value(CanonicalId::from_raw(
+            u32::try_from(local).expect("id overflow"),
+        ))
+    }
+
+    /// Iterates over the canonical values of every shard, shard by shard.
+    pub fn iter(&self) -> impl Iterator<Item = Complex> + '_ {
+        self.shards.iter().flat_map(ComplexTable::iter)
+    }
+}
+
+impl Default for ShardedComplexTable {
+    fn default() -> Self {
+        Self::new(Tolerance::default(), 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_shard_matches_plain_table_ids() {
+        let tol = Tolerance::new(1e-9);
+        let mut plain = ComplexTable::new(tol);
+        let mut sharded = ShardedComplexTable::new(tol, 1);
+        let values = [
+            Complex::ONE,
+            Complex::ZERO,
+            Complex::new(0.25, -0.75),
+            Complex::new(0.25 + 1e-12, -0.75),
+            Complex::I,
+            Complex::new(0.25, -0.75),
+        ];
+        for v in values {
+            let a = plain.insert(v);
+            let b = sharded.insert(v);
+            assert_eq!(a.index(), b.index());
+        }
+        assert_eq!(plain.len(), sharded.len());
+        assert_eq!(plain.stats(), sharded.stats());
+    }
+
+    #[test]
+    fn shard_count_rounds_to_power_of_two() {
+        let t = ShardedComplexTable::new(Tolerance::default(), 3);
+        assert_eq!(t.shard_count(), 4);
+        let t = ShardedComplexTable::new(Tolerance::default(), 0);
+        assert_eq!(t.shard_count(), 1);
+    }
+
+    #[test]
+    fn deduplicates_within_tolerance_across_shards() {
+        let mut t = ShardedComplexTable::new(Tolerance::new(1e-6), 8);
+        let a = t.insert(Complex::new(1.0, 1.0));
+        let b = t.insert(Complex::new(1.0 + 5e-7, 1.0 - 5e-7));
+        assert_eq!(a, b);
+        assert_eq!(t.len(), 1);
+        let c = t.insert(Complex::new(1.0 + 1e-3, 1.0));
+        assert_ne!(a, c);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn supercell_boundary_values_still_merge() {
+        // Values either side of a supercell boundary land in different home
+        // shards but must still canonicalize together via the probe.
+        let tol = 1e-6;
+        let boundary = 2.0 * tol * f64::from(1u32 << SUPER_SHIFT);
+        let mut t = ShardedComplexTable::new(Tolerance::new(tol), 8);
+        let a = t.insert(Complex::new(boundary - 1e-9, 0.0));
+        let b = t.insert(Complex::new(boundary + 1e-9, 0.0));
+        assert_eq!(a, b);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn value_round_trips_at_any_shard_count() {
+        for shards in [1, 2, 4, 8] {
+            let mut t = ShardedComplexTable::new(Tolerance::new(1e-9), shards);
+            let vs: Vec<Complex> = (0..64)
+                .map(|i| Complex::new(f64::from(i) * 0.37, f64::from(i) * -0.11))
+                .collect();
+            let ids: Vec<CanonicalId> = vs.iter().map(|&v| t.insert(v)).collect();
+            for (&v, &id) in vs.iter().zip(&ids) {
+                assert_eq!(t.value(id), v);
+                assert_eq!(t.lookup(v), Some(id));
+            }
+            assert_eq!(t.len(), vs.len());
+        }
+    }
+
+    #[test]
+    fn counters_survive_clear_reset_and_configure() {
+        let mut t = ShardedComplexTable::new(Tolerance::new(1e-9), 4);
+        t.insert(Complex::ONE);
+        t.insert(Complex::ONE);
+        t.clear();
+        assert!(t.is_empty());
+        assert_eq!(t.stats().lookups, 2);
+        assert_eq!(t.stats().insertions, 1);
+        assert_eq!(t.stats().exact_hits, 1);
+        t.reset(Tolerance::new(1e-6));
+        t.insert(Complex::I);
+        assert_eq!(t.stats().lookups, 3);
+        t.configure(Tolerance::new(1e-9), 2);
+        assert_eq!(t.shard_count(), 2);
+        assert!(t.is_empty());
+        assert_eq!(t.stats().lookups, 3);
+        assert_eq!(t.stats().insertions, 2);
+    }
+
+    #[test]
+    fn exact_cache_serves_repeats() {
+        let mut t = ShardedComplexTable::new(Tolerance::new(1e-9), 4);
+        let v = Complex::new(0.125, 0.5);
+        let a = t.insert(v);
+        let b = t.insert(v);
+        assert_eq!(a, b);
+        assert_eq!(t.stats().exact_hits, 1);
+    }
+
+    #[test]
+    fn iter_covers_all_shards() {
+        let mut t = ShardedComplexTable::new(Tolerance::new(1e-9), 4);
+        let vs: Vec<Complex> = (0..32)
+            .map(|i| Complex::new(f64::from(i) * 0.7, 0.3))
+            .collect();
+        for &v in &vs {
+            t.insert(v);
+        }
+        let mut seen: Vec<Complex> = t.iter().collect();
+        assert_eq!(seen.len(), vs.len());
+        for v in vs {
+            assert!(seen.contains(&v));
+            seen.retain(|&w| w != v);
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! Bit-identity property tests for the parallel within-job build
+//! (`BuildOptions::build_threads`): at 1, 2, and 4 threads — over dense,
+//! sparse, and unreduced (`keep_zero_subtrees`) payloads — the built
+//! diagram's `to_amplitudes` must be **raw-bit identical** to the
+//! sequential build's, not merely within tolerance. The work-splitting
+//! driver re-interns subtree results in exactly the order the sequential
+//! recursion would have created them, so this is an equality the
+//! implementation owes, and the strongest possible regression guard for
+//! the engine's "parallelism never changes a served circuit" contract.
+
+use mdq::dd::{BuildOptions, ScratchPool, StateDd};
+use mdq::num::radix::Dims;
+use mdq::num::Complex;
+use proptest::prelude::*;
+
+/// Random mixed-radix registers of 2–4 qudits with local dimensions 2–5
+/// (at least two levels, so the top-level split always has work to hand
+/// out).
+fn arb_dims() -> impl Strategy<Value = Dims> {
+    proptest::collection::vec(2usize..6, 2..5).prop_map(|v| Dims::new(v).unwrap())
+}
+
+/// A normalized random amplitude vector for the given register.
+fn arb_state(dims: &Dims) -> impl Strategy<Value = Vec<Complex>> {
+    let n = dims.space_size();
+    proptest::collection::vec((-1.0..1.0f64, -1.0..1.0f64), n..=n).prop_filter_map(
+        "state must have nonzero norm",
+        |parts| {
+            let v: Vec<Complex> = parts
+                .into_iter()
+                .map(|(re, im)| Complex::new(re, im))
+                .collect();
+            let norm = mdq::num::norm(&v);
+            (norm > 1e-6).then(|| v.iter().map(|a| *a / norm).collect::<Vec<_>>())
+        },
+    )
+}
+
+fn arb_dims_and_state() -> impl Strategy<Value = (Dims, Vec<Complex>)> {
+    arb_dims().prop_flat_map(|d| {
+        let s = arb_state(&d);
+        (Just(d), s)
+    })
+}
+
+/// A random sparse support: a handful of basis states with random
+/// amplitudes (duplicates allowed — the builder must fold them the same
+/// way on every path).
+fn arb_sparse_state() -> impl Strategy<Value = (Dims, Vec<(Vec<usize>, Complex)>)> {
+    arb_dims().prop_flat_map(|d| {
+        let n = d.space_size();
+        let support = proptest::collection::vec((0..n, (-1.0..1.0f64, -1.0..1.0f64)), 1..10)
+            .prop_filter_map("support must have nonzero norm", move |entries| {
+                let v: Vec<(usize, Complex)> = entries
+                    .into_iter()
+                    .map(|(i, (re, im))| (i, Complex::new(re, im)))
+                    .collect();
+                let norm: f64 = v.iter().map(|(_, a)| a.norm_sqr()).sum::<f64>().sqrt();
+                (norm > 1e-6).then_some(v)
+            });
+        (Just(d), support).prop_map(|(d, v)| {
+            let entries = v
+                .into_iter()
+                .map(|(i, a)| (d.digits_of(i), a))
+                .collect::<Vec<_>>();
+            (d, entries)
+        })
+    })
+}
+
+/// Raw-bit amplitude equality — `to_bits` comparison, so `-0.0 != 0.0`
+/// and no tolerance is involved anywhere.
+fn bits_identical(a: &[Complex], b: &[Complex]) -> Result<(), String> {
+    if a.len() != b.len() {
+        return Err(format!("length mismatch: {} vs {}", a.len(), b.len()));
+    }
+    for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+        if x.re.to_bits() != y.re.to_bits() || x.im.to_bits() != y.im.to_bits() {
+            return Err(format!("amplitude {i} differs in raw bits: {x:?} vs {y:?}"));
+        }
+    }
+    Ok(())
+}
+
+const THREADS: [usize; 3] = [1, 2, 4];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn prop_parallel_dense_build_is_bit_identical((dims, amps) in arb_dims_and_state()) {
+        let sequential =
+            StateDd::from_amplitudes(&dims, &amps, BuildOptions::default()).unwrap();
+        let want = sequential.to_amplitudes();
+        for threads in THREADS {
+            let parallel = StateDd::from_amplitudes(
+                &dims,
+                &amps,
+                BuildOptions::default().build_threads(threads),
+            )
+            .unwrap();
+            prop_assert_eq!(parallel.node_count(), sequential.node_count());
+            prop_assert!(parallel.is_canonical());
+            if let Err(msg) = bits_identical(&parallel.to_amplitudes(), &want) {
+                prop_assert!(false, "{} threads: {}", threads, msg);
+            }
+        }
+    }
+
+    #[test]
+    fn prop_parallel_sparse_build_is_bit_identical((dims, entries) in arb_sparse_state()) {
+        let sequential =
+            StateDd::from_sparse(&dims, &entries, BuildOptions::default()).unwrap();
+        let want = sequential.to_amplitudes();
+        for threads in THREADS {
+            let parallel = StateDd::from_sparse(
+                &dims,
+                &entries,
+                BuildOptions::default().build_threads(threads),
+            )
+            .unwrap();
+            prop_assert_eq!(parallel.node_count(), sequential.node_count());
+            if let Err(msg) = bits_identical(&parallel.to_amplitudes(), &want) {
+                prop_assert!(false, "{} threads: {}", threads, msg);
+            }
+        }
+    }
+
+    #[test]
+    fn prop_parallel_keep_zero_build_is_bit_identical((dims, amps) in arb_dims_and_state()) {
+        // The unreduced Table-1 tree exercises the `alloc_unshared` merge
+        // path (no hash-consing, node ids are pure creation order).
+        let opts = BuildOptions::default().keep_zero_subtrees(true);
+        let sequential = StateDd::from_amplitudes(&dims, &amps, opts).unwrap();
+        let want = sequential.to_amplitudes();
+        for threads in THREADS {
+            let parallel =
+                StateDd::from_amplitudes(&dims, &amps, opts.build_threads(threads)).unwrap();
+            prop_assert_eq!(parallel.node_count(), sequential.node_count());
+            if let Err(msg) = bits_identical(&parallel.to_amplitudes(), &want) {
+                prop_assert!(false, "{} threads: {}", threads, msg);
+            }
+        }
+    }
+
+    #[test]
+    fn prop_scratch_pool_reuse_stays_bit_identical((dims, amps) in arb_dims_and_state()) {
+        // Serving-shaped usage: one caller arena + one scratch pool reused
+        // across consecutive parallel builds must keep producing the exact
+        // sequential bits (leak-free `reset_for_tables` under the sharded
+        // tables is what this exercises).
+        let want = StateDd::from_amplitudes(&dims, &amps, BuildOptions::default())
+            .unwrap()
+            .to_amplitudes();
+        let mut pool = ScratchPool::new();
+        for threads in [4usize, 2, 4] {
+            let arena = mdq::dd::DdArena::new(BuildOptions::default().tolerance_value());
+            let dd = StateDd::from_amplitudes_in_pooled(
+                &dims,
+                &amps,
+                BuildOptions::default().build_threads(threads),
+                arena,
+                &mut pool,
+            )
+            .unwrap();
+            if let Err(msg) = bits_identical(&dd.to_amplitudes(), &want) {
+                prop_assert!(false, "{} threads (pooled): {}", threads, msg);
+            }
+        }
+    }
+}
+
+/// The split planner only engages when it can help: single-thread requests
+/// and single-level registers build sequentially.
+#[test]
+fn plan_split_declines_trivial_work() {
+    let two_levels = Dims::new(vec![3, 4]).unwrap();
+    assert!(mdq::dd::plan_split(&two_levels, 1).is_none());
+    let one_level = Dims::new(vec![7]).unwrap();
+    assert!(mdq::dd::plan_split(&one_level, 4).is_none());
+    let plan = mdq::dd::plan_split(&two_levels, 2).expect("two levels split");
+    assert!(plan.depth >= 1 && plan.depth < two_levels.len());
+    assert_eq!(plan.threads, 2);
+}
+
+/// The shared tables and the scratch pool must be safe to move across the
+/// worker threads the split driver spawns — compile-time proof.
+#[test]
+fn shared_tables_are_send_and_sync() {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<mdq::num::ShardedComplexTable>();
+    assert_send_sync::<mdq::dd::unique::ShardedUniqueTable>();
+    assert_send_sync::<ScratchPool>();
+    assert_send_sync::<mdq::dd::DdArena>();
+}
