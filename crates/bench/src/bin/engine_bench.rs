@@ -62,6 +62,18 @@
 //! smaller hosts (including the 1-core container this repo grows in) the
 //! speedups are recorded, never asserted.
 //!
+//! With `--router`, a sharded-serving section measures what the
+//! consistent-hash `mdq-router` front-end costs and buys: the mixed
+//! workload is served once by a single direct `EngineService` and once
+//! through a router of N one-worker shards (every routed circuit asserted
+//! bit-identical to the direct one), then resubmitted to the still-warm
+//! router so duplicates land on the shard that already caches them —
+//! warm throughput and per-shard hit rates land in the JSON. A synthetic
+//! key population is routed before and after a shard joins and leaves,
+//! recording the per-shard key spread (max/min) at each topology and the
+//! moved-key fraction of each resize (≈ 1/N for a consistent ring, vs.
+//! (N−1)/N for naive modulo hashing).
+//!
 //! Flags:
 //! * `--smoke`     — tiny batch, worker counts {1, 2} (CI keep-alive mode);
 //! * `--jobs N`    — batch size (default 48);
@@ -70,6 +82,7 @@
 //! * `--warmstart` — additionally run the snapshot warm-start section;
 //! * `--fairness`  — additionally run the aging/starvation section;
 //! * `--parbuild`  — additionally run the intra-job parallelism section;
+//! * `--router`    — additionally run the sharded-serving section;
 //! * `--out PATH`  — output path (default `BENCH_engine.json`).
 
 use std::fmt::Write as _;
@@ -125,6 +138,7 @@ fn main() {
     let warmstart = args.iter().any(|a| a == "--warmstart");
     let fairness = args.iter().any(|a| a == "--fairness");
     let parbuild = args.iter().any(|a| a == "--parbuild");
+    let router = args.iter().any(|a| a == "--router");
     let jobs: usize = if smoke {
         8
     } else {
@@ -241,7 +255,7 @@ fn main() {
         );
     }
     out.push_str("  ],\n");
-    let comma = if parbuild || warmstart || streaming || verify || fairness {
+    let comma = if parbuild || warmstart || streaming || verify || fairness || router {
         ","
     } else {
         ""
@@ -254,7 +268,7 @@ fn main() {
     );
 
     if parbuild {
-        let comma = if warmstart || streaming || verify || fairness {
+        let comma = if warmstart || streaming || verify || fairness || router {
             ","
         } else {
             ""
@@ -346,7 +360,7 @@ fn main() {
                  least 2x the cold-start throughput (measured {snap_speedup:.2}x)"
             );
         }
-        let comma = if streaming || verify || fairness {
+        let comma = if streaming || verify || fairness || router {
             ","
         } else {
             ""
@@ -417,7 +431,11 @@ fn main() {
             );
         }
         out.push_str("  }");
-        out.push_str(if verify || fairness { ",\n" } else { "\n" });
+        out.push_str(if verify || fairness || router {
+            ",\n"
+        } else {
+            "\n"
+        });
     }
 
     if verify {
@@ -523,7 +541,7 @@ fn main() {
             verified.as_secs_f64() * 1e3
         );
         out.push_str("  },\n");
-        let comma = if fairness { "," } else { "" };
+        let comma = if fairness || router { "," } else { "" };
         let _ = writeln!(
             out,
             "  \"admission\": {{\"queue_depth\": 1, \"burst\": {burst}, \
@@ -610,7 +628,11 @@ fn main() {
                 run.aging, run.worst_us, run.p999_us, run.large_worst_us, run.small_p99_us
             );
         }
-        out.push_str("  }\n");
+        out.push_str(if router { "  },\n" } else { "  }\n" });
+    }
+
+    if router {
+        out.push_str(&run_router(smoke, &requests));
     }
 
     out.push_str("}\n");
@@ -748,6 +770,208 @@ fn run_parbuild(smoke: bool, comma: &str) -> String {
          \"parallel_builds\": {parallel_builds}"
     );
     let _ = writeln!(out, "  }}{comma}");
+    out
+}
+
+/// The `--router` section: the mixed workload served directly vs. through
+/// a consistent-hash router of one-worker shards (bit-identity asserted),
+/// a warm resubmission measuring shard-cache hit rates, and a synthetic
+/// key population routed across a shard join and a shard leave to record
+/// the balance spread and moved-key fractions. Always the last section,
+/// so the fragment carries no trailing comma.
+fn run_router(smoke: bool, requests: &[PrepareRequest]) -> String {
+    use mdq_router::{Router, RouterConfig, TenantId};
+
+    let shard_count = if smoke { 2 } else { 4 };
+    println!(
+        "\nrouter section: {} jobs, direct {shard_count}-worker service vs \
+         {shard_count} shards x 1 worker",
+        requests.len()
+    );
+
+    // Direct baseline: one service holding as many workers as the routed
+    // tier has shards, so both sides spend the same worker budget.
+    let direct = EngineService::new(EngineConfig::default().with_workers(shard_count));
+    let t = Instant::now();
+    let direct_reports: Vec<_> = direct
+        .submit_batch(requests.to_vec())
+        .into_iter()
+        .map(|handle| handle.wait().expect("direct job succeeds"))
+        .collect();
+    let direct_wall = t.elapsed();
+    direct.shutdown();
+    let direct_jobs_per_sec = requests.len() as f64 / direct_wall.as_secs_f64();
+    println!(
+        "{:<28} {:>12.1} jobs/s",
+        format!("direct, {shard_count} worker(s)"),
+        direct_jobs_per_sec
+    );
+
+    // Routed cold pass: every circuit must come back raw-bit identical to
+    // direct serving — routing is a placement decision, never a result one.
+    let router = Router::new(
+        RouterConfig::default().with_engine_config(EngineConfig::default().with_workers(1)),
+    );
+    for id in 0..shard_count {
+        router.add_shard(id);
+    }
+    let tenant = TenantId(0);
+    let t = Instant::now();
+    let handles: Vec<_> = requests
+        .iter()
+        .map(|r| {
+            router
+                .submit(tenant, r.clone())
+                .expect("unbounded router admits")
+        })
+        .collect();
+    let routed_reports: Vec<_> = handles
+        .into_iter()
+        .map(|handle| handle.wait().expect("routed job succeeds"))
+        .collect();
+    let routed_wall = t.elapsed();
+    let identical = direct_reports
+        .iter()
+        .zip(&routed_reports)
+        .all(|(d, r)| d.circuit == r.circuit);
+    assert!(
+        identical,
+        "routed circuits must be bit-identical to direct serving"
+    );
+    let routed_jobs_per_sec = requests.len() as f64 / routed_wall.as_secs_f64();
+    let routed_vs_direct = routed_jobs_per_sec / direct_jobs_per_sec.max(f64::MIN_POSITIVE);
+    println!(
+        "{:<28} {:>12.1} jobs/s   ({routed_vs_direct:.2}x direct, bit-identical: {identical})",
+        format!("routed, {shard_count} shard(s)"),
+        routed_jobs_per_sec
+    );
+
+    // Warm resubmission: duplicates co-locate by fingerprint, so the
+    // second pass is served from the shard caches filled by the first.
+    let t = Instant::now();
+    let warm: Vec<_> = requests
+        .iter()
+        .map(|r| {
+            router
+                .submit(tenant, r.clone())
+                .expect("unbounded router admits")
+        })
+        .map(|handle| handle.wait().expect("warm routed job succeeds"))
+        .collect();
+    let warm_wall = t.elapsed();
+    let warm_hits = warm.iter().filter(|r| r.from_cache).count();
+    assert!(warm_hits > 0, "warm resubmission must hit the shard caches");
+    let warm_jobs_per_sec = requests.len() as f64 / warm_wall.as_secs_f64();
+    let warm_hit_rate = warm_hits as f64 / requests.len() as f64;
+    let stats = router.stats();
+    println!(
+        "{:<28} {:>12.1} jobs/s   {warm_hits} hits / {} jobs",
+        "routed warm (shard caches)",
+        warm_jobs_per_sec,
+        requests.len()
+    );
+
+    // Shard balance across resizes: a synthetic key population placed at
+    // the starting topology, after a shard joins, and after a shard
+    // leaves. A consistent ring moves ≈ 1/N of the keys per resize.
+    let keys: usize = if smoke { 512 } else { 4096 };
+    let fingerprints: Vec<u64> = (0..keys as u64)
+        .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .collect();
+    let place = |router: &Router| -> Vec<usize> {
+        fingerprints
+            .iter()
+            .map(|&fp| router.route_fingerprint(fp).expect("ring has shards"))
+            .collect()
+    };
+    let spread = |router: &Router, placement: &[usize]| -> (usize, usize) {
+        let per_shard: Vec<usize> = router
+            .shards()
+            .into_iter()
+            .map(|shard| placement.iter().filter(|&&p| p == shard).count())
+            .collect();
+        (
+            per_shard.iter().copied().max().unwrap_or(0),
+            per_shard.iter().copied().min().unwrap_or(0),
+        )
+    };
+    let moved =
+        |a: &[usize], b: &[usize]| -> usize { a.iter().zip(b).filter(|(x, y)| x != y).count() };
+
+    let initial = place(&router);
+    let (initial_max, initial_min) = spread(&router, &initial);
+    router.add_shard(shard_count);
+    let joined = place(&router);
+    let (join_max, join_min) = spread(&router, &joined);
+    let moved_join = moved(&initial, &joined);
+    router.remove_shard(0);
+    let left = place(&router);
+    let (leave_max, leave_min) = spread(&router, &left);
+    let moved_leave = moved(&joined, &left);
+    router.shutdown();
+    let join_fraction = moved_join as f64 / keys as f64;
+    let leave_fraction = moved_leave as f64 / keys as f64;
+    assert!(
+        join_fraction < 0.6 && leave_fraction < 0.6,
+        "a consistent ring must move ~1/N of the keys per resize, not \
+         rehash everything (join {join_fraction:.2}, leave {leave_fraction:.2})"
+    );
+    println!(
+        "shard balance: {keys} keys → max/min {initial_max}/{initial_min}; \
+         join moves {moved_join} ({:.1}%), leave moves {moved_leave} ({:.1}%)",
+        join_fraction * 100.0,
+        leave_fraction * 100.0
+    );
+
+    let mut out = String::from("  \"router\": {\n");
+    let _ = writeln!(
+        out,
+        "    \"shards\": {shard_count}, \"jobs\": {},",
+        requests.len()
+    );
+    let _ = writeln!(
+        out,
+        "    \"direct_jobs_per_sec\": {direct_jobs_per_sec:.1}, \
+         \"routed_jobs_per_sec\": {routed_jobs_per_sec:.1}, \
+         \"routed_vs_direct\": {routed_vs_direct:.2}, \"bit_identical\": {identical},"
+    );
+    let _ = writeln!(
+        out,
+        "    \"warm_jobs_per_sec\": {warm_jobs_per_sec:.1}, \"warm_hits\": {warm_hits}, \
+         \"warm_hit_rate\": {warm_hit_rate:.3},"
+    );
+    out.push_str("    \"shard_hit_rates\": [\n");
+    for (i, shard) in stats.shards.iter().enumerate() {
+        let comma = if i + 1 == stats.shards.len() { "" } else { "," };
+        let _ = writeln!(
+            out,
+            "      {{\"shard\": {}, \"jobs\": {}, \"hit_rate\": {:.3}}}{comma}",
+            shard.shard, shard.engine.jobs, shard.hit_rate
+        );
+    }
+    out.push_str("    ],\n");
+    out.push_str("    \"balance\": {\n");
+    let _ = writeln!(out, "      \"keys\": {keys},");
+    let _ = writeln!(
+        out,
+        "      \"initial\": {{\"shards\": {shard_count}, \"max_keys\": {initial_max}, \
+         \"min_keys\": {initial_min}}},"
+    );
+    let _ = writeln!(
+        out,
+        "      \"after_join\": {{\"shards\": {}, \"max_keys\": {join_max}, \
+         \"min_keys\": {join_min}, \"moved\": {moved_join}, \
+         \"moved_fraction\": {join_fraction:.3}}},",
+        shard_count + 1
+    );
+    let _ = writeln!(
+        out,
+        "      \"after_leave\": {{\"shards\": {shard_count}, \"max_keys\": {leave_max}, \
+         \"min_keys\": {leave_min}, \"moved\": {moved_leave}, \
+         \"moved_fraction\": {leave_fraction:.3}}}"
+    );
+    out.push_str("    }\n");
+    out.push_str("  }\n");
     out
 }
 

@@ -262,6 +262,42 @@ pub fn from_text(text: &str) -> Result<Circuit, ParseError> {
     Ok(circuit)
 }
 
+/// Formats a raw 64-bit pattern as exactly 16 lowercase hex digits — the
+/// *raw-f64-bit* text form shared by the engine's snapshot (`mdqsnap`) and
+/// wire (`mdqwire`) formats for values that must round-trip **bit-exactly**
+/// where shortest-float formatting cannot (amplitudes, fidelities,
+/// tolerances: `-0.0`, subnormals, non-finite values, NaN payloads).
+///
+/// # Examples
+///
+/// ```
+/// use mdq_circuit::serialize::{bits_from_hex, bits_to_hex};
+///
+/// let bits = (-0.0f64).to_bits();
+/// let text = bits_to_hex(bits);
+/// assert_eq!(text, "8000000000000000");
+/// assert_eq!(bits_from_hex(&text), Some(bits));
+/// ```
+#[must_use]
+pub fn bits_to_hex(bits: u64) -> String {
+    format!("{bits:016x}")
+}
+
+/// Parses the 16-hex-digit raw bit pattern written by [`bits_to_hex`].
+/// Returns `None` unless the input is exactly 16 hex digits (case is
+/// accepted; canonical output is lowercase) — length is enforced so a
+/// truncated value is a parse error, never a silently shortened bit
+/// pattern.
+#[must_use]
+pub fn bits_from_hex(text: &str) -> Option<u64> {
+    // `from_str_radix` tolerates a leading sign; a bit pattern must be
+    // exactly 16 hex digits and nothing else.
+    if text.len() != 16 || !text.bytes().all(|b| b.is_ascii_hexdigit()) {
+        return None;
+    }
+    u64::from_str_radix(text, 16).ok()
+}
+
 fn parse_instruction(line: &str) -> Result<Instruction, String> {
     let mut tokens = line.split_whitespace();
     let kind = tokens.next().ok_or("empty line")?;
@@ -466,6 +502,38 @@ mod tests {
             to_line(&c).unwrap_err(),
             SerializeError::UnsupportedGate { index: 0 }
         );
+    }
+
+    #[test]
+    fn bit_hex_round_trips_every_f64_class() {
+        for value in [
+            0.0,
+            -0.0,
+            1.0,
+            -1.5e-308, // subnormal
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::from_bits(0x7ff8_0000_dead_beef), // NaN with payload
+            f64::MIN_POSITIVE,
+            f64::MAX,
+        ] {
+            let text = bits_to_hex(value.to_bits());
+            assert_eq!(text.len(), 16);
+            assert_eq!(bits_from_hex(&text), Some(value.to_bits()));
+        }
+        assert_eq!(
+            bits_from_hex("00000000000000FF"),
+            Some(0xff),
+            "case-insensitive"
+        );
+        assert_eq!(bits_from_hex("0"), None, "short input rejected");
+        assert_eq!(
+            bits_from_hex("00000000000000000"),
+            None,
+            "long input rejected"
+        );
+        assert_eq!(bits_from_hex("000000000000000g"), None, "non-hex rejected");
+        assert_eq!(bits_from_hex("+000000000000001"), None, "sign rejected");
     }
 
     #[test]

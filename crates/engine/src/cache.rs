@@ -18,7 +18,7 @@
 //! [`prepare`]: mdq_core::prepare
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -33,7 +33,9 @@ use crate::request::{PrepareRequest, StatePayload};
 /// All counters except `entries` are **cumulative** over the cache's
 /// lifetime: they keep counting across [`CircuitCache::clear`] and only go
 /// back to zero via [`CircuitCache::reset_stats`]. `entries` is **current**
-/// occupancy, recounted on every [`CircuitCache::stats`] call.
+/// occupancy, recounted on every [`CircuitCache::stats`] call; the
+/// lock-free [`CircuitCache::stats_snapshot`] reads a maintained counter
+/// instead.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Lookups answered from the cache (cumulative; includes hot-tier
@@ -70,8 +72,15 @@ pub(crate) struct CachedPreparation {
 
 /// The canonical identity of a preparation request; see the
 /// [module documentation](self).
+///
+/// Built (together with its fingerprint) by [`canonical_key`]; two requests
+/// with equal keys are guaranteed to receive bit-identical circuits and
+/// reports, so a key comparison is the engine's serve-from-cache test. The
+/// fields are intentionally private: a key can only be obtained from a
+/// request, which keeps the "equal key ⇒ identical result" invariant
+/// unforgeable from outside the crate.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub(crate) struct CanonicalKey {
+pub struct CanonicalKey {
     pub(crate) dims: Vec<usize>,
     /// Sorted, duplicate-summed, exact-zero-free support:
     /// `(flat index, re bits, im bits)`.
@@ -129,7 +138,19 @@ fn quantize(component: f64, cell: f64) -> i64 {
 /// `None` when the request is malformed (wrong length, digits out of range,
 /// non-finite amplitudes, empty support) — such requests bypass the cache
 /// and surface their error through the pipeline itself.
-pub(crate) fn canonical_key(request: &PrepareRequest) -> Option<(u64, CanonicalKey)> {
+///
+/// This is the single fingerprinting implementation shared by the cache,
+/// the snapshot loader (which re-derives every stored record's fingerprint
+/// instead of trusting the file), and the `mdq-router` consistent-hash
+/// ring — so "the shard a request routes to" and "the bucket its circuit
+/// is cached under" can never drift apart.
+///
+/// **Stability:** the fingerprint is a hand-rolled 64-bit FNV-1a over the
+/// tolerance-quantized amplitude grid and the option fields — not
+/// `DefaultHasher`, whose algorithm is explicitly unspecified — so the
+/// value is stable across Rust releases, platforms, and process restarts.
+/// It may only change with a deliberate format-version bump.
+pub fn canonical_key(request: &PrepareRequest) -> Option<(u64, CanonicalKey)> {
     let dims = request.dims.as_slice().to_vec();
     let mut support: Vec<(u64, Complex)> = match &request.payload {
         StatePayload::Dense(amplitudes) => {
@@ -199,8 +220,12 @@ pub(crate) fn canonical_key(request: &PrepareRequest) -> Option<(u64, CanonicalK
 /// Computes the tolerance-quantized fingerprint of a canonical key — the
 /// exact value [`canonical_key`] pairs with that key. Snapshot loads call
 /// this to **re-derive** each record's fingerprint from its parsed key
-/// instead of trusting a value stored in the file.
-pub(crate) fn fingerprint_of(key: &CanonicalKey) -> u64 {
+/// instead of trusting a value stored in the file, and the router hashes
+/// it onto the shard ring.
+///
+/// Same stability guarantee as [`canonical_key`]: FNV-1a over quantized
+/// bits, stable across Rust releases.
+pub fn fingerprint_of(key: &CanonicalKey) -> u64 {
     let cell = f64::from_bits(key.options.tolerance).max(f64::MIN_POSITIVE);
     let mut fnv = Fnv::new();
     fnv.write_u64(key.dims.len() as u64);
@@ -308,6 +333,11 @@ pub struct CircuitCache {
     evictions: AtomicU64,
     expirations: AtomicU64,
     hot_hits: AtomicU64,
+    /// Maintained mirror of the summed per-shard `len`s, updated under the
+    /// owning shard's lock on every insert/evict/expire/clear — lets
+    /// [`CircuitCache::stats_snapshot`] report occupancy without walking
+    /// (and locking) every shard.
+    entries: AtomicUsize,
 }
 
 impl CircuitCache {
@@ -341,6 +371,7 @@ impl CircuitCache {
             evictions: AtomicU64::new(0),
             expirations: AtomicU64::new(0),
             hot_hits: AtomicU64::new(0),
+            entries: AtomicUsize::new(0),
         }
     }
 
@@ -414,6 +445,7 @@ impl CircuitCache {
         });
         if expired {
             shard.len -= 1;
+            self.entries.fetch_sub(1, Ordering::Relaxed);
             if shard.map.get(&fingerprint).is_some_and(Vec::is_empty) {
                 shard.map.remove(&fingerprint);
             }
@@ -464,6 +496,7 @@ impl CircuitCache {
             let dropped = shard.sweep_expired(ttl, now);
             if dropped > 0 {
                 self.expirations.fetch_add(dropped, Ordering::Relaxed);
+                self.entries.fetch_sub(dropped as usize, Ordering::Relaxed);
             }
         }
         if let Some(existing) = shard
@@ -482,6 +515,7 @@ impl CircuitCache {
             if shard.len >= capacity {
                 shard.evict_lru();
                 self.evictions.fetch_add(1, Ordering::Relaxed);
+                self.entries.fetch_sub(1, Ordering::Relaxed);
             }
         }
         shard.tick += 1;
@@ -493,6 +527,7 @@ impl CircuitCache {
             inserted: now,
         });
         shard.len += 1;
+        self.entries.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Drops every entry whose age at `now` has reached the cache TTL,
@@ -508,6 +543,7 @@ impl CircuitCache {
         }
         if total > 0 {
             self.expirations.fetch_add(total, Ordering::Relaxed);
+            self.entries.fetch_sub(total as usize, Ordering::Relaxed);
         }
         total
     }
@@ -521,6 +557,25 @@ impl CircuitCache {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             entries: self.len(),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            expirations: self.expirations.load(Ordering::Relaxed),
+            hot_hits: self.hot_hits.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Lock-free point-in-time [`CacheStats`]: every field — including
+    /// `entries`, which [`CircuitCache::stats`] recounts by locking each
+    /// shard — is read from a maintained atomic, so an aggregator (the
+    /// router polling every shard's engine) never contends with serving
+    /// workers. The fields are loaded one by one, so counters mutated
+    /// concurrently may be mutually inconsistent by a few operations;
+    /// quiesced, it equals [`CircuitCache::stats`] exactly.
+    #[must_use]
+    pub fn stats_snapshot(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.entries.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             expirations: self.expirations.load(Ordering::Relaxed),
             hot_hits: self.hot_hits.load(Ordering::Relaxed),
@@ -559,6 +614,7 @@ impl CircuitCache {
         for shard in &self.shards {
             let mut shard = shard.lock().expect("cache shard poisoned");
             shard.map.clear();
+            self.entries.fetch_sub(shard.len, Ordering::Relaxed);
             shard.len = 0;
         }
     }
@@ -1092,6 +1148,38 @@ mod tests {
         let request = dense_request(&[a, a, a, a]);
         let (fingerprint, key) = canonical_key(&request).unwrap();
         assert_eq!(fingerprint_of(&key), fingerprint);
+    }
+
+    #[test]
+    fn stats_snapshot_matches_locked_stats_when_quiesced() {
+        // Exercise every occupancy mutation path — insert, duplicate
+        // insert, LRU eviction, TTL expiry (lookup + sweep + explicit),
+        // clear — and check the maintained atomic agrees with the locked
+        // recount after each.
+        let cache = CircuitCache::with_capacity(1, Some(3)).with_ttl(Some(Duration::from_secs(60)));
+        assert_eq!(cache.stats_snapshot(), cache.stats());
+        for i in 0..5 {
+            let (fp, key, value) = keyed_entry(i);
+            cache.insert(fp, key.clone(), Arc::clone(&value));
+            cache.insert(fp, key, value);
+            assert_eq!(cache.stats_snapshot(), cache.stats());
+        }
+        assert_eq!(cache.stats_snapshot().evictions, 2);
+        cache.expire(Instant::now() + Duration::from_secs(120));
+        assert_eq!(cache.stats_snapshot(), cache.stats());
+        assert_eq!(cache.stats_snapshot().entries, 0);
+        let (fp, key, value) = keyed_entry(0);
+        cache.insert(fp, key, value);
+        cache.clear();
+        assert_eq!(cache.stats_snapshot(), cache.stats());
+
+        // The zero-TTL lookup drop path.
+        let lazy = CircuitCache::new(1).with_ttl(Some(Duration::ZERO));
+        let (fp, key, value) = keyed_entry(1);
+        lazy.insert(fp, key.clone(), value);
+        assert!(lazy.get(fp, &key, false).is_none());
+        assert_eq!(lazy.stats_snapshot(), lazy.stats());
+        assert_eq!(lazy.stats_snapshot().entries, 0);
     }
 
     #[test]

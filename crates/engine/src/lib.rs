@@ -71,6 +71,13 @@
 //!   floor fail with [`EngineError::VerificationFailed`], and cache
 //!   entries record whether they were verified — a verified request never
 //!   silently reuses an unverified entry.
+//! * **Wire protocol & public fingerprinting** — the [`wire`] module
+//!   carries full [`PrepareRequest`] / [`PrepareReport`] / error frames in
+//!   a versioned, line-oriented raw-f64-bit text form (bit-exact round
+//!   trip, typed parse errors), and [`canonical_key`] /
+//!   [`fingerprint_of`] expose the cache's stable content fingerprint —
+//!   together the substrate of the `mdq-router` sharded front-end, which
+//!   routes each request to the shard whose cache already holds it.
 //! * **Deterministic by construction** — every circuit is bit-identical
 //!   to what a sequential [`prepare`](mdq_core::prepare) loop would
 //!   produce, regardless of worker count, scheduling order, priorities, or
@@ -123,13 +130,15 @@ mod request;
 pub mod scheduler;
 mod service;
 pub mod snapshot;
+pub mod wire;
 
-pub use cache::{CacheStats, CircuitCache, HotTier};
+pub use cache::{canonical_key, fingerprint_of, CacheStats, CanonicalKey, CircuitCache, HotTier};
 pub use engine::{BatchEngine, EngineConfig, EngineStats};
 pub use request::{PrepareReport, PrepareRequest, StatePayload};
 pub use scheduler::{Aging, Priority, SchedulingPolicy};
 pub use service::{AdmissionError, EngineError, EngineService, JobHandle};
 pub use snapshot::{SnapshotError, SnapshotLoad, SnapshotStats};
+pub use wire::{ErrorFrame, Frame, ReportFrame, RequestFrame, WireError};
 
 // Re-exported for convenience: the verification vocabulary lives in
 // `mdq-core` (the replay hook is on `Preparer`), but it is configured and
@@ -163,6 +172,12 @@ const _: () = {
     assert_send_sync::<AdmissionError>();
     assert_send_sync::<VerificationPolicy>();
     assert_send_sync::<VerificationReport>();
+    assert_send_sync::<CanonicalKey>();
+    assert_send_sync::<Frame>();
+    assert_send_sync::<RequestFrame>();
+    assert_send_sync::<ReportFrame>();
+    assert_send_sync::<ErrorFrame>();
+    assert_send_sync::<WireError>();
     // A JobHandle wraps an mpsc receiver: movable across threads, but
     // deliberately single-consumer (not Sync).
     assert_send::<JobHandle>();

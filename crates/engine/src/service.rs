@@ -23,7 +23,7 @@ use std::time::{Duration, Instant};
 
 use mdq_core::{PrepareError, Preparer, VerificationReport};
 
-use crate::cache::{canonical_key, CachedPreparation, CircuitCache};
+use crate::cache::{canonical_key, CacheStats, CachedPreparation, CircuitCache};
 use crate::engine::{EngineConfig, EngineStats};
 use crate::request::{PrepareReport, PrepareRequest, StatePayload};
 use crate::scheduler::{Job, PushRefusal, Scheduler};
@@ -479,6 +479,14 @@ impl ServiceShared {
     }
 
     fn stats(&self) -> EngineStats {
+        self.stats_with(self.cache.stats())
+    }
+
+    fn stats_snapshot(&self) -> EngineStats {
+        self.stats_with(self.cache.stats_snapshot())
+    }
+
+    fn stats_with(&self, cache: CacheStats) -> EngineStats {
         EngineStats {
             jobs: self.jobs.load(Ordering::Relaxed),
             failures: self.failures.load(Ordering::Relaxed),
@@ -486,7 +494,7 @@ impl ServiceShared {
             verified: self.verified.load(Ordering::Relaxed),
             verification_failures: self.verification_failures.load(Ordering::Relaxed),
             high_watermark: self.scheduler.high_watermark(),
-            cache: self.cache.stats(),
+            cache,
             weight_lookups: self
                 .workers
                 .iter()
@@ -641,6 +649,17 @@ impl EngineService {
     #[must_use]
     pub fn stats(&self) -> EngineStats {
         self.shared.stats()
+    }
+
+    /// Lock-free point-in-time [`EngineStats`]: identical to
+    /// [`EngineService::stats`] except that the cache occupancy comes from
+    /// [`CircuitCache::stats_snapshot`]'s maintained counter instead of a
+    /// recount that locks every cache shard. This is what an aggregator
+    /// polling many shard services (the `mdq-router` front-end) should
+    /// call: it never contends with the serving path.
+    #[must_use]
+    pub fn stats_snapshot(&self) -> EngineStats {
+        self.shared.stats_snapshot()
     }
 
     /// Outcome of the construction-time warm-start load: `None` when no

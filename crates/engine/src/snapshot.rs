@@ -141,12 +141,132 @@ pub struct SnapshotLoad {
     pub duration: Duration,
 }
 
+/// Local alias for the workspace-wide raw-bit hex form
+/// ([`serialize::bits_to_hex`]), shared with the wire protocol.
 fn hex(bits: u64) -> String {
-    format!("{bits:016x}")
+    serialize::bits_to_hex(bits)
 }
 
-fn duration_text(d: Duration) -> String {
+/// `secs:nanos` — the duration text form shared by `mdqsnap` and
+/// `mdqwire` records.
+pub(crate) fn duration_text(d: Duration) -> String {
     format!("{}:{}", d.as_secs(), d.subsec_nanos())
+}
+
+/// Parses [`duration_text`]'s `secs:nanos` form; `None` when either part
+/// is malformed or the nanosecond part is not a valid sub-second count.
+pub(crate) fn parse_duration_opt(s: &str) -> Option<Duration> {
+    let (secs, nanos) = s.split_once(':')?;
+    let secs: u64 = secs.parse().ok()?;
+    let nanos: u32 = nanos.parse().ok().filter(|&n| n < 1_000_000_000)?;
+    Some(Duration::new(secs, nanos))
+}
+
+/// Strips a `key=` prefix off one field token; the error-agnostic core of
+/// the record grammar, shared with the wire protocol.
+pub(crate) fn field_opt<'a>(token: &'a str, key: &str) -> Option<&'a str> {
+    token.strip_prefix(key)?.strip_prefix('=')
+}
+
+/// The 13-field [`SynthesisReport`] body (everything after the line tag),
+/// shared between `mdqsnap` `report` lines and `mdqwire` `synth` lines.
+pub(crate) fn report_body(r: &SynthesisReport) -> String {
+    format!(
+        "ni={} nf={} dci={} dcf={} ops={} cmed={} cmean={} cmax={} rm={} pm={} fb={} t={} tt={}",
+        r.nodes_initial,
+        r.nodes_final,
+        r.distinct_c_initial,
+        r.distinct_c_final,
+        r.operations,
+        hex(r.controls_median.to_bits()),
+        hex(r.controls_mean.to_bits()),
+        r.controls_max,
+        r.removed_nodes,
+        hex(r.pruned_mass.to_bits()),
+        hex(r.fidelity_bound.to_bits()),
+        duration_text(r.time),
+        duration_text(r.total_time),
+    )
+}
+
+/// Parses [`report_body`], reporting the first offence as a message.
+pub(crate) fn parse_report_body(body: &str) -> Result<SynthesisReport, String> {
+    let tokens: Vec<&str> = body.split_ascii_whitespace().collect();
+    if tokens.len() != 13 {
+        return Err("expected 13 report fields".to_owned());
+    }
+    let raw = |i: usize, key: &str| -> Result<&str, String> {
+        field_opt(tokens[i], key)
+            .ok_or_else(|| format!("expected `{key}=` field, found `{}`", tokens[i]))
+    };
+    let ru = |i: usize, key: &str| -> Result<usize, String> {
+        let s = raw(i, key)?;
+        s.parse().map_err(|_| format!("bad {key}: `{s}`"))
+    };
+    let rf = |i: usize, key: &str| -> Result<f64, String> {
+        let s = raw(i, key)?;
+        serialize::bits_from_hex(s)
+            .map(f64::from_bits)
+            .ok_or_else(|| format!("bad {key}: `{s}`"))
+    };
+    let rd = |i: usize, key: &str| -> Result<Duration, String> {
+        let s = raw(i, key)?;
+        parse_duration_opt(s).ok_or_else(|| format!("bad {key}: `{s}`"))
+    };
+    Ok(SynthesisReport {
+        nodes_initial: ru(0, "ni")?,
+        nodes_final: ru(1, "nf")?,
+        distinct_c_initial: ru(2, "dci")?,
+        distinct_c_final: ru(3, "dcf")?,
+        operations: ru(4, "ops")?,
+        controls_median: rf(5, "cmed")?,
+        controls_mean: rf(6, "cmean")?,
+        controls_max: ru(7, "cmax")?,
+        removed_nodes: ru(8, "rm")?,
+        pruned_mass: rf(9, "pm")?,
+        fidelity_bound: rf(10, "fb")?,
+        time: rd(11, "t")?,
+        total_time: rd(12, "tt")?,
+    })
+}
+
+/// The `verify` line body — `none` or `fid=… nodes=… t=…` — shared
+/// between `mdqsnap` and `mdqwire` records.
+pub(crate) fn verification_body(v: Option<&VerificationReport>) -> String {
+    match v {
+        None => "none".to_owned(),
+        Some(v) => format!(
+            "fid={} nodes={} t={}",
+            hex(v.fidelity.to_bits()),
+            v.replay_nodes,
+            duration_text(v.duration),
+        ),
+    }
+}
+
+/// Parses [`verification_body`].
+pub(crate) fn parse_verification_body(body: &str) -> Result<Option<VerificationReport>, String> {
+    if body == "none" {
+        return Ok(None);
+    }
+    let tokens: Vec<&str> = body.split_ascii_whitespace().collect();
+    if tokens.len() != 3 {
+        return Err("expected 3 verification fields".to_owned());
+    }
+    let raw = |i: usize, key: &str| -> Result<&str, String> {
+        field_opt(tokens[i], key)
+            .ok_or_else(|| format!("expected `{key}=` field, found `{}`", tokens[i]))
+    };
+    let fid = raw(0, "fid")?;
+    let nodes = raw(1, "nodes")?;
+    let t = raw(2, "t")?;
+    Ok(Some(VerificationReport {
+        fidelity: serialize::bits_from_hex(fid)
+            .map(f64::from_bits)
+            .ok_or_else(|| format!("bad fid: `{fid}`"))?,
+        replay_nodes: nodes.parse().map_err(|_| format!("bad nodes: `{nodes}`"))?,
+        duration: parse_duration_opt(t).ok_or_else(|| format!("bad t: `{t}`"))?,
+    }))
 }
 
 /// Serializes one cache entry into its record text (the `entry` … `end`
@@ -187,36 +307,12 @@ fn record_text(
     }
     out.push('\n');
     let _ = writeln!(out, "circuit {circuit_line}");
-    let r = &value.report;
+    let _ = writeln!(out, "report {}", report_body(&value.report));
     let _ = writeln!(
         out,
-        "report ni={} nf={} dci={} dcf={} ops={} cmed={} cmean={} cmax={} rm={} pm={} fb={} t={} tt={}",
-        r.nodes_initial,
-        r.nodes_final,
-        r.distinct_c_initial,
-        r.distinct_c_final,
-        r.operations,
-        hex(r.controls_median.to_bits()),
-        hex(r.controls_mean.to_bits()),
-        r.controls_max,
-        r.removed_nodes,
-        hex(r.pruned_mass.to_bits()),
-        hex(r.fidelity_bound.to_bits()),
-        duration_text(r.time),
-        duration_text(r.total_time),
+        "verify {}",
+        verification_body(value.verification.as_ref())
     );
-    match &value.verification {
-        None => out.push_str("verify none\n"),
-        Some(v) => {
-            let _ = writeln!(
-                out,
-                "verify fid={} nodes={} t={}",
-                hex(v.fidelity.to_bits()),
-                v.replay_nodes,
-                duration_text(v.duration),
-            );
-        }
-    }
     out.push_str("end\n");
     Ok(out)
 }
@@ -283,29 +379,7 @@ fn parse_usize(s: &str, line: usize, what: &str) -> Result<usize, SnapshotError>
 }
 
 fn parse_hex(s: &str, line: usize, what: &str) -> Result<u64, SnapshotError> {
-    if s.len() != 16 {
-        return Err(corrupt(line, format!("bad {what}: `{s}`")));
-    }
-    u64::from_str_radix(s, 16).map_err(|_| corrupt(line, format!("bad {what}: `{s}`")))
-}
-
-fn parse_f64_bits(s: &str, line: usize, what: &str) -> Result<f64, SnapshotError> {
-    Ok(f64::from_bits(parse_hex(s, line, what)?))
-}
-
-fn parse_duration(s: &str, line: usize, what: &str) -> Result<Duration, SnapshotError> {
-    let (secs, nanos) = s
-        .split_once(':')
-        .ok_or_else(|| corrupt(line, format!("bad {what}: `{s}`")))?;
-    let secs: u64 = secs
-        .parse()
-        .map_err(|_| corrupt(line, format!("bad {what}: `{s}`")))?;
-    let nanos: u32 = nanos
-        .parse()
-        .ok()
-        .filter(|&n| n < 1_000_000_000)
-        .ok_or_else(|| corrupt(line, format!("bad {what}: `{s}`")))?;
-    Ok(Duration::new(secs, nanos))
+    serialize::bits_from_hex(s).ok_or_else(|| corrupt(line, format!("bad {what}: `{s}`")))
 }
 
 /// Parses one record starting at `lines[start]` (the `entry` line).
@@ -380,64 +454,12 @@ fn parse_record(
         .map_err(|e| corrupt(circuit_line, format!("bad circuit: {e}")))?;
 
     let report_line = start + 5;
-    let tokens: Vec<&str> = tagged(lines, report_line, "report")?
-        .split_ascii_whitespace()
-        .collect();
-    if tokens.len() != 13 {
-        return Err(corrupt(report_line, "expected 13 report fields"));
-    }
-    let ru = |i: usize, key: &str| -> Result<usize, SnapshotError> {
-        parse_usize(field(tokens[i], key, report_line)?, report_line, key)
-    };
-    let rf = |i: usize, key: &str| -> Result<f64, SnapshotError> {
-        parse_f64_bits(field(tokens[i], key, report_line)?, report_line, key)
-    };
-    let rd = |i: usize, key: &str| -> Result<Duration, SnapshotError> {
-        parse_duration(field(tokens[i], key, report_line)?, report_line, key)
-    };
-    let report = SynthesisReport {
-        nodes_initial: ru(0, "ni")?,
-        nodes_final: ru(1, "nf")?,
-        distinct_c_initial: ru(2, "dci")?,
-        distinct_c_final: ru(3, "dcf")?,
-        operations: ru(4, "ops")?,
-        controls_median: rf(5, "cmed")?,
-        controls_mean: rf(6, "cmean")?,
-        controls_max: ru(7, "cmax")?,
-        removed_nodes: ru(8, "rm")?,
-        pruned_mass: rf(9, "pm")?,
-        fidelity_bound: rf(10, "fb")?,
-        time: rd(11, "t")?,
-        total_time: rd(12, "tt")?,
-    };
+    let report = parse_report_body(tagged(lines, report_line, "report")?)
+        .map_err(|message| corrupt(report_line, message))?;
 
     let verify_line = start + 6;
-    let verify_body = tagged(lines, verify_line, "verify")?;
-    let verification = if verify_body == "none" {
-        None
-    } else {
-        let tokens: Vec<&str> = verify_body.split_ascii_whitespace().collect();
-        if tokens.len() != 3 {
-            return Err(corrupt(verify_line, "expected 3 verification fields"));
-        }
-        Some(VerificationReport {
-            fidelity: parse_f64_bits(
-                field(tokens[0], "fid", verify_line)?,
-                verify_line,
-                "fidelity",
-            )?,
-            replay_nodes: parse_usize(
-                field(tokens[1], "nodes", verify_line)?,
-                verify_line,
-                "replay nodes",
-            )?,
-            duration: parse_duration(
-                field(tokens[2], "t", verify_line)?,
-                verify_line,
-                "verify duration",
-            )?,
-        })
-    };
+    let verification = parse_verification_body(tagged(lines, verify_line, "verify")?)
+        .map_err(|message| corrupt(verify_line, message))?;
 
     if *lines.get(start + 7).ok_or(SnapshotError::Truncated)? != "end" {
         return Err(corrupt(start + 7, "expected `end` line"));

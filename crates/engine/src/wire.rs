@@ -1,0 +1,1074 @@
+//! The `mdqwire` text protocol — full request/report/error frames.
+//!
+//! The sharded front-end (`mdq-router`) and any out-of-process client talk
+//! to an engine in a versioned, line-oriented text form that extends the
+//! raw-f64-bit conventions of [`mdq_circuit::serialize`] (circuits,
+//! shortest-round-trip angles) and the engine's [`snapshot`](crate::snapshot)
+//! format (16-hex-digit `f64` bit patterns, `secs:nanos` durations) to
+//! whole [`PrepareRequest`]s, [`PrepareReport`]s, and typed service errors.
+//!
+//! Two properties carry the engine's serving contract across the wire:
+//!
+//! - **Bit-exact round trip.** Every amplitude, tolerance, threshold and
+//!   fidelity travels as its raw bit pattern, and every circuit angle
+//!   through shortest-round-trip float text — so a request routed through
+//!   a front-end reaches the shard bit-identical to direct submission,
+//!   and the report it gets back is bit-identical to the one the shard
+//!   produced. Routing can therefore never weaken the engine's
+//!   "bit-identical to [`prepare_sequential`]" guarantee.
+//! - **Typed failures, never panics.** A truncated or corrupt frame parses
+//!   to a [`WireError`] naming the offending line; nothing in this module
+//!   panics on untrusted input (pinned by the `wire_roundtrip` proptests).
+//!
+//! ## Format
+//!
+//! Every frame starts with a `mdqwire 1` header and closes with `end`:
+//!
+//! ```text
+//! mdqwire 1
+//! request tenant=<none|u64> priority=<low|normal|high>
+//! dims <d0> <d1> …
+//! opts fth=<none|hex16> tol=<hex16> pr=<0|1|2> skip=<0|1> dir=<0|1> red=<0|1> kzs=<0|1> ver=<none|hex16>
+//! dense <re-hex16>:<im-hex16> …        (or: sparse <d0.d1…>:<re-hex16>:<im-hex16> …)
+//! end
+//! ```
+//!
+//! ```text
+//! mdqwire 1
+//! report from=<fresh|cache>
+//! dims <d0> <d1> …
+//! circuit <single-line mdqc instruction list>
+//! synth ni=… nf=… dci=… dcf=… ops=… cmed=<hex16> cmean=<hex16> cmax=… rm=… pm=<hex16> fb=<hex16> t=<secs>:<nanos> tt=<secs>:<nanos>
+//! verify none            (or: verify fid=<hex16> nodes=… t=<secs>:<nanos>)
+//! timing elapsed=<secs>:<nanos> queue=<secs>:<nanos> admission=<secs>:<nanos>
+//! end
+//! ```
+//!
+//! ```text
+//! mdqwire 1
+//! error queue-full depth=64 limit=64
+//! end
+//! ```
+//!
+//! [`prepare_sequential`]: PrepareRequest::prepare_sequential
+
+use std::fmt;
+
+use mdq_circuit::serialize;
+use mdq_core::{Direction, PrepareOptions, ProductRule, VerificationPolicy};
+use mdq_num::radix::Dims;
+use mdq_num::{Complex, Tolerance};
+
+use crate::request::{PrepareReport, PrepareRequest, StatePayload};
+use crate::scheduler::Priority;
+use crate::service::EngineError;
+use crate::snapshot::{
+    duration_text, field_opt, parse_duration_opt, parse_report_body, parse_verification_body,
+    report_body, verification_body,
+};
+
+/// The wire format version this build writes and accepts.
+pub const VERSION: u32 = 1;
+
+/// Why a frame could not be serialized or parsed.
+#[derive(Debug)]
+pub enum WireError {
+    /// The text does not start with a `mdqwire` header — it is not a wire
+    /// frame at all.
+    NotAFrame,
+    /// The frame declares an unsupported format version.
+    Version {
+        /// Version found in the frame header.
+        found: u32,
+        /// Version this build supports.
+        supported: u32,
+    },
+    /// The text ends before the frame's `end` line.
+    Truncated,
+    /// A line could not be parsed.
+    Corrupt {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// What was wrong with it.
+        message: String,
+    },
+    /// The frame could not be serialized: its circuit contains a gate
+    /// without a textual form (an explicit unitary — the synthesis
+    /// pipeline never emits those).
+    Unserializable(serialize::SerializeError),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::NotAFrame => write!(f, "not a wire frame"),
+            WireError::Version { found, supported } => write!(
+                f,
+                "unsupported wire version {found} (this build supports {supported})"
+            ),
+            WireError::Truncated => write!(f, "wire frame is truncated"),
+            WireError::Corrupt { line, message } => {
+                write!(f, "corrupt wire frame at line {line}: {message}")
+            }
+            WireError::Unserializable(e) => write!(f, "frame cannot be serialized: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WireError::Unserializable(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<serialize::SerializeError> for WireError {
+    fn from(e: serialize::SerializeError) -> Self {
+        WireError::Unserializable(e)
+    }
+}
+
+/// A preparation request in flight, tagged with the submitting tenant.
+///
+/// The tenant travels as a plain `u64` — the router's `TenantId` newtype
+/// lives a crate above this one, and the engine itself is tenant-agnostic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestFrame {
+    /// Submitting tenant, when the front-end tracks one.
+    pub tenant: Option<u64>,
+    /// The request itself, bit-exact.
+    pub request: PrepareRequest,
+}
+
+/// A completed preparation on its way back to the submitter.
+///
+/// Carries the register alongside the report because the single-line
+/// circuit form ([`serialize::to_line`]) stores no `dims` of its own.
+#[derive(Debug, Clone)]
+pub struct ReportFrame {
+    /// The register the circuit acts on.
+    pub dims: Dims,
+    /// The report, bit-exact (including queue/admission wait timings).
+    pub report: PrepareReport,
+}
+
+/// A typed service failure crossing the wire; the textual twin of
+/// [`EngineError`] plus the router's quota refusal.
+///
+/// [`EngineError::Prepare`] travels as its display message: pipeline
+/// errors are rich structured values that the submitter only ever
+/// inspects as text, so the wire does not attempt to reconstruct the
+/// typed [`PrepareError`](mdq_core::PrepareError).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ErrorFrame {
+    /// The preparation pipeline rejected or failed the job.
+    Prepare {
+        /// Display form of the pipeline error.
+        message: String,
+    },
+    /// The service shut down before the job ran.
+    Shutdown,
+    /// The service's queue is closed to new submissions.
+    QueueClosed,
+    /// Bounded admission refused the job.
+    QueueFull {
+        /// Queue depth observed at refusal.
+        depth: usize,
+        /// The configured bound.
+        limit: usize,
+    },
+    /// The job ran but its replay fidelity missed the demanded floor.
+    VerificationFailed {
+        /// Raw bits of the measured fidelity.
+        fidelity: u64,
+        /// Raw bits of the demanded floor.
+        threshold: u64,
+    },
+    /// The router refused the job because the tenant is at its quota.
+    TenantOverQuota {
+        /// The refused tenant.
+        tenant: u64,
+        /// The tenant's in-flight jobs at refusal.
+        in_flight: usize,
+        /// The tenant's in-flight limit.
+        limit: usize,
+    },
+}
+
+impl ErrorFrame {
+    /// The wire form of an engine failure. Fidelity values keep their raw
+    /// bits; the pipeline error keeps only its display message.
+    #[must_use]
+    pub fn from_engine(error: &EngineError) -> Self {
+        match error {
+            EngineError::Prepare(e) => ErrorFrame::Prepare {
+                message: e.to_string(),
+            },
+            EngineError::Shutdown => ErrorFrame::Shutdown,
+            EngineError::QueueClosed => ErrorFrame::QueueClosed,
+            EngineError::QueueFull { depth, limit } => ErrorFrame::QueueFull {
+                depth: *depth,
+                limit: *limit,
+            },
+            EngineError::VerificationFailed {
+                fidelity,
+                threshold,
+            } => ErrorFrame::VerificationFailed {
+                fidelity: fidelity.to_bits(),
+                threshold: threshold.to_bits(),
+            },
+        }
+    }
+}
+
+/// One frame of the `mdqwire` protocol.
+#[derive(Debug, Clone)]
+pub enum Frame {
+    /// A request on its way to a shard.
+    Request(RequestFrame),
+    /// A report on its way back.
+    Report(ReportFrame),
+    /// A typed failure on its way back.
+    Error(ErrorFrame),
+}
+
+fn hex(bits: u64) -> String {
+    serialize::bits_to_hex(bits)
+}
+
+impl Frame {
+    /// Serializes the frame to its `mdqwire` text (newline-terminated).
+    ///
+    /// Newlines inside a pipeline error message are replaced by spaces so
+    /// a message can never break the line framing; every other field is
+    /// written bit-exactly.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Unserializable`] when a report's circuit holds an
+    /// explicit-unitary gate (no textual form).
+    pub fn to_text(&self) -> Result<String, WireError> {
+        use std::fmt::Write as _;
+        let mut out = format!("mdqwire {VERSION}\n");
+        match self {
+            Frame::Request(frame) => {
+                let tenant = match frame.tenant {
+                    Some(id) => id.to_string(),
+                    None => "none".to_owned(),
+                };
+                let priority = match frame.request.priority {
+                    Priority::Low => "low",
+                    Priority::Normal => "normal",
+                    Priority::High => "high",
+                };
+                let _ = writeln!(out, "request tenant={tenant} priority={priority}");
+                push_dims(&mut out, &frame.request.dims);
+                let _ = writeln!(out, "opts {}", options_body(&frame.request.options));
+                match &frame.request.payload {
+                    StatePayload::Dense(amplitudes) => {
+                        out.push_str("dense");
+                        for a in amplitudes {
+                            let _ = write!(out, " {}:{}", hex(a.re.to_bits()), hex(a.im.to_bits()));
+                        }
+                        out.push('\n');
+                    }
+                    StatePayload::Sparse(entries) => {
+                        out.push_str("sparse");
+                        for (digits, a) in entries {
+                            let digits = digits
+                                .iter()
+                                .map(ToString::to_string)
+                                .collect::<Vec<_>>()
+                                .join(".");
+                            let _ = write!(
+                                out,
+                                " {digits}:{}:{}",
+                                hex(a.re.to_bits()),
+                                hex(a.im.to_bits())
+                            );
+                        }
+                        out.push('\n');
+                    }
+                }
+            }
+            Frame::Report(frame) => {
+                let circuit_line = serialize::to_line(&frame.report.circuit)?;
+                let from = if frame.report.from_cache {
+                    "cache"
+                } else {
+                    "fresh"
+                };
+                let _ = writeln!(out, "report from={from}");
+                push_dims(&mut out, &frame.dims);
+                let _ = writeln!(out, "circuit {circuit_line}");
+                let _ = writeln!(out, "synth {}", report_body(&frame.report.report));
+                let _ = writeln!(
+                    out,
+                    "verify {}",
+                    verification_body(frame.report.verification.as_ref())
+                );
+                let _ = writeln!(
+                    out,
+                    "timing elapsed={} queue={} admission={}",
+                    duration_text(frame.report.elapsed),
+                    duration_text(frame.report.queue_wait),
+                    duration_text(frame.report.admission_wait),
+                );
+            }
+            Frame::Error(frame) => {
+                let body = match frame {
+                    ErrorFrame::Prepare { message } => {
+                        format!("prepare {}", message.replace(['\n', '\r'], " "))
+                    }
+                    ErrorFrame::Shutdown => "shutdown".to_owned(),
+                    ErrorFrame::QueueClosed => "queue-closed".to_owned(),
+                    ErrorFrame::QueueFull { depth, limit } => {
+                        format!("queue-full depth={depth} limit={limit}")
+                    }
+                    ErrorFrame::VerificationFailed {
+                        fidelity,
+                        threshold,
+                    } => format!(
+                        "verification-failed fid={} min={}",
+                        hex(*fidelity),
+                        hex(*threshold)
+                    ),
+                    ErrorFrame::TenantOverQuota {
+                        tenant,
+                        in_flight,
+                        limit,
+                    } => format!(
+                        "tenant-over-quota tenant={tenant} in-flight={in_flight} limit={limit}"
+                    ),
+                };
+                let _ = writeln!(out, "error {body}");
+            }
+        }
+        out.push_str("end\n");
+        Ok(out)
+    }
+
+    /// Parses one frame. Trusts nothing: structural damage yields
+    /// [`WireError::Truncated`] / [`WireError::Corrupt`] (with the 1-based
+    /// offending line), never a panic — including tolerance bits that
+    /// would violate [`Tolerance`]'s finite-and-non-negative invariant.
+    ///
+    /// # Errors
+    ///
+    /// See [`WireError`].
+    pub fn parse(text: &str) -> Result<Self, WireError> {
+        let lines: Vec<&str> = text.lines().collect();
+        let header = *lines.first().ok_or(WireError::NotAFrame)?;
+        let Some(version) = header.strip_prefix("mdqwire ") else {
+            return Err(WireError::NotAFrame);
+        };
+        let found: u32 = version.parse().map_err(|_| WireError::NotAFrame)?;
+        if found != VERSION {
+            return Err(WireError::Version {
+                found,
+                supported: VERSION,
+            });
+        }
+        let kind = *lines.get(1).ok_or(WireError::Truncated)?;
+        let (frame, body_lines) = if kind.starts_with("request") {
+            (Frame::Request(parse_request(&lines)?), 4)
+        } else if kind.starts_with("report") {
+            (Frame::Report(parse_report(&lines)?), 6)
+        } else if kind.starts_with("error") {
+            (Frame::Error(parse_error(&lines)?), 1)
+        } else {
+            return Err(corrupt(1, "expected `request`, `report` or `error` line"));
+        };
+        let end = 1 + body_lines;
+        match lines.get(end) {
+            Some(&"end") => {}
+            Some(_) => return Err(corrupt(end, "expected `end` line")),
+            None => return Err(WireError::Truncated),
+        }
+        if lines.len() > end + 1 {
+            return Err(corrupt(end + 1, "unexpected content after `end`"));
+        }
+        Ok(frame)
+    }
+}
+
+/// The request-frame `opts` body: every [`PrepareOptions`] field, raw-bit.
+/// Unlike the snapshot's `OptionsKey` (which stores the *effective*
+/// `keep_zero_subtrees`), this is the request **as given** — the wire must
+/// reproduce the submitted request exactly, and the receiving engine
+/// re-derives every effective value itself.
+fn options_body(options: &PrepareOptions) -> String {
+    let fth = match options.fidelity_threshold {
+        Some(f) => hex(f.to_bits()),
+        None => "none".to_owned(),
+    };
+    let ver = match options.verification {
+        VerificationPolicy::Off => "none".to_owned(),
+        VerificationPolicy::Replay { min_fidelity } => hex(min_fidelity.to_bits()),
+    };
+    format!(
+        "fth={fth} tol={} pr={} skip={} dir={} red={} kzs={} ver={ver}",
+        hex(options.tolerance.value().to_bits()),
+        match options.synthesis.product_rule {
+            ProductRule::Off => 0,
+            ProductRule::SharedChild => 1,
+            ProductRule::SharedChildOrSingle => 2,
+        },
+        u8::from(options.synthesis.skip_identities),
+        match options.synthesis.direction {
+            Direction::Prepare => 0,
+            Direction::Disentangle => 1,
+        },
+        u8::from(options.reduce),
+        u8::from(options.keep_zero_subtrees),
+    )
+}
+
+fn push_dims(out: &mut String, dims: &Dims) {
+    use std::fmt::Write as _;
+    out.push_str("dims");
+    for d in dims.as_slice() {
+        let _ = write!(out, " {d}");
+    }
+    out.push('\n');
+}
+
+fn corrupt(line: usize, message: impl Into<String>) -> WireError {
+    WireError::Corrupt {
+        line: line + 1,
+        message: message.into(),
+    }
+}
+
+/// Strips `"<tag> "` (or exactly `tag`) off a frame line.
+fn tagged<'a>(lines: &[&'a str], index: usize, tag: &str) -> Result<&'a str, WireError> {
+    let line = *lines.get(index).ok_or(WireError::Truncated)?;
+    if line == tag {
+        Ok("")
+    } else {
+        line.strip_prefix(tag)
+            .and_then(|rest| rest.strip_prefix(' '))
+            .ok_or_else(|| corrupt(index, format!("expected `{tag}` line")))
+    }
+}
+
+/// Strips a `key=` prefix off one field token.
+fn field<'a>(token: &'a str, key: &str, line: usize) -> Result<&'a str, WireError> {
+    field_opt(token, key)
+        .ok_or_else(|| corrupt(line, format!("expected `{key}=` field, found `{token}`")))
+}
+
+fn parse_hex(s: &str, line: usize, what: &str) -> Result<u64, WireError> {
+    serialize::bits_from_hex(s).ok_or_else(|| corrupt(line, format!("bad {what}: `{s}`")))
+}
+
+fn parse_usize(s: &str, line: usize, what: &str) -> Result<usize, WireError> {
+    s.parse()
+        .map_err(|_| corrupt(line, format!("bad {what}: `{s}`")))
+}
+
+fn parse_dims(lines: &[&str], index: usize) -> Result<Dims, WireError> {
+    let dims: Vec<usize> = tagged(lines, index, "dims")?
+        .split_ascii_whitespace()
+        .map(|t| parse_usize(t, index, "dimension"))
+        .collect::<Result<_, _>>()?;
+    Dims::new(dims).map_err(|e| corrupt(index, format!("bad register: {e:?}")))
+}
+
+fn parse_request(lines: &[&str]) -> Result<RequestFrame, WireError> {
+    let tokens: Vec<&str> = tagged(lines, 1, "request")?
+        .split_ascii_whitespace()
+        .collect();
+    if tokens.len() != 2 {
+        return Err(corrupt(1, "expected 2 request fields"));
+    }
+    let tenant_raw = field(tokens[0], "tenant", 1)?;
+    let tenant = if tenant_raw == "none" {
+        None
+    } else {
+        Some(
+            tenant_raw
+                .parse()
+                .map_err(|_| corrupt(1, format!("bad tenant: `{tenant_raw}`")))?,
+        )
+    };
+    let priority = match field(tokens[1], "priority", 1)? {
+        "low" => Priority::Low,
+        "normal" => Priority::Normal,
+        "high" => Priority::High,
+        other => return Err(corrupt(1, format!("bad priority: `{other}`"))),
+    };
+
+    let dims = parse_dims(lines, 2)?;
+    let options = parse_options(lines, 3)?;
+
+    let payload_line = *lines.get(4).ok_or(WireError::Truncated)?;
+    let payload = if payload_line == "dense" || payload_line.starts_with("dense ") {
+        let amplitudes = tagged(lines, 4, "dense")?
+            .split_ascii_whitespace()
+            .map(|token| parse_amplitude(token, 4))
+            .collect::<Result<Vec<Complex>, _>>()?;
+        StatePayload::Dense(amplitudes)
+    } else if payload_line == "sparse" || payload_line.starts_with("sparse ") {
+        let entries = tagged(lines, 4, "sparse")?
+            .split_ascii_whitespace()
+            .map(|token| {
+                let parts: Vec<&str> = token.split(':').collect();
+                let [digits, re, im] = parts[..] else {
+                    return Err(corrupt(4, format!("bad sparse entry: `{token}`")));
+                };
+                let digits: Vec<usize> = if digits.is_empty() {
+                    Vec::new()
+                } else {
+                    digits
+                        .split('.')
+                        .map(|d| parse_usize(d, 4, "sparse digit"))
+                        .collect::<Result<_, _>>()?
+                };
+                Ok((digits, parse_components(re, im, 4)?))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        StatePayload::Sparse(entries)
+    } else {
+        return Err(corrupt(4, "expected `dense` or `sparse` line"));
+    };
+
+    Ok(RequestFrame {
+        tenant,
+        request: PrepareRequest {
+            dims,
+            payload,
+            options,
+            priority,
+        },
+    })
+}
+
+fn parse_amplitude(token: &str, line: usize) -> Result<Complex, WireError> {
+    let (re, im) = token
+        .split_once(':')
+        .ok_or_else(|| corrupt(line, format!("bad amplitude: `{token}`")))?;
+    parse_components(re, im, line)
+}
+
+fn parse_components(re: &str, im: &str, line: usize) -> Result<Complex, WireError> {
+    Ok(Complex::new(
+        f64::from_bits(parse_hex(re, line, "re bits")?),
+        f64::from_bits(parse_hex(im, line, "im bits")?),
+    ))
+}
+
+fn parse_options(lines: &[&str], index: usize) -> Result<PrepareOptions, WireError> {
+    let tokens: Vec<&str> = tagged(lines, index, "opts")?
+        .split_ascii_whitespace()
+        .collect();
+    if tokens.len() != 8 {
+        return Err(corrupt(index, "expected 8 option fields"));
+    }
+    let bool_field = |raw: &str| match raw {
+        "0" => Ok(false),
+        "1" => Ok(true),
+        other => Err(corrupt(index, format!("bad flag: `{other}`"))),
+    };
+    let fth = field(tokens[0], "fth", index)?;
+    let fidelity_threshold = if fth == "none" {
+        None
+    } else {
+        Some(f64::from_bits(parse_hex(fth, index, "fidelity threshold")?))
+    };
+    // `Tolerance::new` panics outside its invariant; a frame carrying such
+    // bits is corrupt, not a crash.
+    let tol = f64::from_bits(parse_hex(
+        field(tokens[1], "tol", index)?,
+        index,
+        "tolerance",
+    )?);
+    if !(tol.is_finite() && tol >= 0.0) {
+        return Err(corrupt(
+            index,
+            format!("tolerance must be finite and non-negative, got bits of {tol}"),
+        ));
+    }
+    let product_rule = match field(tokens[2], "pr", index)? {
+        "0" => ProductRule::Off,
+        "1" => ProductRule::SharedChild,
+        "2" => ProductRule::SharedChildOrSingle,
+        other => return Err(corrupt(index, format!("bad product rule: `{other}`"))),
+    };
+    let skip_identities = bool_field(field(tokens[3], "skip", index)?)?;
+    let direction = match field(tokens[4], "dir", index)? {
+        "0" => Direction::Prepare,
+        "1" => Direction::Disentangle,
+        other => return Err(corrupt(index, format!("bad direction: `{other}`"))),
+    };
+    let reduce = bool_field(field(tokens[5], "red", index)?)?;
+    let keep_zero_subtrees = bool_field(field(tokens[6], "kzs", index)?)?;
+    let ver = field(tokens[7], "ver", index)?;
+    let verification = if ver == "none" {
+        VerificationPolicy::Off
+    } else {
+        VerificationPolicy::Replay {
+            min_fidelity: f64::from_bits(parse_hex(ver, index, "verification floor")?),
+        }
+    };
+
+    let mut options = PrepareOptions::exact();
+    options.fidelity_threshold = fidelity_threshold;
+    options.tolerance = Tolerance::new(tol);
+    options.synthesis.product_rule = product_rule;
+    options.synthesis.skip_identities = skip_identities;
+    options.synthesis.direction = direction;
+    options.reduce = reduce;
+    options.keep_zero_subtrees = keep_zero_subtrees;
+    options.verification = verification;
+    Ok(options)
+}
+
+fn parse_report(lines: &[&str]) -> Result<ReportFrame, WireError> {
+    let from = field(tagged(lines, 1, "report")?, "from", 1)?;
+    let from_cache = match from {
+        "fresh" => false,
+        "cache" => true,
+        other => return Err(corrupt(1, format!("bad report origin: `{other}`"))),
+    };
+    let dims = parse_dims(lines, 2)?;
+    let circuit = serialize::from_line(dims.clone(), tagged(lines, 3, "circuit")?)
+        .map_err(|e| corrupt(3, format!("bad circuit: {e}")))?;
+    let report =
+        parse_report_body(tagged(lines, 4, "synth")?).map_err(|message| corrupt(4, message))?;
+    let verification = parse_verification_body(tagged(lines, 5, "verify")?)
+        .map_err(|message| corrupt(5, message))?;
+    let tokens: Vec<&str> = tagged(lines, 6, "timing")?
+        .split_ascii_whitespace()
+        .collect();
+    if tokens.len() != 3 {
+        return Err(corrupt(6, "expected 3 timing fields"));
+    }
+    let timing = |token: &str, key: &str| -> Result<std::time::Duration, WireError> {
+        let raw = field(token, key, 6)?;
+        parse_duration_opt(raw).ok_or_else(|| corrupt(6, format!("bad {key}: `{raw}`")))
+    };
+    Ok(ReportFrame {
+        dims,
+        report: PrepareReport {
+            circuit,
+            report,
+            verification,
+            from_cache,
+            elapsed: timing(tokens[0], "elapsed")?,
+            queue_wait: timing(tokens[1], "queue")?,
+            admission_wait: timing(tokens[2], "admission")?,
+        },
+    })
+}
+
+fn parse_error(lines: &[&str]) -> Result<ErrorFrame, WireError> {
+    let body = tagged(lines, 1, "error")?;
+    let (kind, rest) = match body.split_once(' ') {
+        Some((kind, rest)) => (kind, rest),
+        None => (body, ""),
+    };
+    let fields = |expected: usize| -> Result<Vec<&str>, WireError> {
+        let tokens: Vec<&str> = rest.split_ascii_whitespace().collect();
+        if tokens.len() != expected {
+            return Err(corrupt(1, format!("expected {expected} error fields")));
+        }
+        Ok(tokens)
+    };
+    match kind {
+        "prepare" => Ok(ErrorFrame::Prepare {
+            message: rest.to_owned(),
+        }),
+        "shutdown" => {
+            fields(0)?;
+            Ok(ErrorFrame::Shutdown)
+        }
+        "queue-closed" => {
+            fields(0)?;
+            Ok(ErrorFrame::QueueClosed)
+        }
+        "queue-full" => {
+            let tokens = fields(2)?;
+            Ok(ErrorFrame::QueueFull {
+                depth: parse_usize(field(tokens[0], "depth", 1)?, 1, "depth")?,
+                limit: parse_usize(field(tokens[1], "limit", 1)?, 1, "limit")?,
+            })
+        }
+        "verification-failed" => {
+            let tokens = fields(2)?;
+            Ok(ErrorFrame::VerificationFailed {
+                fidelity: parse_hex(field(tokens[0], "fid", 1)?, 1, "fidelity")?,
+                threshold: parse_hex(field(tokens[1], "min", 1)?, 1, "floor")?,
+            })
+        }
+        "tenant-over-quota" => {
+            let tokens = fields(3)?;
+            let tenant_raw = field(tokens[0], "tenant", 1)?;
+            Ok(ErrorFrame::TenantOverQuota {
+                tenant: tenant_raw
+                    .parse()
+                    .map_err(|_| corrupt(1, format!("bad tenant: `{tenant_raw}`")))?,
+                in_flight: parse_usize(field(tokens[1], "in-flight", 1)?, 1, "in-flight count")?,
+                limit: parse_usize(field(tokens[2], "limit", 1)?, 1, "limit")?,
+            })
+        }
+        other => Err(corrupt(1, format!("unknown error kind: `{other}`"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdq_core::PrepareError;
+
+    fn dims(v: &[usize]) -> Dims {
+        Dims::new(v.to_vec()).unwrap()
+    }
+
+    /// Bit-exact request equality (plain `==` treats `-0.0 == 0.0` and
+    /// `NaN != NaN`; the wire contract is about bits).
+    fn assert_bit_identical(a: &PrepareRequest, b: &PrepareRequest) {
+        assert_eq!(a.dims, b.dims);
+        assert_eq!(a.priority, b.priority);
+        let oa = &a.options;
+        let ob = &b.options;
+        assert_eq!(
+            oa.fidelity_threshold.map(f64::to_bits),
+            ob.fidelity_threshold.map(f64::to_bits)
+        );
+        assert_eq!(
+            oa.tolerance.value().to_bits(),
+            ob.tolerance.value().to_bits()
+        );
+        assert_eq!(oa.synthesis, ob.synthesis);
+        assert_eq!(oa.reduce, ob.reduce);
+        assert_eq!(oa.keep_zero_subtrees, ob.keep_zero_subtrees);
+        match (oa.verification, ob.verification) {
+            (VerificationPolicy::Off, VerificationPolicy::Off) => {}
+            (
+                VerificationPolicy::Replay { min_fidelity: x },
+                VerificationPolicy::Replay { min_fidelity: y },
+            ) => assert_eq!(x.to_bits(), y.to_bits()),
+            (x, y) => panic!("verification policies differ: {x:?} vs {y:?}"),
+        }
+        match (&a.payload, &b.payload) {
+            (StatePayload::Dense(x), StatePayload::Dense(y)) => {
+                assert_eq!(x.len(), y.len());
+                for (p, q) in x.iter().zip(y) {
+                    assert_eq!(p.re.to_bits(), q.re.to_bits());
+                    assert_eq!(p.im.to_bits(), q.im.to_bits());
+                }
+            }
+            (StatePayload::Sparse(x), StatePayload::Sparse(y)) => {
+                assert_eq!(x.len(), y.len());
+                for ((dx, p), (dy, q)) in x.iter().zip(y) {
+                    assert_eq!(dx, dy);
+                    assert_eq!(p.re.to_bits(), q.re.to_bits());
+                    assert_eq!(p.im.to_bits(), q.im.to_bits());
+                }
+            }
+            (x, y) => panic!("payload kinds differ: {x:?} vs {y:?}"),
+        }
+    }
+
+    fn round_trip(frame: &Frame) -> Frame {
+        let text = frame.to_text().unwrap();
+        let back = Frame::parse(&text).expect("frame parses");
+        // The text form itself is canonical: re-serializing the parse
+        // reproduces it byte for byte.
+        assert_eq!(back.to_text().unwrap(), text);
+        back
+    }
+
+    #[test]
+    fn dense_request_round_trips_bit_exactly() {
+        let mut options = PrepareOptions::approximated(0.93)
+            .with_verification(VerificationPolicy::Replay { min_fidelity: 0.9 });
+        options.keep_zero_subtrees = true;
+        let amps = vec![
+            Complex::new(0.5, -0.0),
+            Complex::new(-0.5, 1e-312),
+            Complex::new(f64::NAN, 0.5),
+            Complex::new(0.0, f64::NEG_INFINITY),
+        ];
+        let request =
+            PrepareRequest::dense(dims(&[2, 2]), amps, options).with_priority(Priority::High);
+        let frame = Frame::Request(RequestFrame {
+            tenant: Some(7),
+            request: request.clone(),
+        });
+        let Frame::Request(back) = round_trip(&frame) else {
+            panic!("kind preserved");
+        };
+        assert_eq!(back.tenant, Some(7));
+        assert_bit_identical(&back.request, &request);
+    }
+
+    #[test]
+    fn sparse_request_round_trips_including_degenerate_entries() {
+        let entries = vec![
+            (vec![0, 0], Complex::new(0.5, 0.5)),
+            (vec![1, 2], Complex::new(-0.0, -0.5)),
+            // Degenerate entries a malformed submission could carry: the
+            // wire reproduces the request as given, it does not validate.
+            (vec![], Complex::new(1.0, 0.0)),
+            (vec![9, 9, 9], Complex::ZERO),
+        ];
+        let request = PrepareRequest::sparse(dims(&[2, 3]), entries, PrepareOptions::exact())
+            .with_priority(Priority::Low);
+        let frame = Frame::Request(RequestFrame {
+            tenant: None,
+            request: request.clone(),
+        });
+        let Frame::Request(back) = round_trip(&frame) else {
+            panic!("kind preserved");
+        };
+        assert_eq!(back.tenant, None);
+        assert_bit_identical(&back.request, &request);
+    }
+
+    #[test]
+    fn empty_payloads_round_trip() {
+        for payload in [
+            StatePayload::Dense(Vec::new()),
+            StatePayload::Sparse(Vec::new()),
+        ] {
+            let request = PrepareRequest {
+                dims: dims(&[2]),
+                payload,
+                options: PrepareOptions::exact(),
+                priority: Priority::Normal,
+            };
+            let frame = Frame::Request(RequestFrame {
+                tenant: None,
+                request: request.clone(),
+            });
+            let Frame::Request(back) = round_trip(&frame) else {
+                panic!("kind preserved");
+            };
+            assert_bit_identical(&back.request, &request);
+        }
+    }
+
+    #[test]
+    fn report_round_trips_bit_exactly() {
+        let d = dims(&[2, 3]);
+        let mut amps = vec![Complex::ZERO; 6];
+        amps[0] = Complex::real(0.6);
+        amps[5] = Complex::new(0.0, 0.8);
+        let prepared = mdq_core::prepare(&d, &amps, PrepareOptions::exact()).unwrap();
+        let report = PrepareReport {
+            circuit: prepared.circuit,
+            report: prepared.report,
+            verification: Some(mdq_core::VerificationReport {
+                fidelity: 1.0 - 1e-14,
+                replay_nodes: 11,
+                duration: std::time::Duration::new(0, 987),
+            }),
+            from_cache: true,
+            elapsed: std::time::Duration::new(1, 999_999_999),
+            queue_wait: std::time::Duration::new(0, 1),
+            admission_wait: std::time::Duration::ZERO,
+        };
+        let frame = Frame::Report(ReportFrame {
+            dims: d.clone(),
+            report: report.clone(),
+        });
+        let Frame::Report(back) = round_trip(&frame) else {
+            panic!("kind preserved");
+        };
+        assert_eq!(back.dims, d);
+        assert_eq!(back.report.circuit, report.circuit);
+        assert_eq!(back.report.from_cache, report.from_cache);
+        assert_eq!(back.report.elapsed, report.elapsed);
+        assert_eq!(back.report.queue_wait, report.queue_wait);
+        assert_eq!(back.report.admission_wait, report.admission_wait);
+        let (a, b) = (
+            back.report.verification.as_ref().unwrap(),
+            report.verification.as_ref().unwrap(),
+        );
+        assert_eq!(a.fidelity.to_bits(), b.fidelity.to_bits());
+        assert_eq!(a.replay_nodes, b.replay_nodes);
+        assert_eq!(a.duration, b.duration);
+        assert_eq!(
+            back.report.report.controls_mean.to_bits(),
+            report.report.controls_mean.to_bits()
+        );
+    }
+
+    #[test]
+    fn every_error_variant_round_trips() {
+        let variants = [
+            ErrorFrame::Prepare {
+                message: "dimension mismatch: got 3, expected 6".to_owned(),
+            },
+            ErrorFrame::Prepare {
+                message: String::new(),
+            },
+            ErrorFrame::Shutdown,
+            ErrorFrame::QueueClosed,
+            ErrorFrame::QueueFull {
+                depth: 64,
+                limit: 64,
+            },
+            ErrorFrame::VerificationFailed {
+                fidelity: 0.25_f64.to_bits(),
+                threshold: f64::NAN.to_bits(),
+            },
+            ErrorFrame::TenantOverQuota {
+                tenant: u64::MAX,
+                in_flight: 8,
+                limit: 8,
+            },
+        ];
+        for variant in variants {
+            let Frame::Error(back) = round_trip(&Frame::Error(variant.clone())) else {
+                panic!("kind preserved");
+            };
+            assert_eq!(back, variant);
+        }
+    }
+
+    #[test]
+    fn error_frame_mirrors_engine_error() {
+        let cases = [
+            (
+                EngineError::Prepare(PrepareError::InvalidThreshold(1.5)),
+                ErrorFrame::Prepare {
+                    message: PrepareError::InvalidThreshold(1.5).to_string(),
+                },
+            ),
+            (EngineError::Shutdown, ErrorFrame::Shutdown),
+            (EngineError::QueueClosed, ErrorFrame::QueueClosed),
+            (
+                EngineError::QueueFull { depth: 3, limit: 2 },
+                ErrorFrame::QueueFull { depth: 3, limit: 2 },
+            ),
+            (
+                EngineError::VerificationFailed {
+                    fidelity: 0.5,
+                    threshold: 0.9,
+                },
+                ErrorFrame::VerificationFailed {
+                    fidelity: 0.5_f64.to_bits(),
+                    threshold: 0.9_f64.to_bits(),
+                },
+            ),
+        ];
+        for (engine, wire) in cases {
+            assert_eq!(ErrorFrame::from_engine(&engine), wire);
+        }
+    }
+
+    #[test]
+    fn newlines_in_error_messages_cannot_break_framing() {
+        let frame = Frame::Error(ErrorFrame::Prepare {
+            message: "line one\nline two\r\nline three".to_owned(),
+        });
+        let text = frame.to_text().unwrap();
+        let Frame::Error(ErrorFrame::Prepare { message }) = Frame::parse(&text).unwrap() else {
+            panic!("still one error frame");
+        };
+        assert_eq!(message, "line one line two  line three");
+    }
+
+    #[test]
+    fn bad_headers_and_versions_are_typed() {
+        assert!(matches!(Frame::parse(""), Err(WireError::NotAFrame)));
+        assert!(matches!(
+            Frame::parse("mdqsnap 1\n"),
+            Err(WireError::NotAFrame)
+        ));
+        match Frame::parse("mdqwire 99\nerror shutdown\nend\n") {
+            Err(WireError::Version { found, supported }) => {
+                assert_eq!((found, supported), (99, 1));
+            }
+            other => panic!("expected Version error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncation_and_trailing_garbage_are_typed() {
+        let frame = Frame::Request(RequestFrame {
+            tenant: Some(1),
+            request: PrepareRequest::dense(
+                dims(&[2]),
+                vec![Complex::ONE, Complex::ZERO],
+                PrepareOptions::exact(),
+            ),
+        });
+        let text = frame.to_text().unwrap();
+        // Every prefix that cuts a whole line off is truncated (or, when
+        // the cut exposes a malformed tail, corrupt) — never a panic.
+        let lines: Vec<&str> = text.lines().collect();
+        for keep in 0..lines.len() {
+            let cut = lines[..keep].join("\n");
+            assert!(
+                Frame::parse(&cut).is_err(),
+                "prefix of {keep} lines must not parse"
+            );
+        }
+        let trailing = format!("{text}extra\n");
+        assert!(matches!(
+            Frame::parse(&trailing),
+            Err(WireError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn hostile_tolerance_bits_are_corrupt_not_a_panic() {
+        let frame = Frame::Request(RequestFrame {
+            tenant: None,
+            request: PrepareRequest::dense(
+                dims(&[2]),
+                vec![Complex::ONE, Complex::ZERO],
+                PrepareOptions::exact(),
+            ),
+        });
+        let text = frame.to_text().unwrap();
+        let tol_hex = hex(Tolerance::DEFAULT.value().to_bits());
+        for hostile in [
+            f64::NAN.to_bits(),
+            (-1.0_f64).to_bits(),
+            f64::INFINITY.to_bits(),
+        ] {
+            let tampered =
+                text.replace(&format!("tol={tol_hex}"), &format!("tol={}", hex(hostile)));
+            assert_ne!(tampered, text, "fixture replaced the tolerance");
+            assert!(matches!(
+                Frame::parse(&tampered),
+                Err(WireError::Corrupt { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn unitary_circuits_are_unserializable() {
+        use mdq_circuit::{Circuit, Gate, Instruction};
+        let d = dims(&[2]);
+        let prepared =
+            mdq_core::prepare(&d, &[Complex::ONE, Complex::ZERO], PrepareOptions::exact()).unwrap();
+        let mut circuit = Circuit::new(d.clone());
+        circuit
+            .push(Instruction::local(
+                0,
+                Gate::Unitary(mdq_num::matrix::CMatrix::identity(2)),
+            ))
+            .unwrap();
+        let frame = Frame::Report(ReportFrame {
+            dims: d,
+            report: PrepareReport {
+                circuit,
+                report: prepared.report,
+                verification: None,
+                from_cache: false,
+                elapsed: std::time::Duration::ZERO,
+                queue_wait: std::time::Duration::ZERO,
+                admission_wait: std::time::Duration::ZERO,
+            },
+        });
+        assert!(matches!(frame.to_text(), Err(WireError::Unserializable(_))));
+    }
+}

@@ -1,0 +1,228 @@
+//! Tenants, quotas, and per-tenant accounting.
+//!
+//! The router is multi-tenant: every submission names a [`TenantId`], and
+//! each tenant can be bounded by a [`TenantQuota`] so one flooding tenant
+//! cannot monopolize the shard queues. Quotas are enforced *at the
+//! router*, before any shard sees the request — a refused submission
+//! hands the request back by value
+//! ([`RouterError::TenantOverQuota`](crate::RouterError::TenantOverQuota)),
+//! mirroring the engine's own
+//! [`QueueFull`](mdq_engine::EngineError::QueueFull) admission idiom.
+//!
+//! Accounting is a strict ledger per tenant:
+//! `completed + failed + rejected + dropped == submitted` once all
+//! handles have resolved — pinned by the router stress scenario in
+//! `tests/engine_stress.rs`.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// A tenant identity. Plain `u64` newtype: the router does not
+/// authenticate tenants, it accounts and bounds them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TenantId(pub u64);
+
+impl fmt::Display for TenantId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tenant {}", self.0)
+    }
+}
+
+/// Bounds on one tenant's use of the router. The default is unlimited.
+///
+/// The effective in-flight limit is the tighter of the two bounds:
+///
+/// * [`max_in_flight`](TenantQuota::max_in_flight) — an absolute cap on
+///   jobs submitted but not yet resolved;
+/// * [`max_queue_share`](TenantQuota::max_queue_share) — a fraction of
+///   the router's **total** queue capacity (the sum of every shard's
+///   bounded queue depth), rounded up and never below 1. When any shard
+///   has an unbounded queue there is no meaningful total, and the share
+///   bound is inert.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TenantQuota {
+    /// Absolute cap on in-flight jobs; `None` for unlimited.
+    pub max_in_flight: Option<usize>,
+    /// Cap as a fraction of total shard queue capacity, in `(0, 1]`;
+    /// `None` for unlimited.
+    pub max_queue_share: Option<f64>,
+}
+
+impl TenantQuota {
+    /// No bounds (the default for tenants never given a quota).
+    #[must_use]
+    pub fn unlimited() -> Self {
+        TenantQuota::default()
+    }
+
+    /// Caps in-flight jobs at `limit`.
+    #[must_use]
+    pub fn with_max_in_flight(mut self, limit: usize) -> Self {
+        self.max_in_flight = Some(limit);
+        self
+    }
+
+    /// Caps in-flight jobs at `share` of the router's total queue
+    /// capacity.
+    ///
+    /// # Panics
+    ///
+    /// If `share` is not in `(0, 1]`.
+    #[must_use]
+    pub fn with_max_queue_share(mut self, share: f64) -> Self {
+        assert!(
+            share > 0.0 && share <= 1.0,
+            "queue share must be in (0, 1], got {share}"
+        );
+        self.max_queue_share = Some(share);
+        self
+    }
+
+    /// The effective in-flight limit given the router's total bounded
+    /// queue capacity (`None` when any shard is unbounded).
+    pub(crate) fn effective_limit(&self, total_queue_depth: Option<usize>) -> Option<usize> {
+        let from_share = match (self.max_queue_share, total_queue_depth) {
+            (Some(share), Some(total)) => {
+                // Ceil of share × total, but never starve a tenant to 0.
+                #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+                let slots = (share * total as f64).ceil() as usize;
+                Some(slots.max(1))
+            }
+            _ => None,
+        };
+        match (self.max_in_flight, from_share) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (Some(a), None) => Some(a),
+            (None, b) => b,
+        }
+    }
+}
+
+/// Shared per-tenant state: the quota and the live ledger. Handles hold
+/// an `Arc` to it so completions are recorded even after topology
+/// changes.
+#[derive(Debug, Default)]
+pub(crate) struct TenantState {
+    pub(crate) quota: Mutex<TenantQuota>,
+    /// Jobs submitted but not yet resolved (the quota gauge).
+    pub(crate) in_flight: AtomicUsize,
+    /// Every submission attempt, accepted or not.
+    pub(crate) submitted: AtomicU64,
+    /// Jobs that resolved successfully.
+    pub(crate) completed: AtomicU64,
+    /// Jobs that resolved with an [`EngineError`](mdq_engine::EngineError).
+    pub(crate) failed: AtomicU64,
+    /// Submissions refused by quota or by a shard (handed back by value).
+    pub(crate) rejected: AtomicU64,
+    /// Accepted jobs whose handle was dropped before its result was
+    /// observed (the job still ran; its outcome is unknown to the ledger).
+    pub(crate) dropped: AtomicU64,
+}
+
+impl TenantState {
+    /// Tries to reserve one in-flight slot under `limit`; on success the
+    /// gauge is already incremented. Lock-free (CAS loop).
+    pub(crate) fn try_reserve(&self, limit: Option<usize>) -> Result<(), usize> {
+        match limit {
+            None => {
+                self.in_flight.fetch_add(1, Ordering::AcqRel);
+                Ok(())
+            }
+            Some(limit) => self
+                .in_flight
+                .fetch_update(Ordering::AcqRel, Ordering::Acquire, |n| {
+                    (n < limit).then_some(n + 1)
+                })
+                .map(|_| ()),
+        }
+    }
+
+    /// Releases a reserved slot.
+    pub(crate) fn release(&self) {
+        self.in_flight.fetch_sub(1, Ordering::AcqRel);
+    }
+
+    pub(crate) fn stats(&self, tenant: TenantId) -> TenantStats {
+        TenantStats {
+            tenant,
+            in_flight: self.in_flight.load(Ordering::Acquire),
+            submitted: self.submitted.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            dropped: self.dropped.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time ledger for one tenant
+/// ([`RouterStats::tenants`](crate::RouterStats::tenants)).
+///
+/// Once every handle has resolved,
+/// `completed + failed + rejected + dropped == submitted`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantStats {
+    /// The tenant.
+    pub tenant: TenantId,
+    /// Jobs currently submitted but unresolved.
+    pub in_flight: usize,
+    /// Every submission attempt, accepted or refused.
+    pub submitted: u64,
+    /// Jobs that resolved successfully.
+    pub completed: u64,
+    /// Jobs that resolved with an engine error.
+    pub failed: u64,
+    /// Submissions refused (over quota, no shards, or shard queue full).
+    pub rejected: u64,
+    /// Accepted jobs whose handle was dropped unobserved.
+    pub dropped: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn effective_limit_combines_both_bounds() {
+        let unlimited = TenantQuota::unlimited();
+        assert_eq!(unlimited.effective_limit(Some(100)), None);
+        assert_eq!(unlimited.effective_limit(None), None);
+
+        let absolute = TenantQuota::unlimited().with_max_in_flight(5);
+        assert_eq!(absolute.effective_limit(Some(100)), Some(5));
+        assert_eq!(absolute.effective_limit(None), Some(5));
+
+        let share = TenantQuota::unlimited().with_max_queue_share(0.25);
+        assert_eq!(share.effective_limit(Some(100)), Some(25));
+        assert_eq!(share.effective_limit(Some(10)), Some(3)); // ceil(2.5)
+        assert_eq!(share.effective_limit(Some(1)), Some(1)); // floor of 1
+        assert_eq!(share.effective_limit(None), None); // inert when unbounded
+
+        let both = TenantQuota::unlimited()
+            .with_max_in_flight(5)
+            .with_max_queue_share(0.5);
+        assert_eq!(both.effective_limit(Some(4)), Some(2)); // share tighter
+        assert_eq!(both.effective_limit(Some(100)), Some(5)); // absolute tighter
+    }
+
+    #[test]
+    #[should_panic(expected = "queue share must be in (0, 1]")]
+    fn zero_share_is_refused() {
+        let _ = TenantQuota::unlimited().with_max_queue_share(0.0);
+    }
+
+    #[test]
+    fn reserve_is_a_hard_gate() {
+        let state = TenantState::default();
+        assert!(state.try_reserve(Some(2)).is_ok());
+        assert!(state.try_reserve(Some(2)).is_ok());
+        assert_eq!(state.try_reserve(Some(2)), Err(2));
+        state.release();
+        assert!(state.try_reserve(Some(2)).is_ok());
+        // Unlimited never refuses.
+        for _ in 0..100 {
+            assert!(state.try_reserve(None).is_ok());
+        }
+    }
+}

@@ -12,7 +12,8 @@
 //! | [`sim`] | dense mixed-radix state-vector simulator |
 //! | [`states`] | benchmark state generators (GHZ, W, embedded W, random, …) |
 //! | [`core`] | the synthesis algorithm and the three-step pipeline |
-//! | [`engine`] | persistent preparation service: non-blocking submission, size-aware scheduling, warm worker arenas, LRU-bounded circuit cache, bounded admission control, replay-verification mode |
+//! | [`engine`] | persistent preparation service: non-blocking submission, size-aware scheduling, warm worker arenas, LRU-bounded circuit cache, bounded admission control, replay-verification mode, wire protocol |
+//! | [`router`] | sharded multi-tenant serving front-end: consistent-hash routing over engine shards, per-tenant quotas, warm shard snapshots |
 //!
 //! This facade re-exports all of them; depend on the individual crates for a
 //! narrower dependency surface.
@@ -65,5 +66,6 @@ pub use mdq_core as core;
 pub use mdq_dd as dd;
 pub use mdq_engine as engine;
 pub use mdq_num as num;
+pub use mdq_router as router;
 pub use mdq_sim as sim;
 pub use mdq_states as states;

@@ -1205,3 +1205,207 @@ fn ttl_expiry_races_lru_eviction_under_flood() {
     assert_eq!(service.cache().stats().entries, 1);
     service.shutdown();
 }
+
+/// Satellite: the full chaos workload through the sharded router. Four
+/// single-worker shards behind a [`Router`]; one tenant is quota-bounded
+/// and flooded **without waiting**, so its refusal count is deterministic
+/// (in-flight only decrements when a handle resolves); then `SUBMITTERS`
+/// unlimited tenants flood the mixed templates from threads while a
+/// control thread resizes the ring mid-flood (shard 4 joins, shard 1
+/// leaves and drains gracefully). Invariants, for every interleaving:
+///
+/// * every routed success is bit-identical to the sequential pipeline,
+///   malformed and below-threshold templates fail with exactly the same
+///   typed errors as direct submission,
+/// * the mid-flood resize loses no accepted job (the leaver drains; every
+///   handle resolves to its template's expected outcome),
+/// * the bounded tenant is refused with `TenantOverQuota` — the request
+///   handed back by value and accepted on resubmission after draining —
+///   while the flooding tenants see zero rejections,
+/// * every per-tenant ledger reconciles exactly:
+///   `completed + failed + rejected + dropped == submitted`.
+#[test]
+fn router_flood_reconciles_with_quotas_and_midflood_resize() {
+    use mdq::router::{Router, RouterConfig, RouterError, TenantId, TenantQuota};
+    use std::sync::Barrier;
+
+    let templates = templates();
+    let router = Router::new(
+        RouterConfig::default().with_engine_config(EngineConfig::default().with_workers(1)),
+    );
+    for id in 0..4 {
+        assert!(router.add_shard(id));
+    }
+
+    // Phase 1: deterministic quota refusal. The bounded tenant submits 8
+    // copies of a good template up-front; with an in-flight limit of 3 and
+    // nothing waited on, exactly 5 must come back as TenantOverQuota.
+    const LIMIT: usize = 3;
+    const BURST: usize = 8;
+    let bounded = TenantId(100);
+    router.set_quota(bounded, TenantQuota::unlimited().with_max_in_flight(LIMIT));
+    let good = &templates[0];
+    let mut held = Vec::new();
+    let mut handed_back = Vec::new();
+    for _ in 0..BURST {
+        match router.submit(bounded, good.request.clone()) {
+            Ok(handle) => held.push(handle),
+            Err(RouterError::TenantOverQuota {
+                tenant,
+                request,
+                in_flight,
+                limit,
+            }) => {
+                assert_eq!(tenant, bounded);
+                assert_eq!((in_flight, limit), (LIMIT, LIMIT));
+                assert_eq!(request, good.request, "refused request handed back intact");
+                handed_back.push(request);
+            }
+            Err(other) => panic!("unexpected refusal: {other}"),
+        }
+    }
+    assert_eq!(held.len(), LIMIT, "exactly the quota is admitted");
+    assert_eq!(handed_back.len(), BURST - LIMIT);
+    // While the bounded tenant is saturated, an unrelated tenant is
+    // entirely unaffected by its quota.
+    let bystander = TenantId(101);
+    let report = router
+        .submit(bystander, good.request.clone())
+        .expect("other tenants are unaffected by a full quota")
+        .wait()
+        .expect("bystander job completes");
+    assert_eq!(&report.circuit, good.circuit.as_ref().unwrap());
+    // Draining frees the slots; the handed-back requests are accepted on
+    // resubmission, bit-identical as ever.
+    for handle in held {
+        let report = handle.wait().expect("admitted burst jobs complete");
+        assert_eq!(&report.circuit, good.circuit.as_ref().unwrap());
+    }
+    for request in handed_back {
+        let report = router
+            .submit(bounded, request)
+            .expect("freed slots admit the resubmission")
+            .wait()
+            .expect("resubmitted job completes");
+        assert_eq!(&report.circuit, good.circuit.as_ref().unwrap());
+    }
+
+    // Phase 2: multithreaded tenant flood with a mid-flood ring resize.
+    // Each submitter is its own unlimited tenant; the control thread
+    // waits until every submitter has pushed half its load, then resizes
+    // the ring while the second half is still being submitted.
+    let barrier = Barrier::new(SUBMITTERS + 1);
+    let accepted: Vec<(usize, TenantId, mdq::router::RouterHandle)> = thread::scope(|scope| {
+        let control = scope.spawn({
+            let router = &router;
+            let barrier = &barrier;
+            move || {
+                barrier.wait();
+                // Joining moves ~1/5 of the keys to shard 4; leaving
+                // drains shard 1 gracefully — no accepted job is lost.
+                assert!(router.add_shard(4));
+                assert!(router.remove_shard(1));
+            }
+        });
+        let submitters: Vec<_> = (0..SUBMITTERS)
+            .map(|submitter| {
+                let templates = &templates;
+                let router = &router;
+                let barrier = &barrier;
+                scope.spawn(move || {
+                    let tenant = TenantId(submitter as u64);
+                    let mut admitted = Vec::new();
+                    for i in 0..PER_SUBMITTER {
+                        if i == PER_SUBMITTER / 2 {
+                            barrier.wait();
+                        }
+                        let index = (submitter + i * SUBMITTERS) % templates.len();
+                        let request = templates[index].request.clone();
+                        let handle = router
+                            .submit(tenant, request)
+                            .expect("unbounded shard queues admit everything");
+                        admitted.push((index, tenant, handle));
+                    }
+                    admitted
+                })
+            })
+            .collect();
+        control.join().expect("control thread never panics");
+        submitters
+            .into_iter()
+            .flat_map(|s| s.join().expect("submitter thread never panics"))
+            .collect()
+    });
+    assert_eq!(
+        router.shards(),
+        vec![0, 2, 3, 4],
+        "the resize left shard 4 in and shard 1 out"
+    );
+
+    // Every accepted job resolves to its template's expected outcome —
+    // including the ones routed to shard 1 before it left the ring.
+    let (mut completed, mut failed) = (0u64, 0u64);
+    for (index, tenant, handle) in accepted {
+        let template = &templates[index];
+        match handle.wait() {
+            Ok(report) => {
+                assert_eq!(template.expected, Expected::Success);
+                assert_eq!(
+                    &report.circuit,
+                    template.circuit.as_ref().unwrap(),
+                    "template {index} via {tenant}: routed result bit-identical \
+                     to sequential"
+                );
+                completed += 1;
+            }
+            Err(EngineError::Prepare(_)) => {
+                assert_eq!(template.expected, Expected::Malformed);
+                failed += 1;
+            }
+            Err(EngineError::VerificationFailed {
+                fidelity,
+                threshold,
+            }) => {
+                assert_eq!(template.expected, Expected::BelowThreshold);
+                assert!(fidelity < threshold);
+                assert!(
+                    (fidelity - template.fidelity.unwrap()).abs() < 1e-12,
+                    "routed verification fidelity matches the calibrated value"
+                );
+                failed += 1;
+            }
+            Err(other) => panic!("unexpected outcome for template {index}: {other:?}"),
+        }
+    }
+    assert_eq!(
+        completed + failed,
+        (SUBMITTERS * PER_SUBMITTER) as u64,
+        "the mid-flood resize lost no accepted job"
+    );
+
+    // The router's own ledgers agree with the harness, tenant by tenant.
+    let stats = router.stats();
+    for t in &stats.tenants {
+        assert_eq!(
+            t.completed + t.failed + t.rejected + t.dropped,
+            t.submitted,
+            "{} ledger reconciles",
+            t.tenant
+        );
+        assert_eq!(t.in_flight, 0, "{} has nothing left in flight", t.tenant);
+        if t.tenant == bounded {
+            assert_eq!(t.rejected, (BURST - LIMIT) as u64);
+            assert_eq!(t.submitted, (BURST + BURST - LIMIT) as u64);
+        } else {
+            assert_eq!(t.rejected, 0, "{} was never refused", t.tenant);
+            assert_eq!(t.dropped, 0);
+        }
+    }
+    assert_eq!(
+        stats.completed + stats.failed,
+        stats.submitted - stats.rejected,
+        "global ledger reconciles (nothing dropped)"
+    );
+    assert_eq!(stats.shards.len(), 4);
+    router.shutdown();
+}

@@ -1,0 +1,140 @@
+//! Routing must be invisible in the results: for random request streams
+//! — structured and random states, dense and sparse, exact and
+//! approximated, duplicated for cache hits — every circuit served through
+//! a 1-, 2-, or 4-shard [`Router`] is bit-identical to the one-shot
+//! sequential pipeline, and the per-tenant ledgers reconcile.
+
+use mdq::core::PrepareOptions;
+use mdq::engine::{EngineConfig, PrepareRequest, Priority};
+use mdq::num::radix::Dims;
+use mdq::num::Complex;
+use mdq::router::{Router, RouterConfig, TenantId};
+use mdq::states::{ghz, w_state};
+use proptest::prelude::*;
+
+fn arb_dims() -> impl Strategy<Value = Dims> {
+    proptest::collection::vec(2usize..5, 1..4).prop_map(|v| Dims::new(v).unwrap())
+}
+
+/// One request: structured or random target, exact or approximated
+/// options, randomized priority (none of which may influence results).
+fn arb_request() -> impl Strategy<Value = PrepareRequest> {
+    arb_dims().prop_flat_map(|dims| {
+        let n = dims.space_size();
+        (
+            Just(dims),
+            0u8..4,
+            0u8..2,
+            0u8..3,
+            proptest::collection::vec((-1.0..1.0f64, -1.0..1.0f64), n..=n),
+        )
+            .prop_filter_map(
+                "state must have nonzero norm",
+                |(dims, kind, approximate, priority, parts)| {
+                    let options = if approximate == 1 {
+                        PrepareOptions::approximated(0.98).without_zero_subtrees()
+                    } else {
+                        PrepareOptions::exact().without_zero_subtrees()
+                    };
+                    let priority = match priority {
+                        0 => Priority::Low,
+                        1 => Priority::Normal,
+                        _ => Priority::High,
+                    };
+                    let request = match kind {
+                        0 => PrepareRequest::dense(dims.clone(), ghz(&dims), options),
+                        1 => PrepareRequest::dense(dims.clone(), w_state(&dims), options),
+                        2 => PrepareRequest::sparse(
+                            dims.clone(),
+                            mdq::states::sparse::ghz(&dims),
+                            options,
+                        ),
+                        _ => {
+                            let v: Vec<Complex> = parts
+                                .into_iter()
+                                .map(|(re, im)| Complex::new(re, im))
+                                .collect();
+                            let norm = mdq::num::norm(&v);
+                            if norm <= 1e-3 {
+                                return None;
+                            }
+                            PrepareRequest::dense(
+                                dims.clone(),
+                                v.iter().map(|a| *a / norm).collect(),
+                                options,
+                            )
+                        }
+                    };
+                    Some(request.with_priority(priority))
+                },
+            )
+    })
+}
+
+/// A stream with duplicates, so some requests are served from shard
+/// caches — cached circuits must be as bit-exact as fresh ones.
+fn arb_stream() -> impl Strategy<Value = Vec<PrepareRequest>> {
+    (
+        proptest::collection::vec(arb_request(), 2..5),
+        proptest::collection::vec(0usize..1000, 2..5),
+    )
+        .prop_map(|(requests, picks)| {
+            let mut stream = requests.clone();
+            for pick in picks {
+                stream.push(requests[pick % requests.len()].clone());
+            }
+            stream
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The acceptance property of the router: across 1, 2, and 4 shards,
+    /// every routed circuit is raw-bit identical to direct sequential
+    /// preparation of the same request, duplicates come back identical
+    /// (cache-served or not), equal requests always co-locate on one
+    /// shard, and `completed == submitted` with nothing rejected.
+    #[test]
+    fn prop_routed_results_are_bit_identical_across_shard_counts(stream in arb_stream()) {
+        let expected: Vec<_> = stream
+            .iter()
+            .map(|r| r.prepare_sequential().unwrap().circuit)
+            .collect();
+        for shards in [1usize, 2, 4] {
+            let router = Router::new(
+                RouterConfig::default()
+                    .with_engine_config(EngineConfig::default().with_workers(2)),
+            );
+            for id in 0..shards {
+                router.add_shard(id);
+            }
+            let tenant = TenantId(0);
+            let handles: Vec<_> = stream
+                .iter()
+                .map(|r| router.submit(tenant, r.clone()).expect("unbounded router admits"))
+                .collect();
+            let mut shard_of: std::collections::HashMap<String, usize> =
+                std::collections::HashMap::new();
+            for ((handle, request), expected) in
+                handles.into_iter().zip(&stream).zip(&expected)
+            {
+                // Equal requests must co-locate (fingerprint routing).
+                let key = format!("{request:?}");
+                let shard = handle.shard();
+                let previous = shard_of.insert(key, shard);
+                if let Some(previous) = previous {
+                    prop_assert_eq!(previous, shard);
+                }
+                let report = handle.wait().expect("routed job must succeed");
+                prop_assert_eq!(&report.circuit, expected);
+            }
+            let stats = router.stats();
+            prop_assert_eq!(stats.submitted, stream.len() as u64);
+            prop_assert_eq!(stats.completed, stream.len() as u64);
+            prop_assert_eq!(stats.rejected, 0);
+            prop_assert_eq!(stats.shards.len(), shards);
+            router.shutdown();
+        }
+    }
+}
