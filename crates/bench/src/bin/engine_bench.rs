@@ -83,6 +83,12 @@
 //! * `--fairness`  — additionally run the aging/starvation section;
 //! * `--parbuild`  — additionally run the intra-job parallelism section;
 //! * `--router`    — additionally run the sharded-serving section;
+//! * `--transport` — additionally run the network-serving section: the
+//!   mixed workload round-trips through a `WireServer` over a local
+//!   socket (unix-domain where available, loopback TCP otherwise) and is
+//!   compared, cold and warm, against in-process `Router::submit` —
+//!   per-call p50/p99 round-trip latency and the socket tax land in the
+//!   JSON, with every served circuit asserted bit-identical;
 //! * `--out PATH`  — output path (default `BENCH_engine.json`).
 
 use std::fmt::Write as _;
@@ -139,6 +145,7 @@ fn main() {
     let fairness = args.iter().any(|a| a == "--fairness");
     let parbuild = args.iter().any(|a| a == "--parbuild");
     let router = args.iter().any(|a| a == "--router");
+    let transport = args.iter().any(|a| a == "--transport");
     let jobs: usize = if smoke {
         8
     } else {
@@ -255,7 +262,7 @@ fn main() {
         );
     }
     out.push_str("  ],\n");
-    let comma = if parbuild || warmstart || streaming || verify || fairness || router {
+    let comma = if parbuild || warmstart || streaming || verify || fairness || router || transport {
         ","
     } else {
         ""
@@ -268,7 +275,7 @@ fn main() {
     );
 
     if parbuild {
-        let comma = if warmstart || streaming || verify || fairness || router {
+        let comma = if warmstart || streaming || verify || fairness || router || transport {
             ","
         } else {
             ""
@@ -360,7 +367,7 @@ fn main() {
                  least 2x the cold-start throughput (measured {snap_speedup:.2}x)"
             );
         }
-        let comma = if streaming || verify || fairness || router {
+        let comma = if streaming || verify || fairness || router || transport {
             ","
         } else {
             ""
@@ -431,7 +438,7 @@ fn main() {
             );
         }
         out.push_str("  }");
-        out.push_str(if verify || fairness || router {
+        out.push_str(if verify || fairness || router || transport {
             ",\n"
         } else {
             "\n"
@@ -541,7 +548,11 @@ fn main() {
             verified.as_secs_f64() * 1e3
         );
         out.push_str("  },\n");
-        let comma = if fairness || router { "," } else { "" };
+        let comma = if fairness || router || transport {
+            ","
+        } else {
+            ""
+        };
         let _ = writeln!(
             out,
             "  \"admission\": {{\"queue_depth\": 1, \"burst\": {burst}, \
@@ -628,11 +639,23 @@ fn main() {
                 run.aging, run.worst_us, run.p999_us, run.large_worst_us, run.small_p99_us
             );
         }
-        out.push_str(if router { "  },\n" } else { "  }\n" });
+        out.push_str(if router || transport {
+            "  },\n"
+        } else {
+            "  }\n"
+        });
     }
 
     if router {
-        out.push_str(&run_router(smoke, &requests));
+        out.push_str(&run_router(
+            smoke,
+            &requests,
+            if transport { "," } else { "" },
+        ));
+    }
+
+    if transport {
+        out.push_str(&run_transport(smoke, &requests));
     }
 
     out.push_str("}\n");
@@ -777,9 +800,9 @@ fn run_parbuild(smoke: bool, comma: &str) -> String {
 /// a consistent-hash router of one-worker shards (bit-identity asserted),
 /// a warm resubmission measuring shard-cache hit rates, and a synthetic
 /// key population routed across a shard join and a shard leave to record
-/// the balance spread and moved-key fractions. Always the last section,
-/// so the fragment carries no trailing comma.
-fn run_router(smoke: bool, requests: &[PrepareRequest]) -> String {
+/// the balance spread and moved-key fractions. The fragment is terminated
+/// by `comma`.
+fn run_router(smoke: bool, requests: &[PrepareRequest], comma: &str) -> String {
     use mdq_router::{Router, RouterConfig, TenantId};
 
     let shard_count = if smoke { 2 } else { 4 };
@@ -971,6 +994,194 @@ fn run_router(smoke: bool, requests: &[PrepareRequest]) -> String {
          \"moved_fraction\": {leave_fraction:.3}}}"
     );
     out.push_str("    }\n");
+    let _ = writeln!(out, "  }}{comma}");
+    out
+}
+
+/// The `--transport` section: the mixed workload served once through an
+/// in-process two-shard router (one blocking `submit` + `wait` per call,
+/// exactly the client's cadence) and once over a local socket through the
+/// `mdq-transport` tier — unix-domain where available, loopback TCP
+/// otherwise — each side measured cold and then warm (second pass rides
+/// the shard caches, isolating protocol overhead from pipeline time).
+/// Per-call round-trip p50/p99 and the socket tax (in-process throughput
+/// over socket throughput) land in the JSON; every circuit served over
+/// the socket is asserted raw-bit identical to its in-process twin.
+/// Always the last section, so the fragment carries no trailing comma.
+fn run_transport(smoke: bool, requests: &[PrepareRequest]) -> String {
+    use mdq_circuit::Circuit;
+    use mdq_engine::RequestFrame;
+    use mdq_router::{Router, RouterConfig, TenantId};
+    use mdq_transport::{
+        Backend, ClientConfig, ServerAddr, ServerConfig, ServerReply, WireClient, WireServer,
+    };
+
+    let shard_count = 2;
+    let make_router = || {
+        let router = Router::new(
+            RouterConfig::default().with_engine_config(EngineConfig::default().with_workers(1)),
+        );
+        for id in 0..shard_count {
+            router.add_shard(id);
+        }
+        router
+    };
+    #[cfg(unix)]
+    let (addr, socket_kind, socket_path) = {
+        let path =
+            std::env::temp_dir().join(format!("mdq_bench_transport_{}.sock", std::process::id()));
+        (ServerAddr::unix(&path), "unix", Some(path))
+    };
+    #[cfg(not(unix))]
+    let (addr, socket_kind, socket_path): (ServerAddr, &str, Option<std::path::PathBuf>) =
+        (ServerAddr::loopback(), "tcp", None);
+    println!(
+        "\ntransport section: {} jobs, in-process Router::submit vs mdqwire over {socket_kind}",
+        requests.len()
+    );
+
+    // In-process baseline: one submit+wait round trip per job — the same
+    // cadence the blocking wire client has, so the comparison isolates
+    // the envelope/serialize/socket cost rather than pipelining effects.
+    let router = make_router();
+    let tenant = TenantId(0);
+    let run_inproc = || -> (Vec<Circuit>, f64, f64, f64) {
+        let mut circuits = Vec::with_capacity(requests.len());
+        let mut latencies = Vec::with_capacity(requests.len());
+        let t = Instant::now();
+        for request in requests {
+            let call = Instant::now();
+            let report = router
+                .submit(tenant, request.clone())
+                .expect("unbounded router admits")
+                .wait()
+                .expect("in-process job succeeds");
+            latencies.push(call.elapsed());
+            circuits.push(report.circuit);
+        }
+        let jobs_per_sec = requests.len() as f64 / t.elapsed().as_secs_f64();
+        latencies.sort_unstable();
+        (
+            circuits,
+            jobs_per_sec,
+            percentile_us(&latencies, 0.50),
+            percentile_us(&latencies, 0.99),
+        )
+    };
+    let (inproc_cold, inproc_cold_jps, inproc_cold_p50, inproc_cold_p99) = run_inproc();
+    let (_, inproc_warm_jps, inproc_warm_p50, inproc_warm_p99) = run_inproc();
+    router.shutdown();
+    println!(
+        "{:<28} {:>12.1} jobs/s   p50 {:>8.0} µs   p99 {:>8.0} µs",
+        "in-process cold", inproc_cold_jps, inproc_cold_p50, inproc_cold_p99
+    );
+    println!(
+        "{:<28} {:>12.1} jobs/s   p50 {:>8.0} µs   p99 {:>8.0} µs",
+        "in-process warm", inproc_warm_jps, inproc_warm_p50, inproc_warm_p99
+    );
+
+    // Socket tier: the same workload, round-tripped through the real
+    // server and blocking client over a local socket.
+    let server = WireServer::bind(
+        &addr,
+        Backend::Router(Box::new(make_router())),
+        ServerConfig::new(),
+    )
+    .expect("local socket binds");
+    let mut client = WireClient::connect(server.local_addr().clone(), ClientConfig::new())
+        .expect("local client connects");
+    let mut run_socket = || -> (Vec<Circuit>, f64, f64, f64) {
+        let mut circuits = Vec::with_capacity(requests.len());
+        let mut latencies = Vec::with_capacity(requests.len());
+        let t = Instant::now();
+        for request in requests {
+            let frame = RequestFrame {
+                tenant: Some(tenant.0),
+                request: request.clone(),
+            };
+            let call = Instant::now();
+            let reply = client.call(&frame).expect("local socket stays healthy");
+            latencies.push(call.elapsed());
+            match reply {
+                ServerReply::Report(report) => circuits.push(report.report.circuit),
+                ServerReply::Refused(refusal) => panic!("benchmark job refused: {refusal:?}"),
+            }
+        }
+        let jobs_per_sec = requests.len() as f64 / t.elapsed().as_secs_f64();
+        latencies.sort_unstable();
+        (
+            circuits,
+            jobs_per_sec,
+            percentile_us(&latencies, 0.50),
+            percentile_us(&latencies, 0.99),
+        )
+    };
+    let (socket_cold, socket_cold_jps, socket_cold_p50, socket_cold_p99) = run_socket();
+    let (socket_warm, socket_warm_jps, socket_warm_p50, socket_warm_p99) = run_socket();
+    drop(client);
+    server.shutdown();
+    if let Some(path) = socket_path {
+        let _ = std::fs::remove_file(path);
+    }
+
+    let identical = inproc_cold == socket_cold && inproc_cold == socket_warm;
+    assert!(
+        identical,
+        "every circuit served over the socket must be raw-bit identical to \
+         in-process serving"
+    );
+    let tax_cold = inproc_cold_jps / socket_cold_jps.max(f64::MIN_POSITIVE);
+    let tax_warm = inproc_warm_jps / socket_warm_jps.max(f64::MIN_POSITIVE);
+    println!(
+        "{:<28} {:>12.1} jobs/s   p50 {:>8.0} µs   p99 {:>8.0} µs   ({tax_cold:.2}x tax)",
+        format!("{socket_kind} socket cold"),
+        socket_cold_jps,
+        socket_cold_p50,
+        socket_cold_p99
+    );
+    println!(
+        "{:<28} {:>12.1} jobs/s   p50 {:>8.0} µs   p99 {:>8.0} µs   ({tax_warm:.2}x tax, bit-identical: {identical})",
+        format!("{socket_kind} socket warm"),
+        socket_warm_jps,
+        socket_warm_p50,
+        socket_warm_p99
+    );
+    if !smoke {
+        // The warm pass serves from shard caches on both sides, so the
+        // socket tax there is pure protocol overhead — it must stay a
+        // constant factor, not an order of magnitude.
+        assert!(
+            tax_warm < 50.0,
+            "warm socket serving must stay within 50x of in-process \
+             (measured {tax_warm:.1}x)"
+        );
+    }
+
+    let mut out = String::from("  \"transport\": {\n");
+    let _ = writeln!(
+        out,
+        "    \"jobs\": {}, \"shards\": {shard_count}, \"socket\": \"{socket_kind}\",",
+        requests.len()
+    );
+    let _ = writeln!(
+        out,
+        "    \"inprocess\": {{\"cold_jobs_per_sec\": {inproc_cold_jps:.1}, \
+         \"cold_p50_us\": {inproc_cold_p50:.1}, \"cold_p99_us\": {inproc_cold_p99:.1}, \
+         \"warm_jobs_per_sec\": {inproc_warm_jps:.1}, \
+         \"warm_p50_us\": {inproc_warm_p50:.1}, \"warm_p99_us\": {inproc_warm_p99:.1}}},"
+    );
+    let _ = writeln!(
+        out,
+        "    \"socket_tier\": {{\"cold_jobs_per_sec\": {socket_cold_jps:.1}, \
+         \"cold_p50_us\": {socket_cold_p50:.1}, \"cold_p99_us\": {socket_cold_p99:.1}, \
+         \"warm_jobs_per_sec\": {socket_warm_jps:.1}, \
+         \"warm_p50_us\": {socket_warm_p50:.1}, \"warm_p99_us\": {socket_warm_p99:.1}}},"
+    );
+    let _ = writeln!(
+        out,
+        "    \"socket_tax_cold\": {tax_cold:.2}, \"socket_tax_warm\": {tax_warm:.2}, \
+         \"bit_identical\": {identical}"
+    );
     out.push_str("  }\n");
     out
 }

@@ -195,6 +195,16 @@ pub enum ErrorFrame {
         /// The tenant's in-flight limit.
         limit: usize,
     },
+    /// The router has no shards on its ring — nothing can serve the job.
+    NoShards,
+    /// The peer sent bytes that do not parse as a request frame. The
+    /// message is the parse failure's display form; the connection is
+    /// expected to close after this reply, since a stream that produced
+    /// garbage cannot be trusted to be at a frame boundary any more.
+    BadFrame {
+        /// Display form of the framing/parse failure.
+        message: String,
+    },
 }
 
 impl ErrorFrame {
@@ -342,6 +352,10 @@ impl Frame {
                     } => format!(
                         "tenant-over-quota tenant={tenant} in-flight={in_flight} limit={limit}"
                     ),
+                    ErrorFrame::NoShards => "no-shards".to_owned(),
+                    ErrorFrame::BadFrame { message } => {
+                        format!("bad-frame {}", message.replace(['\n', '\r'], " "))
+                    }
                 };
                 let _ = writeln!(out, "error {body}");
             }
@@ -355,16 +369,41 @@ impl Frame {
     /// offending line), never a panic — including tolerance bits that
     /// would violate [`Tolerance`]'s finite-and-non-negative invariant.
     ///
+    /// The framing is **strict**: the text must be exactly the bytes
+    /// [`Frame::to_text`] writes — `\n`-terminated ASCII lines ending at
+    /// the frame's `end` line, nothing before, after, or in between.
+    /// Carriage returns (CRLF encodings), a missing terminator newline,
+    /// bytes after `end\n`, and non-canonical version tokens (`01`, `+1`)
+    /// are all typed errors. Anything looser would let two peers disagree
+    /// about where a frame stops on a byte stream, and would break the
+    /// canonicality contract (`parse` then `to_text` reproduces the input
+    /// byte for byte).
+    ///
     /// # Errors
     ///
     /// See [`WireError`].
     pub fn parse(text: &str) -> Result<Self, WireError> {
-        let lines: Vec<&str> = text.lines().collect();
+        if text.is_empty() {
+            return Err(WireError::NotAFrame);
+        }
+        if let Some(at) = text.find('\r') {
+            return Err(WireError::Corrupt {
+                line: text[..at].matches('\n').count() + 1,
+                message: "carriage return: CRLF line endings are not part of the wire format"
+                    .to_owned(),
+            });
+        }
+        // The final `end` line must carry its newline: a frame that stops
+        // at `…end` could still be a prefix of a longer, different stream.
+        let Some(body) = text.strip_suffix('\n') else {
+            return Err(WireError::Truncated);
+        };
+        let lines: Vec<&str> = body.split('\n').collect();
         let header = *lines.first().ok_or(WireError::NotAFrame)?;
         let Some(version) = header.strip_prefix("mdqwire ") else {
             return Err(WireError::NotAFrame);
         };
-        let found: u32 = version.parse().map_err(|_| WireError::NotAFrame)?;
+        let found = parse_version(version).ok_or(WireError::NotAFrame)?;
         if found != VERSION {
             return Err(WireError::Version {
                 found,
@@ -433,6 +472,19 @@ fn push_dims(out: &mut String, dims: &Dims) {
         let _ = write!(out, " {d}");
     }
     out.push('\n');
+}
+
+/// Parses the header's version token in its canonical form only: plain
+/// decimal digits, no sign, no leading zeros. `u32::parse` alone would
+/// accept `+1` and `01` — frames this build never writes.
+fn parse_version(token: &str) -> Option<u32> {
+    if token.is_empty() || !token.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    if token.len() > 1 && token.starts_with('0') {
+        return None;
+    }
+    token.parse().ok()
 }
 
 fn corrupt(line: usize, message: impl Into<String>) -> WireError {
@@ -714,6 +766,13 @@ fn parse_error(lines: &[&str]) -> Result<ErrorFrame, WireError> {
                 limit: parse_usize(field(tokens[2], "limit", 1)?, 1, "limit")?,
             })
         }
+        "no-shards" => {
+            fields(0)?;
+            Ok(ErrorFrame::NoShards)
+        }
+        "bad-frame" => Ok(ErrorFrame::BadFrame {
+            message: rest.to_owned(),
+        }),
         other => Err(corrupt(1, format!("unknown error kind: `{other}`"))),
     }
 }
@@ -922,6 +981,13 @@ mod tests {
                 in_flight: 8,
                 limit: 8,
             },
+            ErrorFrame::NoShards,
+            ErrorFrame::BadFrame {
+                message: "corrupt wire frame at line 3: bad amplitude".to_owned(),
+            },
+            ErrorFrame::BadFrame {
+                message: String::new(),
+            },
         ];
         for variant in variants {
             let Frame::Error(back) = round_trip(&Frame::Error(variant.clone())) else {
@@ -1014,6 +1080,95 @@ mod tests {
         assert!(matches!(
             Frame::parse(&trailing),
             Err(WireError::Corrupt { .. })
+        ));
+    }
+
+    /// The latent framing gap, pinned: `parse` must accept exactly the
+    /// bytes `to_text` writes and nothing else. Before this regression
+    /// suite, CRLF-encoded frames, frames missing the terminator newline,
+    /// and `+1`/`01` version tokens all parsed — encodings the serializer
+    /// never produces, so `parse ∘ to_text` was not injective on bytes
+    /// and a stream reader could disagree with the parser about where a
+    /// frame ends.
+    #[test]
+    fn noncanonical_encodings_are_rejected_typed() {
+        let frames = [
+            Frame::Error(ErrorFrame::Shutdown),
+            Frame::Request(RequestFrame {
+                tenant: Some(3),
+                request: PrepareRequest::dense(
+                    dims(&[2, 3]),
+                    vec![Complex::ONE, Complex::ZERO],
+                    PrepareOptions::exact(),
+                ),
+            }),
+        ];
+        for frame in frames {
+            let text = frame.to_text().unwrap();
+            // The canonical bytes parse, and re-serialize identically.
+            assert_eq!(
+                Frame::parse(&text).unwrap().to_text().unwrap(),
+                text,
+                "canonical re-serialization stays byte-identical"
+            );
+            // CRLF line endings: a `\r` is garbage next to the terminator
+            // (and every other line), not an alternate encoding.
+            assert!(matches!(
+                Frame::parse(&text.replace('\n', "\r\n")),
+                Err(WireError::Corrupt { line: 1, .. })
+            ));
+            // A lone carriage return after the terminator.
+            assert!(matches!(
+                Frame::parse(&format!("{text}\r")),
+                Err(WireError::Corrupt { .. })
+            ));
+            // The terminator line must carry its newline.
+            assert!(matches!(
+                Frame::parse(text.trim_end()),
+                Err(WireError::Truncated)
+            ));
+            // Garbage after `end\n`, with and without its own newline.
+            assert!(matches!(
+                Frame::parse(&format!("{text}garbage\n")),
+                Err(WireError::Corrupt { .. })
+            ));
+            assert!(matches!(
+                Frame::parse(&format!("{text}garbage")),
+                Err(WireError::Truncated)
+            ));
+            // A whole second frame glued on is trailing garbage too.
+            assert!(matches!(
+                Frame::parse(&format!("{text}{text}")),
+                Err(WireError::Corrupt { .. })
+            ));
+            // An extra blank line after the terminator.
+            assert!(matches!(
+                Frame::parse(&format!("{text}\n")),
+                Err(WireError::Corrupt { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn noncanonical_version_tokens_are_rejected() {
+        for header in ["mdqwire +1", "mdqwire 01", "mdqwire 1 ", "mdqwire 1x"] {
+            let text = format!("{header}\nerror shutdown\nend\n");
+            assert!(
+                matches!(Frame::parse(&text), Err(WireError::NotAFrame)),
+                "`{header}` must not parse as a version-1 frame"
+            );
+        }
+        // Overflowing and future versions are still typed distinctly.
+        assert!(matches!(
+            Frame::parse("mdqwire 99999999999999999999\nend\n"),
+            Err(WireError::NotAFrame)
+        ));
+        assert!(matches!(
+            Frame::parse("mdqwire 2\nerror shutdown\nend\n"),
+            Err(WireError::Version {
+                found: 2,
+                supported: 1
+            })
         ));
     }
 

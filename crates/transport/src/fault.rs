@@ -1,0 +1,410 @@
+//! Deterministic fault injection for transport tests.
+//!
+//! [`FaultyStream`] wraps any [`Transport`] and misbehaves on cue:
+//! writes split into tiny chunks, a byte XOR-flipped at an exact offset,
+//! the connection cut after exactly N bytes, a stall long enough to trip
+//! the peer's read deadline. Faults are a plain data `Vec<Fault>` — no
+//! randomness inside the stream — so a failing schedule reproduces
+//! byte-for-byte from its seed. [`FaultPlan`] derives per-connection
+//! schedules from a seed with a splitmix-style hash, cycling through
+//! fault classes and guaranteeing periodic clean connections so a
+//! retrying client always makes progress.
+
+use std::io::{self, Read, Write};
+use std::thread;
+use std::time::Duration;
+
+use crate::stream::Transport;
+
+/// One scheduled misbehavior. Offsets are absolute byte positions in
+/// the connection's write (or read) stream, starting at 0.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Fault {
+    /// Split every write into chunks of at most `max` bytes — the
+    /// "partial writes" regime that flushes out framing code which
+    /// assumes one write lands as one read.
+    ChunkWrites {
+        /// Largest number of bytes a single inner write may carry.
+        max: usize,
+    },
+    /// XOR the written byte at absolute offset `at` with `xor`
+    /// (non-zero, or the fault would be a no-op).
+    CorruptWrite {
+        /// Absolute write offset of the byte to corrupt.
+        at: u64,
+        /// The flip mask.
+        xor: u8,
+    },
+    /// After exactly `bytes` written bytes, shut the socket down and
+    /// fail the write — a mid-frame disconnect the peer sees as EOF.
+    CutWriteAfter {
+        /// How many bytes are allowed through before the cut.
+        bytes: u64,
+    },
+    /// Sleep `delay` before writing the byte at offset `at` — the
+    /// slow-loris half of a request, aimed at the peer's read deadline.
+    StallWrite {
+        /// Absolute write offset at which to stall.
+        at: u64,
+        /// How long to stall.
+        delay: Duration,
+    },
+    /// XOR the byte read at absolute offset `at` with `xor` — corrupts
+    /// the peer's reply without touching the request path.
+    CorruptRead {
+        /// Absolute read offset of the byte to corrupt.
+        at: u64,
+        /// The flip mask.
+        xor: u8,
+    },
+    /// After exactly `bytes` read bytes, report EOF — the tail of the
+    /// reply goes missing.
+    CutReadAfter {
+        /// How many bytes are allowed through before the cut.
+        bytes: u64,
+    },
+}
+
+/// A [`Transport`] that executes a deterministic fault schedule.
+///
+/// Wraps the real stream on the *client* side in tests, so the genuine
+/// `WireClient` retry path — not a mock — is what gets exercised.
+#[derive(Debug)]
+pub struct FaultyStream<S> {
+    inner: S,
+    faults: Vec<Fault>,
+    written: u64,
+    read: u64,
+    write_cut: bool,
+    read_cut: bool,
+}
+
+impl<S: Transport> FaultyStream<S> {
+    /// Wraps `inner` with a schedule. An empty schedule is a perfectly
+    /// clean connection.
+    pub fn new(inner: S, faults: Vec<Fault>) -> Self {
+        FaultyStream {
+            inner,
+            faults,
+            written: 0,
+            read: 0,
+            write_cut: false,
+            read_cut: false,
+        }
+    }
+
+    /// Total bytes written through (post-fault accounting).
+    #[must_use]
+    pub fn written(&self) -> u64 {
+        self.written
+    }
+
+    /// Total bytes read through.
+    #[must_use]
+    pub fn read_bytes(&self) -> u64 {
+        self.read
+    }
+
+    /// The wrapped stream.
+    #[must_use]
+    pub fn get_ref(&self) -> &S {
+        &self.inner
+    }
+
+    /// Unwraps, discarding any not-yet-fired faults.
+    #[must_use]
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+
+    /// Largest prefix of a `len`-byte write that stays on the near side
+    /// of the next cut boundary, chunk limit included.
+    fn write_budget(&self, len: usize) -> usize {
+        let mut budget = len;
+        for fault in &self.faults {
+            match *fault {
+                Fault::ChunkWrites { max } => budget = budget.min(max.max(1)),
+                Fault::CutWriteAfter { bytes } => {
+                    let remaining = bytes.saturating_sub(self.written);
+                    budget = budget.min(usize::try_from(remaining).unwrap_or(usize::MAX));
+                }
+                _ => {}
+            }
+        }
+        budget
+    }
+}
+
+impl<S: Transport> Read for FaultyStream<S> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if self.read_cut {
+            return Ok(0);
+        }
+        // Cap the read so cut boundaries land exactly, then fire any
+        // stall scheduled at the current offset before touching the
+        // socket.
+        let mut budget = buf.len();
+        for fault in &self.faults {
+            if let Fault::CutReadAfter { bytes } = *fault {
+                let remaining = bytes.saturating_sub(self.read);
+                budget = budget.min(usize::try_from(remaining).unwrap_or(usize::MAX));
+            }
+        }
+        if budget == 0 {
+            self.read_cut = true;
+            let _ = self.inner.shutdown();
+            return Ok(0);
+        }
+        let n = self.inner.read(&mut buf[..budget])?;
+        for fault in &self.faults {
+            if let Fault::CorruptRead { at, xor } = *fault {
+                if at >= self.read && at < self.read + n as u64 {
+                    let idx = usize::try_from(at - self.read).expect("offset fits");
+                    buf[idx] ^= xor;
+                }
+            }
+        }
+        self.read += n as u64;
+        Ok(n)
+    }
+}
+
+impl<S: Transport> Write for FaultyStream<S> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        if self.write_cut {
+            return Err(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                "connection cut by fault schedule",
+            ));
+        }
+        if buf.is_empty() {
+            return self.inner.write(buf);
+        }
+        let budget = self.write_budget(buf.len());
+        if budget == 0 {
+            // The cut boundary has been reached: make the peer see a
+            // genuine mid-frame EOF, then fail this and every later
+            // write.
+            self.write_cut = true;
+            let _ = self.inner.shutdown();
+            return Err(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                "connection cut by fault schedule",
+            ));
+        }
+        let mut stall = None;
+        for fault in &self.faults {
+            if let Fault::StallWrite { at, delay } = *fault {
+                if at >= self.written && at < self.written + budget as u64 {
+                    stall = Some(delay);
+                }
+            }
+        }
+        if let Some(delay) = stall {
+            thread::sleep(delay);
+        }
+        let mut chunk = buf[..budget].to_vec();
+        for fault in &self.faults {
+            if let Fault::CorruptWrite { at, xor } = *fault {
+                if at >= self.written && at < self.written + budget as u64 {
+                    let idx = usize::try_from(at - self.written).expect("offset fits");
+                    chunk[idx] ^= xor;
+                }
+            }
+        }
+        let n = self.inner.write(&chunk)?;
+        self.written += n as u64;
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+impl<S: Transport> Transport for FaultyStream<S> {
+    fn shutdown(&self) -> io::Result<()> {
+        self.inner.shutdown()
+    }
+}
+
+/// A seeded generator of per-connection fault schedules.
+///
+/// Connection `i`'s schedule is a pure function of `(seed, i)`: replays
+/// are exact, and two clients with different seeds flood differently.
+/// Every `clean_period`-th connection is guaranteed fault-free, so a
+/// client whose retry budget exceeds `clean_period` always lands a
+/// request eventually.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    seed: u64,
+    clean_period: u64,
+    stall: Duration,
+}
+
+impl FaultPlan {
+    /// A plan with the default guarantees: every 3rd connection clean,
+    /// stalls of 50 ms.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            clean_period: 3,
+            stall: Duration::from_millis(50),
+        }
+    }
+
+    /// Sets how long [`Fault::StallWrite`] sleeps. Pick something
+    /// comfortably above the server's read timeout to reliably exercise
+    /// the slow-loris path.
+    #[must_use]
+    pub fn with_stall(mut self, stall: Duration) -> Self {
+        self.stall = stall;
+        self
+    }
+
+    /// Guarantees every `period`-th connection is clean (minimum 1,
+    /// which makes *every* connection clean).
+    #[must_use]
+    pub fn with_clean_period(mut self, period: u64) -> Self {
+        self.clean_period = period.max(1);
+        self
+    }
+
+    /// The deterministic schedule for connection number `connection`
+    /// (0-based, as counted by [`WireClient`](crate::WireClient)).
+    #[must_use]
+    pub fn faults_for(&self, connection: u64) -> Vec<Fault> {
+        if connection % self.clean_period == self.clean_period - 1 {
+            return Vec::new();
+        }
+        let r = mix(self.seed, connection);
+        let detail = mix(r, 0x9e37_79b9_7f4a_7c15);
+        match r % 5 {
+            // Partial writes only: correct but maximally fragmented.
+            0 => vec![Fault::ChunkWrites {
+                max: 1 + usize::try_from(detail % 7).expect("small"),
+            }],
+            // One corrupted request byte, fragmented for good measure.
+            1 => vec![
+                Fault::CorruptWrite {
+                    at: detail % 192,
+                    xor: 1 + u8::try_from((detail >> 32) & 0xfe).expect("masked"),
+                },
+                Fault::ChunkWrites { max: 11 },
+            ],
+            // Mid-frame disconnect while sending.
+            2 => vec![Fault::CutWriteAfter {
+                bytes: detail % 160,
+            }],
+            // Slow-loris: stall mid-request past the server's deadline.
+            3 => vec![Fault::StallWrite {
+                at: detail % 48,
+                delay: self.stall,
+            }],
+            // Lose or corrupt the reply instead of the request.
+            _ => {
+                if detail & 1 == 0 {
+                    vec![Fault::CutReadAfter { bytes: detail % 96 }]
+                } else {
+                    vec![Fault::CorruptRead {
+                        at: detail % 96,
+                        xor: 0x40,
+                    }]
+                }
+            }
+        }
+    }
+}
+
+/// splitmix64-style avalanche of `seed` and `stream`.
+fn mix(seed: u64, stream: u64) -> u64 {
+    let mut z = seed
+        .wrapping_add(stream.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+        .wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::WireStream;
+
+    #[test]
+    fn chunked_writes_split_but_deliver_everything() {
+        let (a, mut b) = WireStream::pair().expect("socketpair");
+        let mut faulty = FaultyStream::new(a, vec![Fault::ChunkWrites { max: 3 }]);
+        let payload = b"0123456789abcdef";
+        faulty.write_all(payload).expect("write through chunks");
+        assert_eq!(faulty.written(), payload.len() as u64);
+        drop(faulty);
+        let mut got = Vec::new();
+        b.read_to_end(&mut got).expect("read");
+        assert_eq!(got, payload);
+    }
+
+    #[test]
+    fn corrupt_write_flips_exactly_one_byte() {
+        let (a, mut b) = WireStream::pair().expect("socketpair");
+        let mut faulty = FaultyStream::new(
+            a,
+            vec![
+                Fault::CorruptWrite { at: 5, xor: 0xff },
+                Fault::ChunkWrites { max: 2 },
+            ],
+        );
+        let payload = b"0123456789";
+        faulty.write_all(payload).expect("write");
+        drop(faulty);
+        let mut got = Vec::new();
+        b.read_to_end(&mut got).expect("read");
+        let mut expected = payload.to_vec();
+        expected[5] ^= 0xff;
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn cut_write_delivers_exact_prefix_then_breaks_pipe() {
+        let (a, mut b) = WireStream::pair().expect("socketpair");
+        let mut faulty = FaultyStream::new(a, vec![Fault::CutWriteAfter { bytes: 7 }]);
+        let err = faulty.write_all(b"0123456789").expect_err("cut");
+        assert_eq!(err.kind(), io::ErrorKind::BrokenPipe);
+        let mut got = Vec::new();
+        b.read_to_end(&mut got).expect("peer sees EOF after prefix");
+        assert_eq!(got, b"0123456");
+        // Later writes stay broken.
+        assert!(faulty.write_all(b"x").is_err());
+    }
+
+    #[test]
+    fn cut_read_reports_eof_after_exact_prefix() {
+        let (a, mut b) = WireStream::pair().expect("socketpair");
+        b.write_all(b"0123456789").expect("write");
+        drop(b);
+        let mut faulty = FaultyStream::new(a, vec![Fault::CutReadAfter { bytes: 4 }]);
+        let mut got = Vec::new();
+        faulty.read_to_end(&mut got).expect("EOF, not error");
+        assert_eq!(got, b"0123");
+    }
+
+    #[test]
+    fn plans_are_deterministic_and_guarantee_clean_connections() {
+        let plan = FaultPlan::new(42).with_clean_period(3);
+        for connection in 0..32 {
+            assert_eq!(
+                plan.faults_for(connection),
+                plan.faults_for(connection),
+                "schedule must replay identically"
+            );
+        }
+        assert!(plan.faults_for(2).is_empty());
+        assert!(plan.faults_for(5).is_empty());
+        assert!(plan.faults_for(29).is_empty());
+        // Different seeds produce different-looking floods.
+        let other = FaultPlan::new(43).with_clean_period(3);
+        let differs = (0..32).any(|c| plan.faults_for(c) != other.faults_for(c));
+        assert!(differs);
+    }
+}

@@ -1,0 +1,81 @@
+//! Network serving tier for the `mdqwire` protocol — std-only, no async
+//! runtime.
+//!
+//! [`WireServer`] owns a [`Backend`] (a single
+//! [`EngineService`](mdq_engine::EngineService) or a sharded
+//! [`Router`](mdq_router::Router)) and serves `mdqwire` frames over TCP
+//! or unix-domain sockets: a nonblocking accept loop feeds a bounded
+//! pool of handler threads; each connection gets read/write deadlines
+//! and a max-frame-size guard; each request frame runs
+//! `parse → submit → wait` and is answered with exactly one
+//! [`ReportFrame`](mdq_engine::wire::ReportFrame) or
+//! [`ErrorFrame`](mdq_engine::wire::ErrorFrame). Refusals keep the
+//! hand-back-by-value idiom remote: `queue-full` and
+//! `tenant-over-quota` come back typed while the client still holds the
+//! request to resubmit.
+//!
+//! [`WireClient`] is the blocking caller: connect with retry and
+//! exponential backoff, one request → one reply, every failure a typed
+//! [`TransportError`] — never a panic, never an unbounded hang, no
+//! matter how hostile the peer.
+//!
+//! On the wire, each `mdqwire` frame travels under a one-line envelope
+//! (see [`frame`-level docs](write_frame)) that is both length-delimited
+//! and checksummed, so truncation and corruption are detected *before*
+//! [`Frame::parse`](mdq_engine::wire::Frame::parse) ever sees the bytes.
+//!
+//! Graceful [`WireServer::shutdown`] drains in-flight connections, joins
+//! the pool, and shuts the backend down — router shards write their warm
+//! snapshots, so a killed-and-restarted remote shard starts warm
+//! (PR 7/9's cache snapshots, now paying off across processes).
+//!
+//! The [`fault`] module is the test half of the tier: a deterministic
+//! [`FaultyStream`] wrapper and seeded [`FaultPlan`] schedules that
+//! chaos tests push through the *real* client path — partial writes,
+//! mid-frame cuts, byte corruption, slow-loris stalls.
+//!
+//! ```
+//! use mdq_core::PrepareOptions;
+//! use mdq_engine::wire::RequestFrame;
+//! use mdq_engine::{EngineConfig, EngineService, PrepareRequest};
+//! use mdq_num::radix::Dims;
+//! use mdq_states::ghz;
+//! use mdq_transport::{
+//!     Backend, ClientConfig, ServerAddr, ServerConfig, WireClient, WireServer,
+//! };
+//!
+//! // A one-engine server on loopback TCP, kernel-assigned port.
+//! let backend = Backend::Service(EngineService::new(EngineConfig::default().with_workers(1)));
+//! let server = WireServer::bind(&ServerAddr::loopback(), backend, ServerConfig::new())
+//!     .expect("bind");
+//!
+//! // A blocking client dials the resolved address and round-trips one job.
+//! let mut client = WireClient::connect(server.local_addr().clone(), ClientConfig::new())
+//!     .expect("connect");
+//! let dims = Dims::new(vec![2, 3]).expect("valid register");
+//! let request = PrepareRequest::dense(dims.clone(), ghz(&dims), PrepareOptions::exact());
+//! let reply = client
+//!     .call(&RequestFrame { tenant: None, request })
+//!     .expect("round trip");
+//! let report = reply.report().expect("job completed");
+//! assert!(!report.report.circuit.instructions().is_empty());
+//!
+//! server.shutdown();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod client;
+mod error;
+pub mod fault;
+mod frame;
+mod server;
+mod stream;
+
+pub use client::{ClientConfig, FaultSchedule, ServerReply, WireClient};
+pub use error::TransportError;
+pub use fault::{Fault, FaultPlan, FaultyStream};
+pub use frame::{checksum, write_frame, FrameReader};
+pub use server::{Backend, ServerConfig, ServerStats, WireServer};
+pub use stream::{ServerAddr, Transport, WireStream};

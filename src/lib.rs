@@ -14,6 +14,7 @@
 //! | [`core`] | the synthesis algorithm and the three-step pipeline |
 //! | [`engine`] | persistent preparation service: non-blocking submission, size-aware scheduling, warm worker arenas, LRU-bounded circuit cache, bounded admission control, replay-verification mode, wire protocol |
 //! | [`router`] | sharded multi-tenant serving front-end: consistent-hash routing over engine shards, per-tenant quotas, warm shard snapshots |
+//! | [`transport`] | std-only network serving tier: TCP/unix-socket `WireServer` over an engine or router backend, blocking `WireClient` with retry/backoff, deterministic fault injection for tests |
 //!
 //! This facade re-exports all of them; depend on the individual crates for a
 //! narrower dependency surface.
@@ -69,3 +70,4 @@ pub use mdq_num as num;
 pub use mdq_router as router;
 pub use mdq_sim as sim;
 pub use mdq_states as states;
+pub use mdq_transport as transport;

@@ -1409,3 +1409,348 @@ fn router_flood_reconciles_with_quotas_and_midflood_resize() {
     assert_eq!(stats.shards.len(), 4);
     router.shutdown();
 }
+
+/// The transport chaos scenario: four client threads flood a two-shard
+/// `WireServer` over a unix socket, every connection wrapped in a
+/// deterministically seeded `FaultyStream` (dribbled writes, mid-frame
+/// cuts, byte corruption, slow-loris stalls past the server's read
+/// deadline). Mid-flood, one shard is killed and warm-restarted from its
+/// snapshot; later the *whole server* is killed and rebound on the same
+/// path while clients ride their retry budgets through the gap.
+///
+/// The oracle is the client-side ledger: every submission resolves
+/// exactly once (a bit-identical report, or the typed refusal its
+/// template predicts), the router's per-tenant ledgers reconcile with
+/// nothing dropped, and the restarted shard observably loaded its warm
+/// snapshot.
+#[test]
+#[cfg(unix)]
+fn transport_chaos_flood_survives_faults_and_warm_restarts() {
+    use mdq::engine::{canonical_key, ErrorFrame, RequestFrame};
+    use mdq::router::{Router, RouterConfig, TenantId, TenantQuota};
+    use mdq::transport::{
+        Backend, ClientConfig, FaultPlan, ServerAddr, ServerConfig, ServerReply, WireClient,
+        WireServer,
+    };
+    use std::sync::{Barrier, Mutex};
+
+    const WIRE_SUBMITTERS: usize = 4;
+    const WIRE_PER_SUBMITTER: usize = 12;
+    /// Per-client ledger: (completed, refused, retries, connections).
+    type WireLedger = (u64, u64, u64, u64);
+    /// Per-call retry budget. Every third connection in the fault plan is
+    /// clean, so a budget this deep always reaches a genuine outcome even
+    /// when some clean attempts are burned by the server-restart gap.
+    const RETRY_BUDGET: u32 = 12;
+
+    let templates = templates();
+    let scratch = std::env::temp_dir().join(format!("mdq_transport_chaos_{}", std::process::id()));
+    let _ = fs::remove_dir_all(&scratch);
+    let snapshot_dir = scratch.join("snapshots");
+    fs::create_dir_all(&snapshot_dir).expect("snapshot dir");
+    let socket = scratch.join("serve.sock");
+    let addr = ServerAddr::unix(&socket);
+
+    let router = Router::new(
+        RouterConfig::default()
+            .with_engine_config(EngineConfig::default().with_workers(1))
+            .with_snapshot_dir(&snapshot_dir),
+    );
+    assert!(router.add_shard(0));
+    assert!(router.add_shard(1));
+
+    // The read deadline doubles as the slow-loris guard; the fault plan's
+    // stall is deliberately longer, so stalled connections get *closed*,
+    // not waited on.
+    let server_config = ServerConfig::new()
+        .with_handler_threads(WIRE_SUBMITTERS)
+        .with_read_timeout(Duration::from_millis(150))
+        .with_write_timeout(Duration::from_secs(5));
+    let server = WireServer::bind(
+        &addr,
+        Backend::Router(Box::new(router)),
+        server_config.clone(),
+    )
+    .expect("bind unix server");
+
+    // Phase 1: quota refusal stays a typed, hand-back-by-value outcome
+    // over the wire. A zero-quota tenant's request comes back as a
+    // `tenant-over-quota` error frame; the client still holds the request,
+    // and once the quota lifts the *same* frame completes.
+    let blocked = TenantId(9);
+    let live_router = server.backend().router().expect("router backend");
+    live_router.set_quota(blocked, TenantQuota::unlimited().with_max_in_flight(0));
+    let mut probe = WireClient::connect(addr.clone(), ClientConfig::new()).expect("probe connects");
+    let good = &templates[0];
+    let held_frame = RequestFrame {
+        tenant: Some(blocked.0),
+        request: good.request.clone(),
+    };
+    match probe.call(&held_frame).expect("clean transport") {
+        ServerReply::Refused(ErrorFrame::TenantOverQuota {
+            tenant,
+            in_flight,
+            limit,
+        }) => {
+            assert_eq!(tenant, blocked.0);
+            assert_eq!((in_flight, limit), (0, 0));
+        }
+        other => panic!("expected a quota refusal frame, got {other:?}"),
+    }
+    live_router.set_quota(blocked, TenantQuota::unlimited());
+    let report = probe
+        .call(&held_frame)
+        .expect("clean transport")
+        .report()
+        .expect("resubmitted frame completes once the quota lifts");
+    assert_eq!(
+        &report.report.circuit,
+        good.circuit.as_ref().expect("success template"),
+        "probe circuit bit-identical to prepare_sequential"
+    );
+    // The shard to kill mid-flood: whichever one serves `templates[0]`.
+    // The probe just completed that very request, so the victim's cache
+    // holds at least that circuit — its exit snapshot cannot be empty,
+    // which is what makes the warm-restart observable below.
+    let (good_fp, _) = canonical_key(&good.request).expect("success template fingerprints");
+    let victim = live_router
+        .route_fingerprint(good_fp)
+        .expect("non-empty ring routes the probe's request");
+    drop(probe);
+
+    // Phase 2: the chaos flood. The server instance lives in a slot so the
+    // control thread can kill and rebind it mid-flood; clients only ever
+    // address the (stable) socket path.
+    let server_slot = Mutex::new(Some(server));
+    let shard_restart = Barrier::new(WIRE_SUBMITTERS + 1);
+    let server_restart = Barrier::new(WIRE_SUBMITTERS + 1);
+
+    let (ledgers, shard_restart_outcome): (Vec<WireLedger>, Result<usize, String>) =
+        thread::scope(|scope| {
+            // The control thread must not panic between barriers — a panic
+            // there would strand the submitters on a barrier that can
+            // never fill. It reports through a Result instead, asserted
+            // once every thread is joined.
+            let control = scope.spawn(|| -> Result<usize, String> {
+                // Mid-flood event one: the victim shard leaves the ring
+                // (draining its jobs and writing its cache snapshot on
+                // the way out) and rejoins warm from that snapshot, while
+                // submissions keep flowing through the surviving shard.
+                shard_restart.wait();
+                let outcome = {
+                    let slot = server_slot.lock().expect("server slot healthy");
+                    let router = slot
+                        .as_ref()
+                        .expect("server running")
+                        .backend()
+                        .router()
+                        .expect("router backend");
+                    if !router.remove_shard(victim) {
+                        Err(format!("shard {victim} was not on the ring"))
+                    } else if !router.add_shard(victim) {
+                        Err(format!("shard {victim} failed to rejoin"))
+                    } else {
+                        let stats = router.stats();
+                        stats
+                            .shards
+                            .iter()
+                            .find(|s| s.shard == victim)
+                            .ok_or_else(|| format!("no stats for rejoined shard {victim}"))
+                            .and_then(|s| {
+                                s.warm_loaded.ok_or_else(|| {
+                                    format!("rejoined shard {victim} found no snapshot to load")
+                                })
+                            })
+                    }
+                };
+                // Mid-flood event two: the whole server is killed
+                // (draining in-flight connections — every admitted job
+                // still gets its reply) and rebound on the same path with
+                // the same backend. Clients see the gap as connection
+                // errors and retry through.
+                server_restart.wait();
+                let running = server_slot.lock().expect("server slot healthy").take();
+                let running = running.expect("server running");
+                let backend = running.into_backend();
+                let reborn =
+                    WireServer::bind(&addr, backend, server_config.clone()).expect("rebind server");
+                *server_slot.lock().expect("server slot healthy") = Some(reborn);
+                outcome
+            });
+
+            let submitters: Vec<_> = (0..WIRE_SUBMITTERS)
+                .map(|submitter| {
+                    let templates = &templates;
+                    let addr = addr.clone();
+                    let shard_restart = &shard_restart;
+                    let server_restart = &server_restart;
+                    scope.spawn(move || {
+                        let plan = FaultPlan::new(0xC4A0_5EED ^ ((submitter as u64) << 32))
+                            .with_stall(Duration::from_millis(400))
+                            .with_clean_period(3);
+                        let config = ClientConfig::new()
+                            .with_connect_attempts(10)
+                            .with_backoff(Duration::from_millis(5), Duration::from_millis(160))
+                            .with_faults(move |connection| plan.faults_for(connection));
+                        let mut client =
+                            WireClient::connect(addr, config).expect("flood client connects");
+                        let tenant = submitter as u64;
+                        let (mut completed, mut refused) = (0u64, 0u64);
+                        for i in 0..WIRE_PER_SUBMITTER {
+                            if i == WIRE_PER_SUBMITTER / 2 {
+                                shard_restart.wait();
+                            }
+                            if i == WIRE_PER_SUBMITTER * 3 / 4 {
+                                server_restart.wait();
+                            }
+                            let index = (submitter + i * WIRE_SUBMITTERS) % templates.len();
+                            let template = &templates[index];
+                            let frame = RequestFrame {
+                                tenant: Some(tenant),
+                                request: template.request.clone(),
+                            };
+                            let reply = client
+                                .call_with_retry(&frame, RETRY_BUDGET)
+                                .expect("every submission resolves within the retry budget");
+                            match reply {
+                                ServerReply::Report(report) => {
+                                    assert_eq!(
+                                        template.expected,
+                                        Expected::Success,
+                                        "only success templates complete (template {index})"
+                                    );
+                                    assert_eq!(
+                                        &report.report.circuit,
+                                        template.circuit.as_ref().expect("reference circuit"),
+                                        "served circuit bit-identical to prepare_sequential \
+                                     (template {index})"
+                                    );
+                                    completed += 1;
+                                }
+                                ServerReply::Refused(ErrorFrame::Prepare { .. }) => {
+                                    assert_eq!(
+                                    template.expected,
+                                    Expected::Malformed,
+                                    "only malformed templates fail the pipeline (template {index})"
+                                );
+                                    refused += 1;
+                                }
+                                ServerReply::Refused(ErrorFrame::VerificationFailed {
+                                    fidelity,
+                                    threshold,
+                                }) => {
+                                    assert_eq!(
+                                        template.expected,
+                                        Expected::BelowThreshold,
+                                        "only below-threshold templates fail verification \
+                                     (template {index})"
+                                    );
+                                    let measured = f64::from_bits(fidelity);
+                                    assert!(measured < f64::from_bits(threshold));
+                                    let calibrated =
+                                        template.fidelity.expect("calibrated fidelity");
+                                    assert!(
+                                        (measured - calibrated).abs() < 1e-12,
+                                        "replay fidelity crosses the wire intact: \
+                                     {measured} vs calibrated {calibrated}"
+                                    );
+                                    refused += 1;
+                                }
+                                ServerReply::Refused(other) => {
+                                    panic!("unexpected refusal for template {index}: {other:?}")
+                                }
+                            }
+                        }
+                        (completed, refused, client.retries(), client.connections())
+                    })
+                })
+                .collect();
+
+            let ledgers: Vec<_> = submitters
+                .into_iter()
+                .map(|s| s.join().expect("submitter thread"))
+                .collect();
+            let outcome = control.join().expect("control thread");
+            (ledgers, outcome)
+        });
+
+    // Client-side ledger: every submission resolved exactly once, and the
+    // chaos actually bit (connections were retried and re-dialed).
+    let mut resolved = 0u64;
+    let mut total_retries = 0u64;
+    let mut total_connections = 0u64;
+    for (submitter, &(completed, refused, retries, connections)) in ledgers.iter().enumerate() {
+        assert_eq!(
+            completed + refused,
+            WIRE_PER_SUBMITTER as u64,
+            "client {submitter}: every submission resolves exactly once"
+        );
+        resolved += completed + refused;
+        total_retries += retries;
+        total_connections += connections;
+    }
+    assert_eq!(resolved, (WIRE_SUBMITTERS * WIRE_PER_SUBMITTER) as u64);
+    assert!(
+        total_retries > 0,
+        "the fault schedule must actually force retries"
+    );
+    assert!(
+        total_connections > WIRE_SUBMITTERS as u64,
+        "faulted connections must force re-dials"
+    );
+
+    // Server-side ledger: the same router served the whole flood (the
+    // server restart moved it, never replaced it), so per-tenant ledgers
+    // span both server incarnations and must reconcile with nothing
+    // dropped. Duplicated servings (a retry after a corrupted/cut reply)
+    // legitimately inflate the server-side counts, so resolved counts are
+    // lower bounds, not equalities.
+    let server = server_slot
+        .into_inner()
+        .expect("slot mutex healthy")
+        .expect("server still running");
+    let reborn_stats = server.stats();
+    assert!(reborn_stats.accepted > 0, "reborn server took connections");
+    let stats = server.backend().router().expect("router backend").stats();
+    for t in &stats.tenants {
+        assert_eq!(
+            t.completed + t.failed + t.rejected + t.dropped,
+            t.submitted,
+            "tenant {} ledger reconciles",
+            t.tenant
+        );
+        assert_eq!(t.in_flight, 0, "tenant {} has nothing in flight", t.tenant);
+        assert_eq!(
+            t.dropped, 0,
+            "tenant {}: no accepted job was lost",
+            t.tenant
+        );
+        if t.tenant == blocked {
+            assert_eq!((t.submitted, t.rejected), (2, 1), "probe tenant ledger");
+        } else {
+            assert_eq!(t.rejected, 0, "flood tenant {} was never refused", t.tenant);
+            let client = &ledgers[t.tenant.0 as usize];
+            assert!(
+                t.completed >= client.0 && t.failed >= client.1,
+                "tenant {} server ledger covers the client ledger",
+                t.tenant
+            );
+        }
+    }
+    assert_eq!(
+        stats.completed + stats.failed,
+        stats.submitted - stats.rejected,
+        "global ledger reconciles (nothing dropped)"
+    );
+    let mut shard_ids: Vec<usize> = stats.shards.iter().map(|s| s.shard).collect();
+    shard_ids.sort_unstable();
+    assert_eq!(shard_ids, vec![0, 1], "both shards back on the ring");
+    let warm_loaded = shard_restart_outcome.expect("mid-flood shard restart succeeded");
+    assert!(
+        warm_loaded > 0,
+        "the restarted shard warm-loaded cached circuits from its snapshot"
+    );
+
+    server.shutdown();
+    let _ = fs::remove_dir_all(&scratch);
+}

@@ -232,6 +232,35 @@ proptest! {
         prop_assert!(Frame::parse(&text[..at]).is_err());
     }
 
+    /// Strict framing, property form: for any frame, the only byte
+    /// sequence that parses is the exact serializer output — CRLF
+    /// re-encodings, a stripped terminator newline, and any trailing
+    /// garbage after `end\n` (including a second glued-on frame) are
+    /// typed errors. This is what lets a stream reader cut frames at
+    /// `end\n` and trust the parser to agree with the cut.
+    #[test]
+    fn prop_noncanonical_encodings_fail_typed(
+        frame in arb_request_frame(),
+        garbage in proptest::collection::vec(0u8..95, 1..20),
+    ) {
+        let text = Frame::Request(frame).to_text().unwrap();
+        prop_assert_eq!(
+            Frame::parse(&text).expect("canonical bytes parse").to_text().unwrap(),
+            text.clone()
+        );
+        let garbage: String = garbage.into_iter().map(|c| (b' ' + c) as char).collect();
+        let crlf = Frame::parse(&text.replace('\n', "\r\n"));
+        prop_assert!(crlf.is_err(), "CRLF encoding must fail: {crlf:?}");
+        let unterminated = Frame::parse(text.trim_end());
+        prop_assert!(unterminated.is_err(), "missing newline must fail");
+        let glued = format!("{text}{garbage}");
+        prop_assert!(Frame::parse(&glued).is_err(), "trailing garbage must fail");
+        let glued_line = format!("{text}{garbage}\n");
+        prop_assert!(Frame::parse(&glued_line).is_err(), "garbage line must fail");
+        let doubled = format!("{text}{text}");
+        prop_assert!(Frame::parse(&doubled).is_err(), "second frame must fail");
+    }
+
     /// Flipping any single byte never panics the parser: it either
     /// reports a typed error or parses some frame (e.g. a changed hex
     /// digit is a different, equally well-formed amplitude).
@@ -327,7 +356,7 @@ proptest! {
     /// Error frames round-trip exactly, with raw-bit fidelities.
     #[test]
     fn prop_error_frames_round_trip(
-        (kind, a, b) in (0u8..6, 0u64..u64::MAX, 0u64..u64::MAX),
+        (kind, a, b) in (0u8..8, 0u64..u64::MAX, 0u64..u64::MAX),
         message in proptest::collection::vec(0u8..95, 0..40),
     ) {
         let message: String = message.into_iter().map(|c| (b' ' + c) as char).collect();
@@ -337,6 +366,8 @@ proptest! {
             2 => ErrorFrame::QueueClosed,
             3 => ErrorFrame::QueueFull { depth: a as usize % 1000, limit: b as usize % 1000 },
             4 => ErrorFrame::VerificationFailed { fidelity: a, threshold: b },
+            5 => ErrorFrame::NoShards,
+            6 => ErrorFrame::BadFrame { message },
             _ => ErrorFrame::TenantOverQuota {
                 tenant: a,
                 in_flight: b as usize % 1000,
